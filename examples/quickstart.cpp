@@ -1,0 +1,67 @@
+//===- examples/quickstart.cpp - SySTeC in five minutes -------*- C++ -*-===//
+///
+/// \file
+/// Quickstart: compile the sparse symmetric matrix-vector product
+/// (SSYMV), inspect the generated kernels, run both the naive and the
+/// symmetry-optimized version over a random symmetric matrix, and check
+/// that they agree while the optimized kernel reads only the canonical
+/// triangle.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Compiler.h"
+#include "data/Generators.h"
+#include "kernels/Kernels.h"
+#include "runtime/Executor.h"
+#include "support/Counters.h"
+
+#include <cstdio>
+
+using namespace systec;
+
+int main() {
+  // 1. Describe the kernel: y[i] += A[i,j] * x[j] with A symmetric.
+  //    makeSsymv() bundles the paper's formats (A in CSC) and loop
+  //    order; building an Einsum by hand takes four lines — see
+  //    examples/graph_shortest_path.cpp.
+  Einsum E = makeSsymv();
+
+  // 2. Compile. The result holds the naive baseline and the
+  //    symmetry-optimized kernel plus all intermediate artifacts.
+  CompileResult R = compileEinsum(E);
+  std::printf("%s\n", R.report().c_str());
+
+  // 3. Build a workload: a 2000x2000 symmetric sparse matrix with
+  //    ~40000 stored entries, and a dense input vector.
+  Rng Random(42);
+  Tensor A = generateSymmetricTensor(2, 2000, 20000, Random,
+                                     TensorFormat::csf(2));
+  Tensor X = generateDenseVector(2000, Random);
+  Tensor YNaive = Tensor::dense({2000});
+  Tensor YOpt = Tensor::dense({2000});
+
+  // 4. Run the naive kernel.
+  counters().reset();
+  Executor Naive(R.Naive);
+  Naive.bind("A", &A).bind("x", &X).bind("y", &YNaive);
+  Naive.prepare();
+  Naive.run();
+  uint64_t NaiveReads = counters().SparseReads;
+
+  // 5. Run the optimized kernel (reads only the upper triangle and
+  //    performs both updates per read).
+  counters().reset();
+  Executor Opt(R.Optimized);
+  Opt.bind("A", &A).bind("x", &X).bind("y", &YOpt);
+  Opt.prepare();
+  Opt.run();
+  uint64_t OptReads = counters().SparseReads;
+
+  double Diff = Tensor::maxAbsDiff(YNaive, YOpt);
+  std::printf("naive reads of A:     %llu\n",
+              static_cast<unsigned long long>(NaiveReads));
+  std::printf("optimized reads of A: %llu  (expect about half)\n",
+              static_cast<unsigned long long>(OptReads));
+  std::printf("max |y_naive - y_opt|: %.3e\n", Diff);
+  return Diff < 1e-9 ? 0 : 1;
+}

@@ -1,0 +1,86 @@
+//===- examples/structured_tensors.cpp - Banded & RLE inputs --*- C++ -*-===//
+///
+/// \file
+/// SySTeC targets "sparse or otherwise structured (Triangular, Banded,
+/// Run-Length-Encoded) tensor operations" (paper contribution 1). This
+/// example runs the same compiled symmetric kernel over one logical
+/// matrix stored four ways — CSC, fully-compressed DCSC, banded, and
+/// run-length encoded — and shows that results agree while the storage
+/// footprints differ. The banded and RLE levels also act as loop
+/// drivers, so iteration complexity follows the structure.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Compiler.h"
+#include "data/Generators.h"
+#include "kernels/Kernels.h"
+#include "runtime/Executor.h"
+
+#include <cstdio>
+
+using namespace systec;
+
+int main() {
+  const int64_t Dim = 2000;
+  Rng Random(13);
+
+  // A banded symmetric matrix: the run-length and banded formats shine
+  // on this structure.
+  TensorFormat Csc = TensorFormat::csf(2);
+  Tensor Base = generateBandedSymmetric(Dim, 3, Random, Csc);
+
+  struct Variant {
+    const char *Name;
+    TensorFormat Format;
+  };
+  TensorFormat Dcsc, Banded, Rle;
+  Dcsc.Levels = {LevelKind::Sparse, LevelKind::Sparse};
+  Banded.Levels = {LevelKind::Dense, LevelKind::Banded};
+  Rle.Levels = {LevelKind::Dense, LevelKind::RunLength};
+  std::vector<Variant> Variants{{"csc", Csc},
+                                {"dcsc", Dcsc},
+                                {"banded", Banded},
+                                {"rle", Rle}};
+
+  Tensor X = generateDenseVector(Dim, Random);
+  std::vector<double> Reference;
+
+  std::printf("SSYMV over one banded symmetric matrix in four "
+              "formats (dim %lld, bandwidth 3):\n",
+              static_cast<long long>(Dim));
+  for (const Variant &V : Variants) {
+    // Rebuild the same values in this format and recompile the kernel
+    // with the matching declaration.
+    Tensor A = Tensor::fromCoo(Base.toCoo(), V.Format);
+    Einsum E = makeSsymv();
+    E.declare("A", V.Format);
+    E.setSymmetry("A", Partition::full(2));
+    CompileResult R = compileEinsum(E);
+
+    Tensor Y = Tensor::dense({Dim});
+    Executor Exec(R.Optimized);
+    Exec.bind("A", &A).bind("x", &X).bind("y", &Y);
+    Exec.prepare();
+    Exec.run();
+
+    double Checksum = 0;
+    for (double Val : Y.vals())
+      Checksum += Val;
+    if (Reference.empty())
+      Reference = Y.vals();
+    double MaxDiff = 0;
+    for (size_t I = 0; I < Reference.size(); ++I)
+      MaxDiff = std::max(MaxDiff, std::abs(Reference[I] - Y.vals()[I]));
+    std::printf("  %-8s %-40s stored=%8zu  checksum=%14.6f  "
+                "max-diff=%.2e\n",
+                V.Name, V.Format.str().c_str(), A.storedCount(),
+                Checksum, MaxDiff);
+    if (MaxDiff > 1e-9) {
+      std::printf("MISMATCH between formats!\n");
+      return 1;
+    }
+  }
+  std::printf("all formats agree; banded/RLE store per-structure, "
+              "not per-nonzero\n");
+  return 0;
+}

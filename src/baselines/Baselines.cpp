@@ -1,0 +1,178 @@
+//===- baselines/Baselines.cpp --------------------------------*- C++ -*-===//
+
+#include "baselines/Baselines.h"
+
+#include "support/Error.h"
+
+#include <algorithm>
+#include <cassert>
+#include <vector>
+
+namespace systec {
+
+namespace {
+
+/// Checks the Dense(Sparse(Element)) matrix layout (CSC for A[i,j]).
+void assertCsc(const Tensor &A) {
+  assert(A.order() == 2 && "matrix kernel on non-matrix");
+  assert(A.level(0).Kind == LevelKind::Dense &&
+         A.level(1).Kind == LevelKind::Sparse && "expected CSC layout");
+  (void)A;
+}
+
+} // namespace
+
+void tacoSpmv(const Tensor &A, const Tensor &X, Tensor &Y) {
+  assertCsc(A);
+  const Level &Rows = A.level(1);
+  const double *XV = X.vals().data();
+  double *YV = Y.vals().data();
+  const int64_t Cols = A.level(0).Dim;
+  for (int64_t J = 0; J < Cols; ++J)
+    for (int64_t P = Rows.Ptr[J]; P < Rows.Ptr[J + 1]; ++P)
+      YV[Rows.Crd[P]] += A.val(P) * XV[J];
+}
+
+void mklSymv(const Tensor &AUpper, const Tensor &X, Tensor &Y) {
+  assertCsc(AUpper);
+  const Level &Rows = AUpper.level(1);
+  const double *XV = X.vals().data();
+  double *YV = Y.vals().data();
+  const int64_t Cols = AUpper.level(0).Dim;
+  for (int64_t J = 0; J < Cols; ++J) {
+    double Acc = 0;
+    for (int64_t P = Rows.Ptr[J]; P < Rows.Ptr[J + 1]; ++P) {
+      const int64_t I = Rows.Crd[P];
+      const double V = AUpper.val(P);
+      YV[I] += V * XV[J];
+      if (I != J)
+        Acc += V * XV[I];
+    }
+    YV[J] += Acc;
+  }
+}
+
+void tacoBellmanFord(const Tensor &A, const Tensor &D, Tensor &Y) {
+  assertCsc(A);
+  const Level &Rows = A.level(1);
+  const double *DV = D.vals().data();
+  double *YV = Y.vals().data();
+  const int64_t Cols = A.level(0).Dim;
+  for (int64_t J = 0; J < Cols; ++J)
+    for (int64_t P = Rows.Ptr[J]; P < Rows.Ptr[J + 1]; ++P) {
+      const int64_t I = Rows.Crd[P];
+      YV[I] = std::min(YV[I], A.val(P) + DV[J]);
+    }
+}
+
+double tacoSyprd(const Tensor &A, const Tensor &X) {
+  assertCsc(A);
+  const Level &Rows = A.level(1);
+  const double *XV = X.vals().data();
+  const int64_t Cols = A.level(0).Dim;
+  double Out = 0;
+  for (int64_t J = 0; J < Cols; ++J) {
+    double Acc = 0;
+    for (int64_t P = Rows.Ptr[J]; P < Rows.Ptr[J + 1]; ++P)
+      Acc += XV[Rows.Crd[P]] * A.val(P);
+    Out += Acc * XV[J];
+  }
+  return Out;
+}
+
+void tacoSsyrk(const Tensor &A, Tensor &C) {
+  assertCsc(A);
+  assert(C.format().isAllDense() && "SSYRK output must be dense");
+  const Level &Rows = A.level(1);
+  const int64_t N = C.dim(0);
+  double *CV = C.vals().data();
+  const int64_t Cols = A.level(0).Dim;
+  for (int64_t K = 0; K < Cols; ++K)
+    for (int64_t PJ = Rows.Ptr[K]; PJ < Rows.Ptr[K + 1]; ++PJ) {
+      const int64_t J = Rows.Crd[PJ];
+      const double VJ = A.val(PJ);
+      double *Col = CV + J * N; // C[i,j] column-major
+      for (int64_t PI = Rows.Ptr[K]; PI < Rows.Ptr[K + 1]; ++PI)
+        Col[Rows.Crd[PI]] += A.val(PI) * VJ;
+    }
+}
+
+void tacoTtm(const Tensor &A, const Tensor &B, Tensor &C) {
+  assert(A.order() == 3 && "TTM expects a 3-d tensor");
+  assert(A.level(0).Kind == LevelKind::Dense &&
+         A.level(1).Kind == LevelKind::Sparse &&
+         A.level(2).Kind == LevelKind::Sparse && "expected CSF layout");
+  // A[k,j,l]: level 0 = l (dense), level 1 = j, level 2 = k.
+  const Level &LJ = A.level(1), &LK = A.level(2);
+  const int64_t NI = C.dim(0), NJ = C.dim(1);
+  const int64_t BK = B.dim(0);
+  const double *BV = B.vals().data(); // B[k,i] column-major: k + i*BK
+  double *CV = C.vals().data();       // C[i,j,l]: i + j*NI + l*NI*NJ
+  for (int64_t L = 0; L < A.level(0).Dim; ++L)
+    for (int64_t PJ = LJ.Ptr[L]; PJ < LJ.Ptr[L + 1]; ++PJ) {
+      const int64_t J = LJ.Crd[PJ];
+      double *Fiber = CV + J * NI + L * NI * NJ;
+      for (int64_t PK = LK.Ptr[PJ]; PK < LK.Ptr[PJ + 1]; ++PK) {
+        const int64_t K = LK.Crd[PK];
+        const double V = A.val(PK);
+        for (int64_t I = 0; I < NI; ++I)
+          Fiber[I] += V * BV[K + I * BK];
+      }
+    }
+}
+
+void tacoMttkrp3(const Tensor &A, const Tensor &B, Tensor &C) {
+  assert(A.order() == 3 && "MTTKRP expects a 3-d tensor");
+  // A[i,k,l]: level 0 = l, level 1 = k, level 2 = i.
+  const Level &LK = A.level(1), &LI = A.level(2);
+  const int64_t NI = C.dim(0), NR = C.dim(1);
+  const int64_t BN = B.dim(0);
+  const double *BV = B.vals().data(); // B[k,j]: k + j*BN
+  double *CV = C.vals().data();       // C[i,j]: i + j*NI
+  for (int64_t L = 0; L < A.level(0).Dim; ++L)
+    for (int64_t PK = LK.Ptr[L]; PK < LK.Ptr[L + 1]; ++PK) {
+      const int64_t K = LK.Crd[PK];
+      for (int64_t PI = LI.Ptr[PK]; PI < LI.Ptr[PK + 1]; ++PI) {
+        const int64_t I = LI.Crd[PI];
+        const double V = A.val(PI);
+        for (int64_t R = 0; R < NR; ++R)
+          CV[I + R * NI] += V * BV[K + R * BN] * BV[L + R * BN];
+      }
+    }
+}
+
+void splattMttkrp3(const Tensor &A, const Tensor &B, Tensor &C) {
+  assert(A.order() == 3 && "MTTKRP expects a 3-d tensor");
+  const Level &LK = A.level(1), &LI = A.level(2);
+  const int64_t NI = C.dim(0), NR = C.dim(1);
+  const int64_t BN = B.dim(0);
+  const double *BV = B.vals().data();
+  double *CV = C.vals().data();
+  std::vector<double> W(NR);
+  for (int64_t L = 0; L < A.level(0).Dim; ++L)
+    for (int64_t PK = LK.Ptr[L]; PK < LK.Ptr[L + 1]; ++PK) {
+      const int64_t K = LK.Crd[PK];
+      // Operand factoring: hoist the Hadamard product of the two factor
+      // rows across the leaf fiber.
+      for (int64_t R = 0; R < NR; ++R)
+        W[R] = BV[K + R * BN] * BV[L + R * BN];
+      for (int64_t PI = LI.Ptr[PK]; PI < LI.Ptr[PK + 1]; ++PI) {
+        const int64_t I = LI.Crd[PI];
+        const double V = A.val(PI);
+        for (int64_t R = 0; R < NR; ++R)
+          CV[I + R * NI] += V * W[R];
+      }
+    }
+}
+
+Tensor upperTriangle(const Tensor &A) {
+  assert(A.order() == 2 && "upperTriangle expects a matrix");
+  Coo Entries(A.dims());
+  A.forEach([&Entries](const std::vector<int64_t> &C, double V) {
+    if (C[0] <= C[1])
+      Entries.add(C, V);
+  });
+  return Tensor::fromCoo(std::move(Entries), A.format(), A.fill());
+}
+
+} // namespace systec

@@ -1,0 +1,69 @@
+//===- core/Analysis.h - Symmetry analysis --------------------*- C++ -*-===//
+///
+/// \file
+/// Identifies the permutable index structure of an einsum (paper Section
+/// 4.1 stage 1-2 and the visible/invisible output symmetry taxonomy of
+/// Section 3):
+///
+///  - Every symmetric part (size >= 2) of an input tensor's partition
+///    contributes a *chain* of permutable indices, ordered so that the
+///    monotone condition p1 <= ... <= pn restricts iteration to the
+///    canonical triangle and nests concordantly (innermost loop first).
+///  - Index groups under which the right-hand side is invariant (after
+///    normalization) also form chains even when no input is symmetric:
+///    this is how SSYRK's visible output symmetry and pure contraction
+///    invariances are discovered.
+///  - Output modes whose indices share a chain carry *visible output
+///    symmetry*; the detected output partition drives canonical-output
+///    restriction and replication (paper 4.2.2).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SYSTEC_CORE_ANALYSIS_H
+#define SYSTEC_CORE_ANALYSIS_H
+
+#include "ir/Einsum.h"
+#include "symmetry/Partition.h"
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace systec {
+
+/// One canonical chain of permutable indices, ascending: the first name
+/// is the provably-smallest inside the restricted space and belongs to
+/// the innermost loop among them.
+struct Chain {
+  std::vector<std::string> Names;
+};
+
+/// Result of symmetry analysis over one einsum.
+struct SymmetryAnalysis {
+  std::vector<Chain> Chains;
+
+  /// Partition over the *output access positions* describing visible
+  /// output symmetry; Partition::none when the output is not symmetric.
+  Partition OutputSymmetry;
+
+  /// Ranking: chain position of each chained index (used by the
+  /// normalizer); indices outside chains are absent.
+  std::map<std::string, int> IndexRank;
+
+  /// Chain id per index (absent if unchained).
+  std::map<std::string, unsigned> ChainOf;
+
+  bool hasSymmetry() const { return !Chains.empty(); }
+
+  /// Human-readable summary for reports and tests.
+  std::string str() const;
+};
+
+/// Runs the analysis. Loop order comes from the einsum (inner loops
+/// earlier in chains). Aborts when two distinct symmetric parts overlap
+/// on an index (unsupported joint symmetry).
+SymmetryAnalysis analyzeSymmetry(const Einsum &E);
+
+} // namespace systec
+
+#endif // SYSTEC_CORE_ANALYSIS_H

@@ -1,0 +1,40 @@
+//===- core/Codegen.h - C++ source backend --------------------*- C++ -*-===//
+///
+/// \file
+/// Emits a compiled kernel as standalone C++ source over the library's
+/// Tensor API. Where the original SySTeC emits Finch IR that Finch
+/// lowers to Julia, this backend prints the loop nests the plan
+/// executor would run — sparse level walkers with lifted triangle
+/// bounds, residual conditions, hoisted temporaries, workspaces, lookup
+/// tables, and the replication epilogue — as human-readable C++. The
+/// output is used for inspection and golden tests; execution in-process
+/// goes through runtime/Executor.
+///
+/// Supported formats: Dense and Sparse levels (the kernels of the
+/// paper's evaluation). Structured levels execute through the
+/// interpreter but are not printed by this backend.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SYSTEC_CORE_CODEGEN_H
+#define SYSTEC_CORE_CODEGEN_H
+
+#include "ir/Kernel.h"
+
+#include <string>
+
+namespace systec {
+
+/// Renders \p K as a C++ function `void <name>(...)` taking the input
+/// tensors by const reference and the dense output by reference.
+///
+/// With \p InlinePreparation (the default) the function materializes
+/// its own transposed/split aliases on entry; with it off, the aliases
+/// become extra const parameters so callers can prepare once and time
+/// only the kernel (the paper excludes data rearrangement from
+/// timings).
+std::string emitCpp(const Kernel &K, bool InlinePreparation = true);
+
+} // namespace systec
+
+#endif // SYSTEC_CORE_CODEGEN_H

@@ -1,0 +1,52 @@
+//===- core/Compiler.cpp --------------------------------------*- C++ -*-===//
+
+#include "core/Compiler.h"
+
+#include <sstream>
+
+namespace systec {
+
+std::string CompileResult::report() const {
+  std::ostringstream OS;
+  OS << "=== einsum ===\n" << Source.str() << "\n";
+  for (const auto &[Name, D] : Source.Decls) {
+    OS << "  " << Name << ": " << D.Format.str() << ", fill "
+       << D.Fill;
+    if (D.Symmetry.hasSymmetry())
+      OS << ", symmetry " << D.Symmetry.str();
+    if (D.IsOutput)
+      OS << " (output)";
+    OS << "\n";
+  }
+  OS << "=== analysis ===\n" << Analysis.str() << "\n";
+  OS << "=== symmetrized ===\n" << Sym.str();
+  OS << "=== naive kernel ===\n" << Naive.str();
+  OS << "=== optimized kernel ===\n" << Optimized.str();
+  if (!Optimized.Transposes.empty()) {
+    OS << "transposes:";
+    for (const TransposeRequest &T : Optimized.Transposes)
+      OS << " " << T.Alias << "<-" << T.Source;
+    OS << "\n";
+  }
+  if (!Optimized.Splits.empty()) {
+    OS << "splits:";
+    for (const SplitRequest &S : Optimized.Splits)
+      OS << " " << S.Alias;
+    OS << "\n";
+  }
+  return OS.str();
+}
+
+CompileResult compileEinsum(const Einsum &E,
+                            const PipelineOptions &Options) {
+  CompileResult R;
+  R.Source = E;
+  R.Analysis = analyzeSymmetry(E);
+  R.Sym = symmetrize(E, R.Analysis);
+  runPasses(R.Sym, Options);
+  R.Naive = lowerNaive(E);
+  R.Optimized = lowerSymmetric(R.Sym);
+  return R;
+}
+
+} // namespace systec

@@ -1,0 +1,103 @@
+//===- core/Normalize.cpp -------------------------------------*- C++ -*-===//
+
+#include "core/Normalize.h"
+
+#include "support/Error.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace systec {
+
+Normalizer::Normalizer(const Einsum &EIn,
+                       std::map<std::string, int> IndexRankIn)
+    : E(EIn), IndexRank(std::move(IndexRankIn)) {}
+
+int Normalizer::rankOf(const std::string &Index) const {
+  auto It = IndexRank.find(Index);
+  return It == IndexRank.end() ? 1 << 20 : It->second;
+}
+
+ExprPtr Normalizer::normalizeAccess(const ExprPtr &Access) const {
+  auto DeclIt = E.Decls.find(Access->tensorName());
+  if (DeclIt == E.Decls.end() || !DeclIt->second.Symmetry.hasSymmetry())
+    return Access;
+  const Partition &Sym = DeclIt->second.Symmetry;
+  std::vector<std::string> Indices = Access->indices();
+  for (const std::vector<unsigned> &Part : Sym.parts()) {
+    if (Part.size() < 2)
+      continue;
+    std::vector<std::string> Names;
+    for (unsigned M : Part)
+      Names.push_back(Indices[M]);
+    std::sort(Names.begin(), Names.end(),
+              [this](const std::string &A, const std::string &B) {
+                if (rankOf(A) != rankOf(B))
+                  return rankOf(A) < rankOf(B);
+                return A < B;
+              });
+    for (size_t I = 0; I < Part.size(); ++I)
+      Indices[Part[I]] = Names[I];
+  }
+  return Expr::access(Access->tensorName(), std::move(Indices));
+}
+
+ExprPtr Normalizer::normalizeExpr(const ExprPtr &Ex) const {
+  switch (Ex->kind()) {
+  case ExprKind::Literal:
+  case ExprKind::Scalar:
+  case ExprKind::Lut:
+    return Ex;
+  case ExprKind::Access:
+    return normalizeAccess(Ex);
+  case ExprKind::Call: {
+    std::vector<ExprPtr> Args;
+    Args.reserve(Ex->args().size());
+    for (const ExprPtr &A : Ex->args())
+      Args.push_back(normalizeExpr(A));
+    if (opInfo(Ex->op()).Commutative) {
+      std::stable_sort(Args.begin(), Args.end(),
+                       [this](const ExprPtr &A, const ExprPtr &B) {
+                         return sortKey(A) < sortKey(B);
+                       });
+    }
+    return Expr::call(Ex->op(), std::move(Args));
+  }
+  }
+  unreachable("unknown expression kind");
+}
+
+std::string Normalizer::sortKey(const ExprPtr &Ex) const {
+  std::ostringstream OS;
+  switch (Ex->kind()) {
+  case ExprKind::Literal:
+    OS << "0:" << Ex->literalValue();
+    break;
+  case ExprKind::Scalar:
+    OS << "1:" << Ex->scalarName();
+    break;
+  case ExprKind::Access: {
+    OS << "2:" << Ex->tensorName();
+    for (const std::string &I : Ex->indices())
+      OS << ":" << rankOf(I) << "." << I;
+    break;
+  }
+  case ExprKind::Call: {
+    OS << "3:" << opInfo(Ex->op()).Ident;
+    for (const ExprPtr &A : Ex->args())
+      OS << "(" << sortKey(A) << ")";
+    break;
+  }
+  case ExprKind::Lut:
+    OS << "4:" << Ex->str();
+    break;
+  }
+  return OS.str();
+}
+
+std::string Normalizer::assignKey(const ExprPtr &Output,
+                                  const ExprPtr &Rhs) const {
+  return Output->str() + " <- " + Rhs->str();
+}
+
+} // namespace systec

@@ -1,0 +1,429 @@
+//===- core/Passes.cpp ----------------------------------------*- C++ -*-===//
+
+#include "core/Passes.h"
+
+#include "core/Normalize.h"
+#include "support/Error.h"
+#include "support/StringUtils.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+#include <set>
+#include <sstream>
+
+namespace systec {
+
+namespace {
+
+/// Signature of a block's contents (temporaries + assignments).
+std::string blockSignature(const SymBlock &B) {
+  std::ostringstream OS;
+  OS << (B.OffDiag ? "off;" : "diag;");
+  for (const StmtPtr &D : B.Defs)
+    OS << D->str(0) << ";";
+  for (const FormStmt &F : B.Forms) {
+    OS << F.key() << " x" << F.Mult;
+    if (F.Factor)
+      OS << " f:" << F.Factor->str();
+    OS << ";";
+  }
+  return OS.str();
+}
+
+std::string formSignature(const FormStmt &F) {
+  std::ostringstream OS;
+  OS << F.key() << " x" << F.Mult;
+  if (F.Factor)
+    OS << " f:" << F.Factor->str();
+  return OS.str();
+}
+
+/// Whether two chained names are provably equal inside a block (same
+/// run of the block's equivalence group).
+bool sameRunInBlock(const SymKernel &SK, const SymBlock &B,
+                    const std::string &A, const std::string &C) {
+  auto ChA = SK.Analysis.ChainOf.find(A);
+  auto ChC = SK.Analysis.ChainOf.find(C);
+  if (ChA == SK.Analysis.ChainOf.end() || ChC == SK.Analysis.ChainOf.end())
+    return false;
+  if (ChA->second != ChC->second)
+    return false;
+  if (B.Runs.empty())
+    return false;
+  const std::vector<unsigned> &Runs = B.Runs[ChA->second];
+  int PA = SK.Analysis.IndexRank.at(A);
+  int PC = SK.Analysis.IndexRank.at(C);
+  unsigned Pos = 0;
+  for (unsigned Len : Runs) {
+    bool HasA = PA >= static_cast<int>(Pos) &&
+                PA < static_cast<int>(Pos + Len);
+    bool HasC = PC >= static_cast<int>(Pos) &&
+                PC < static_cast<int>(Pos + Len);
+    if (HasA && HasC)
+      return true;
+    if (HasA || HasC)
+      return false;
+    Pos += Len;
+  }
+  return false;
+}
+
+/// Scalar names referenced by an expression.
+void collectScalarRefs(const ExprPtr &E, std::set<std::string> &Out) {
+  if (E->kind() == ExprKind::Scalar) {
+    Out.insert(E->scalarName());
+    return;
+  }
+  if (E->kind() == ExprKind::Call)
+    for (const ExprPtr &A : E->args())
+      collectScalarRefs(A, Out);
+}
+
+/// Drops temporaries no longer referenced by any form in the block.
+void pruneUnusedDefs(SymBlock &B) {
+  std::set<std::string> Used;
+  for (const FormStmt &F : B.Forms)
+    collectScalarRefs(F.Rhs, Used);
+  // Defs may reference earlier defs.
+  for (auto It = B.Defs.rbegin(); It != B.Defs.rend(); ++It)
+    if (Used.count((*It)->scalarName()))
+      collectScalarRefs((*It)->init(), Used);
+  std::vector<StmtPtr> Kept;
+  for (const StmtPtr &D : B.Defs)
+    if (Used.count(D->scalarName()))
+      Kept.push_back(D);
+  B.Defs = std::move(Kept);
+}
+
+} // namespace
+
+void passVisibleOutputRestriction(SymKernel &SK) {
+  const Partition &OutSym = SK.Analysis.OutputSymmetry;
+  if (!OutSym.hasSymmetry())
+    return;
+  for (SymBlock &B : SK.Blocks) {
+    std::vector<FormStmt> Kept;
+    for (const FormStmt &F : B.Forms) {
+      bool Canonical = true;
+      const std::vector<std::string> &Outs = F.Out->indices();
+      for (const std::vector<unsigned> &Part : OutSym.parts()) {
+        if (Part.size() < 2)
+          continue;
+        for (size_t I = 0; I + 1 < Part.size() && Canonical; ++I) {
+          for (size_t J = I + 1; J < Part.size() && Canonical; ++J) {
+            const std::string &NA = Outs[Part[I]];
+            const std::string &NB = Outs[Part[J]];
+            int RA = SK.Analysis.IndexRank.count(NA)
+                         ? SK.Analysis.IndexRank.at(NA)
+                         : -1;
+            int RB = SK.Analysis.IndexRank.count(NB)
+                         ? SK.Analysis.IndexRank.at(NB)
+                         : -1;
+            // Non-canonical when provably strictly descending: higher
+            // chain rank first and not equal under this block's
+            // equivalence pattern.
+            if (RA > RB && !sameRunInBlock(SK, B, NA, NB))
+              Canonical = false;
+          }
+        }
+      }
+      if (Canonical)
+        Kept.push_back(F);
+    }
+    B.Forms = std::move(Kept);
+  }
+  SK.RestrictedOutput = true;
+}
+
+void passDistributiveGrouping(SymKernel &SK) {
+  for (SymBlock &B : SK.Blocks) {
+    std::vector<FormStmt> Merged;
+    std::map<std::string, size_t> Index;
+    for (const FormStmt &F : B.Forms) {
+      std::string Key = F.key();
+      auto It = Index.find(Key);
+      if (It == Index.end()) {
+        Index[Key] = Merged.size();
+        Merged.push_back(F);
+      } else {
+        Merged[It->second].Mult += F.Mult;
+      }
+    }
+    B.Forms = std::move(Merged);
+  }
+}
+
+void passCommonAccessElimination(SymKernel &SK) {
+  for (SymBlock &B : SK.Blocks) {
+    // Count access occurrences across the block's assignments.
+    std::vector<ExprPtr> Order;
+    std::map<std::string, unsigned> Counts;
+    for (const FormStmt &F : B.Forms) {
+      std::vector<ExprPtr> Accesses;
+      Expr::collectAccesses(F.Rhs, Accesses);
+      for (const ExprPtr &A : Accesses) {
+        if (++Counts[A->str()] == 1)
+          Order.push_back(A);
+      }
+    }
+    for (const ExprPtr &A : Order) {
+      if (Counts[A->str()] < 2)
+        continue;
+      std::string Temp = "t_" + A->tensorName();
+      for (const std::string &I : A->indices())
+        Temp += "_" + I;
+      B.Defs.push_back(Stmt::defScalar(Temp, A));
+      ExprPtr Ref = Expr::scalar(Temp);
+      for (FormStmt &F : B.Forms)
+        F.Rhs = Expr::replace(F.Rhs, A, Ref);
+    }
+  }
+}
+
+void passSimplicialLut(SymKernel &SK) {
+  // Factor scaling is only meaningful for additive reductions.
+  if (SK.Source.ReduceOp != OpKind::Add)
+    return;
+  // The lookup index bits: one equality test per chain adjacency.
+  std::vector<CmpAtom> Bits;
+  for (const Chain &C : SK.Analysis.Chains)
+    for (size_t T = 0; T + 1 < C.Names.size(); ++T)
+      Bits.push_back(CmpAtom{CmpKind::EQ, C.Names[T], C.Names[T + 1]});
+  if (Bits.empty() || Bits.size() > 16)
+    return;
+
+  auto BlockMask = [&](const SymBlock &B) -> unsigned {
+    unsigned Mask = 0;
+    unsigned BitIdx = 0;
+    for (size_t CI = 0; CI < SK.Analysis.Chains.size(); ++CI) {
+      const std::vector<unsigned> &Runs = B.Runs[CI];
+      unsigned Pos = 0;
+      std::vector<bool> Eq;
+      for (size_t R = 0; R < Runs.size(); ++R) {
+        for (unsigned I = 0; I + 1 < Runs[R]; ++I)
+          Eq.push_back(true);
+        if (R + 1 < Runs.size())
+          Eq.push_back(false);
+        Pos += Runs[R];
+      }
+      for (bool E : Eq) {
+        if (E)
+          Mask |= 1u << BitIdx;
+        ++BitIdx;
+      }
+    }
+    return Mask;
+  };
+
+  // Group diagonal blocks by (defs, form-key support) signature.
+  auto SupportSig = [](const SymBlock &B) {
+    std::ostringstream OS;
+    for (const StmtPtr &D : B.Defs)
+      OS << D->str(0) << ";";
+    std::vector<std::string> Keys;
+    for (const FormStmt &F : B.Forms)
+      Keys.push_back(F.key());
+    std::sort(Keys.begin(), Keys.end());
+    for (const std::string &K : Keys)
+      OS << K << ";";
+    return OS.str();
+  };
+
+  std::map<std::string, std::vector<size_t>> Groups;
+  for (size_t I = 0; I < SK.Blocks.size(); ++I) {
+    const SymBlock &B = SK.Blocks[I];
+    if (B.OffDiag || B.Runs.empty())
+      continue;
+    bool HasFactor = false;
+    for (const FormStmt &F : B.Forms)
+      HasFactor |= F.Factor != nullptr;
+    if (HasFactor)
+      continue;
+    Groups[SupportSig(B)].push_back(I);
+  }
+
+  std::set<size_t> Remove;
+  std::vector<SymBlock> NewBlocks;
+  for (const auto &[Sig, Members] : Groups) {
+    (void)Sig;
+    if (Members.size() < 2)
+      continue;
+    SymBlock Merged;
+    Merged.OffDiag = false;
+    Merged.Defs = SK.Blocks[Members[0]].Defs;
+    Merged.Exact = Cond::never();
+    // Per-form factor tables.
+    std::vector<FormStmt> Forms = SK.Blocks[Members[0]].Forms;
+    std::vector<std::vector<double>> Tables(
+        Forms.size(), std::vector<double>(1ull << Bits.size(), 0.0));
+    bool AllEqual = true;
+    double FirstVal = -1;
+    for (size_t MI : Members) {
+      const SymBlock &B = SK.Blocks[MI];
+      unsigned Mask = BlockMask(B);
+      Merged.Exact = Cond::unionOf(Merged.Exact, B.Exact);
+      for (const FormStmt &F : B.Forms) {
+        bool Found = false;
+        for (size_t FI = 0; FI < Forms.size(); ++FI) {
+          if (Forms[FI].key() == F.key()) {
+            Tables[FI][Mask] = F.Mult;
+            if (FirstVal < 0)
+              FirstVal = F.Mult;
+            AllEqual &= F.Mult == FirstVal;
+            Found = true;
+            break;
+          }
+        }
+        assert(Found && "support signature mismatch");
+        (void)Found;
+      }
+    }
+    Merged.Exact = simplifyCond(Merged.Exact);
+    for (size_t FI = 0; FI < Forms.size(); ++FI) {
+      Forms[FI].Mult = 1;
+      if (AllEqual)
+        Forms[FI].Mult = static_cast<unsigned>(FirstVal);
+      else
+        Forms[FI].Factor = Expr::lut(Bits, Tables[FI]);
+    }
+    Merged.Forms = std::move(Forms);
+    NewBlocks.push_back(std::move(Merged));
+    Remove.insert(Members.begin(), Members.end());
+  }
+  if (NewBlocks.empty())
+    return;
+  std::vector<SymBlock> Result;
+  for (size_t I = 0; I < SK.Blocks.size(); ++I)
+    if (!Remove.count(I))
+      Result.push_back(std::move(SK.Blocks[I]));
+  for (SymBlock &B : NewBlocks)
+    Result.push_back(std::move(B));
+  SK.Blocks = std::move(Result);
+}
+
+void passConsolidateBlocks(SymKernel &SK) {
+  std::vector<SymBlock> Result;
+  std::map<std::string, size_t> Index;
+  for (SymBlock &B : SK.Blocks) {
+    std::string Sig = blockSignature(B);
+    auto It = Index.find(Sig);
+    if (It == Index.end()) {
+      Index[Sig] = Result.size();
+      Result.push_back(std::move(B));
+    } else {
+      SymBlock &Target = Result[It->second];
+      Target.Exact = simplifyCond(Cond::unionOf(Target.Exact, B.Exact));
+      if (!(Target.Runs == B.Runs))
+        Target.Runs.clear();
+    }
+  }
+  SK.Blocks = std::move(Result);
+}
+
+void passGroupAcrossBranches(SymKernel &SK, bool AcrossDiagonal) {
+  // Count (form signature, defs needed) across blocks.
+  struct Occurrence {
+    std::vector<size_t> BlockIdx;
+    FormStmt Form;
+    bool OffDiag;
+  };
+  auto SideTag = [&](const SymBlock &B) {
+    if (AcrossDiagonal)
+      return std::string("any;");
+    return std::string(B.OffDiag ? "off;" : "diag;");
+  };
+  std::map<std::string, Occurrence> Shared;
+  for (size_t BI = 0; BI < SK.Blocks.size(); ++BI) {
+    const SymBlock &B = SK.Blocks[BI];
+    for (const FormStmt &F : B.Forms) {
+      // Forms referencing block temporaries carry the defining
+      // statements in the signature so only identical contexts merge.
+      std::set<std::string> Refs;
+      collectScalarRefs(F.Rhs, Refs);
+      std::ostringstream Sig;
+      Sig << SideTag(B) << formSignature(F) << ";";
+      for (const StmtPtr &D : B.Defs)
+        if (Refs.count(D->scalarName()))
+          Sig << D->str(0) << ";";
+      auto &Occ = Shared[Sig.str()];
+      if (Occ.BlockIdx.empty()) {
+        Occ.Form = F;
+        Occ.OffDiag = B.OffDiag;
+      }
+      Occ.BlockIdx.push_back(BI);
+    }
+  }
+
+  std::vector<SymBlock> NewBlocks;
+  std::set<std::string> Extracted;
+  for (const auto &[Sig, Occ] : Shared) {
+    if (Occ.BlockIdx.size() < 2)
+      continue;
+    Extracted.insert(Sig);
+    SymBlock NB;
+    NB.OffDiag = Occ.OffDiag;
+    NB.Exact = Cond::never();
+    for (size_t BI : Occ.BlockIdx)
+      NB.Exact = Cond::unionOf(NB.Exact, SK.Blocks[BI].Exact);
+    NB.Exact = simplifyCond(NB.Exact);
+    std::set<std::string> Refs;
+    collectScalarRefs(Occ.Form.Rhs, Refs);
+    for (const StmtPtr &D : SK.Blocks[Occ.BlockIdx[0]].Defs)
+      if (Refs.count(D->scalarName()))
+        NB.Defs.push_back(D);
+    NB.Forms.push_back(Occ.Form);
+    NewBlocks.push_back(std::move(NB));
+  }
+  if (NewBlocks.empty())
+    return;
+
+  // Remove extracted forms from their original blocks.
+  for (size_t BI = 0; BI < SK.Blocks.size(); ++BI) {
+    SymBlock &B = SK.Blocks[BI];
+    std::vector<FormStmt> Kept;
+    for (const FormStmt &F : B.Forms) {
+      std::set<std::string> Refs;
+      collectScalarRefs(F.Rhs, Refs);
+      std::ostringstream Sig;
+      Sig << SideTag(B) << formSignature(F) << ";";
+      for (const StmtPtr &D : B.Defs)
+        if (Refs.count(D->scalarName()))
+          Sig << D->str(0) << ";";
+      if (!Extracted.count(Sig.str()))
+        Kept.push_back(F);
+    }
+    B.Forms = std::move(Kept);
+    pruneUnusedDefs(B);
+  }
+  std::vector<SymBlock> Result;
+  // Grouped blocks first (they typically carry the union condition that
+  // simplifies, e.g. i <= j), then surviving originals.
+  for (SymBlock &B : NewBlocks)
+    Result.push_back(std::move(B));
+  for (SymBlock &B : SK.Blocks)
+    if (!B.Forms.empty())
+      Result.push_back(std::move(B));
+  SK.Blocks = std::move(Result);
+}
+
+void runPasses(SymKernel &SK, const PipelineOptions &Options) {
+  if (Options.VisibleOutputRestriction)
+    passVisibleOutputRestriction(SK);
+  if (Options.DistributiveGrouping)
+    passDistributiveGrouping(SK);
+  if (Options.SimplicialLut)
+    passSimplicialLut(SK);
+  if (Options.ConsolidateBlocks)
+    passConsolidateBlocks(SK);
+  if (Options.GroupAcrossBranches)
+    passGroupAcrossBranches(SK, /*AcrossDiagonal=*/!Options.DiagonalSplit);
+  // Hoist repeated reads last so earlier passes compare raw forms.
+  if (Options.CommonAccessElimination)
+    passCommonAccessElimination(SK);
+  SK.SplitDiagonal = Options.DiagonalSplit;
+  SK.Concordize = Options.Concordize;
+  SK.UseWorkspaces = Options.Workspace;
+}
+
+} // namespace systec

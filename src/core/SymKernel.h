@@ -1,0 +1,86 @@
+//===- core/SymKernel.h - Structured symmetrized kernel -------*- C++ -*-===//
+///
+/// \file
+/// The structured intermediate the optimization passes (paper Section
+/// 4.2) operate on: a guarded list of *blocks*, one per equivalence
+/// group (Definition 4.1), each holding the normalized triangular
+/// assignments to perform when that group's equality pattern holds. The
+/// final lowering assembles the loop nest(s), placing the canonical
+/// chain conditions at their binding loops and emitting the replication
+/// epilogue, workspaces, transposes and diagonal splits.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SYSTEC_CORE_SYMKERNEL_H
+#define SYSTEC_CORE_SYMKERNEL_H
+
+#include "core/Analysis.h"
+#include "ir/Kernel.h"
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace systec {
+
+/// One triangular assignment inside a block.
+struct FormStmt {
+  ExprPtr Out;          ///< output access (normalized)
+  ExprPtr Rhs;          ///< normalized right-hand side
+  unsigned Mult = 1;    ///< duplicate count (invisible symmetry)
+  ExprPtr Factor;       ///< optional runtime factor (lookup table)
+
+  std::string key() const { return Out->str() + " <- " + Rhs->str(); }
+};
+
+/// One conditional block: the exact equality/inequality pattern over
+/// the canonical chains, plus its assignments and hoisted temporaries.
+struct SymBlock {
+  /// Exact condition distinguishing this diagonal (DNF after
+  /// consolidation).
+  Cond Exact;
+  /// The equivalence-group run pattern per chain (empty after blocks
+  /// with different patterns are consolidated).
+  std::vector<std::vector<unsigned>> Runs;
+  /// Hoisted scalar temporaries (common tensor access elimination).
+  std::vector<StmtPtr> Defs;
+  /// Triangular assignments.
+  std::vector<FormStmt> Forms;
+
+  /// Whether no chain index equals another (the pure-triangle block).
+  /// Stored at construction because consolidation erases Runs.
+  bool OffDiag = false;
+
+  bool isOffDiagonal() const { return OffDiag; }
+};
+
+/// The symmetrized kernel prior to lowering.
+struct SymKernel {
+  Einsum Source;
+  SymmetryAnalysis Analysis;
+
+  /// Canonical chain atoms p1 <= p2, p2 <= p3, ... across all chains.
+  std::vector<CmpAtom> ChainAtoms;
+  std::vector<SymBlock> Blocks;
+
+  /// Output restriction state (visible output symmetry, paper 4.2.2).
+  bool RestrictedOutput = false;
+
+  /// Workspace insertion decisions (paper 4.2.8): block/form positions
+  /// are resolved during lowering.
+  bool UseWorkspaces = false;
+
+  /// Diagonal splitting (paper 4.2.9): lower off-diagonal and diagonal
+  /// blocks as separate loop nests over split tensors.
+  bool SplitDiagonal = false;
+
+  /// Concordization (paper 4.2.3): transpose inputs so accesses iterate
+  /// in loop order.
+  bool Concordize = false;
+
+  std::string str() const;
+};
+
+} // namespace systec
+
+#endif // SYSTEC_CORE_SYMKERNEL_H

@@ -1,0 +1,258 @@
+//===- core/Symmetrize.cpp ------------------------------------*- C++ -*-===//
+
+#include "core/Symmetrize.h"
+
+#include "core/Normalize.h"
+#include "support/Error.h"
+#include "symmetry/EquivalenceGroup.h"
+#include "symmetry/Permutation.h"
+
+#include <cassert>
+#include <map>
+#include <numeric>
+#include <sstream>
+
+namespace systec {
+
+namespace {
+
+/// Odometer over the cartesian product of per-chain choice counts.
+class ProductCounter {
+public:
+  explicit ProductCounter(std::vector<size_t> Sizes)
+      : Sizes(std::move(Sizes)), Digits(this->Sizes.size(), 0) {
+    Done = this->Sizes.empty() ? false : false;
+    for (size_t S : this->Sizes)
+      if (S == 0)
+        Done = true;
+  }
+
+  bool done() const { return Done; }
+  const std::vector<size_t> &digits() const { return Digits; }
+
+  void advance() {
+    for (size_t C = 0; C < Digits.size(); ++C) {
+      if (++Digits[C] < Sizes[C])
+        return;
+      Digits[C] = 0;
+    }
+    Done = true;
+  }
+
+private:
+  std::vector<size_t> Sizes;
+  std::vector<size_t> Digits;
+  bool Done = false;
+};
+
+/// A raw normalized form with its permutation count.
+struct RawForm {
+  ExprPtr Out;
+  ExprPtr Rhs;
+  unsigned Count = 0;
+};
+
+} // namespace
+
+std::string SymKernel::str() const {
+  std::ostringstream OS;
+  OS << "symmetrized " << Source.Name << " (" << Analysis.str() << ")\n";
+  OS << "chain condition: ";
+  if (ChainAtoms.empty())
+    OS << "true";
+  for (size_t I = 0; I < ChainAtoms.size(); ++I) {
+    if (I)
+      OS << " && ";
+    OS << ChainAtoms[I].str();
+  }
+  OS << "\n";
+  for (const SymBlock &B : Blocks) {
+    OS << "block if " << B.Exact.str() << "\n";
+    for (const StmtPtr &D : B.Defs)
+      OS << "  " << D->str(0);
+    for (const FormStmt &F : B.Forms) {
+      OS << "  " << F.Out->str() << " "
+         << (Source.ReduceOp == OpKind::Add
+                 ? "+="
+                 : std::string(opInfo(Source.ReduceOp).Name) + "=")
+         << " ";
+      if (F.Mult != 1)
+        OS << F.Mult << " * ";
+      if (F.Factor)
+        OS << F.Factor->str() << " * ";
+      OS << F.Rhs->str() << "\n";
+    }
+  }
+  return OS.str();
+}
+
+SymKernel symmetrize(const Einsum &E, const SymmetryAnalysis &Analysis) {
+  SymKernel SK;
+  SK.Source = E;
+  SK.Analysis = Analysis;
+  Normalizer Norm(E, Analysis.IndexRank);
+
+  auto Normalize = [&Norm](const ExprPtr &Ex) {
+    return Norm.normalizeExpr(Ex);
+  };
+
+  // Canonical chain conditions p1 <= ... <= pn.
+  for (const Chain &C : Analysis.Chains)
+    for (size_t T = 0; T + 1 < C.Names.size(); ++T)
+      SK.ChainAtoms.push_back(
+          CmpAtom{CmpKind::LE, C.Names[T], C.Names[T + 1]});
+
+  if (Analysis.Chains.empty()) {
+    SymBlock B;
+    B.Exact = Cond::always();
+    B.OffDiag = true;
+    B.Forms.push_back(FormStmt{Normalize(E.Output), Normalize(E.Rhs), 1,
+                               nullptr});
+    SK.Blocks.push_back(std::move(B));
+    return SK;
+  }
+
+  // Enumerate all products of chain permutations, apply them to the
+  // assignment, and bucket the normal forms with counts.
+  std::vector<std::vector<Permutation>> ChainPerms;
+  std::vector<size_t> PermCounts;
+  for (const Chain &C : Analysis.Chains) {
+    ChainPerms.push_back(
+        allPermutations(static_cast<unsigned>(C.Names.size())));
+    PermCounts.push_back(ChainPerms.back().size());
+  }
+
+  std::vector<RawForm> Raw;
+  std::map<std::string, size_t> RawIdx;
+  for (ProductCounter PC(PermCounts); !PC.done(); PC.advance()) {
+    std::map<std::string, std::string> Rename;
+    for (size_t CI = 0; CI < Analysis.Chains.size(); ++CI) {
+      const Chain &C = Analysis.Chains[CI];
+      const Permutation &Sigma = ChainPerms[CI][PC.digits()[CI]];
+      // Paper Figure 5: the loop tuple becomes sigma applied to the
+      // names; index at chain position T is renamed to the name at
+      // position Sigma[T].
+      for (unsigned T = 0; T < C.Names.size(); ++T)
+        Rename[C.Names[T]] = C.Names[Sigma[T]];
+    }
+    auto Map = [&Rename](const std::string &N) {
+      auto It = Rename.find(N);
+      return It == Rename.end() ? N : It->second;
+    };
+    ExprPtr Out = Normalize(Expr::renameIndices(E.Output, Map));
+    ExprPtr Rhs = Normalize(Expr::renameIndices(E.Rhs, Map));
+    std::string Key = Norm.assignKey(Out, Rhs);
+    auto It = RawIdx.find(Key);
+    if (It == RawIdx.end()) {
+      RawIdx[Key] = Raw.size();
+      Raw.push_back(RawForm{Out, Rhs, 1});
+    } else {
+      ++Raw[It->second].Count;
+    }
+  }
+
+  // One block per combination of per-chain equivalence groups.
+  std::vector<std::vector<EquivalenceGroup>> ChainGroups;
+  std::vector<size_t> GroupCounts;
+  for (const Chain &C : Analysis.Chains) {
+    ChainGroups.push_back(
+        EquivalenceGroup::enumerate(static_cast<unsigned>(C.Names.size())));
+    GroupCounts.push_back(ChainGroups.back().size());
+  }
+
+  for (ProductCounter GC(GroupCounts); !GC.done(); GC.advance()) {
+    std::vector<const EquivalenceGroup *> Groups;
+    for (size_t CI = 0; CI < Analysis.Chains.size(); ++CI)
+      Groups.push_back(&ChainGroups[CI][GC.digits()[CI]]);
+
+    // Stabilizer size: product of run factorials across chains.
+    uint64_t Stab = 1;
+    for (const EquivalenceGroup *G : Groups)
+      for (unsigned Len : G->runs())
+        for (uint64_t K = 2; K <= Len; ++K)
+          Stab *= K;
+
+    // Equality-collapse rename: each run's names map to the run's first
+    // (representative) name.
+    std::map<std::string, std::string> Collapse;
+    for (size_t CI = 0; CI < Analysis.Chains.size(); ++CI) {
+      const Chain &C = Analysis.Chains[CI];
+      const EquivalenceGroup *G = Groups[CI];
+      for (unsigned R = 0; R < G->runs().size(); ++R) {
+        auto [B, End] = G->runRange(R);
+        for (unsigned P = B; P < End; ++P)
+          Collapse[C.Names[P]] = C.Names[B];
+      }
+    }
+    auto CollapseMap = [&Collapse](const std::string &N) {
+      auto It = Collapse.find(N);
+      return It == Collapse.end() ? N : It->second;
+    };
+
+    // Group raw forms into equality classes under the collapse.
+    std::map<std::string, size_t> ClassIdx;
+    struct EqClass {
+      std::vector<size_t> Members; // raw indices, in order
+      uint64_t Total = 0;
+    };
+    std::vector<EqClass> Classes;
+    for (size_t RI = 0; RI < Raw.size(); ++RI) {
+      ExprPtr Out = Normalize(Expr::renameIndices(Raw[RI].Out, CollapseMap));
+      ExprPtr Rhs = Normalize(Expr::renameIndices(Raw[RI].Rhs, CollapseMap));
+      std::string Key = Norm.assignKey(Out, Rhs);
+      auto It = ClassIdx.find(Key);
+      if (It == ClassIdx.end()) {
+        ClassIdx[Key] = Classes.size();
+        Classes.push_back(EqClass());
+        It = ClassIdx.find(Key);
+      }
+      Classes[It->second].Members.push_back(RI);
+      Classes[It->second].Total += Raw[RI].Count;
+    }
+
+    // Each class contributes Total / Stab assignments, distributed
+    // round-robin over its distinct members (diversification).
+    std::map<size_t, unsigned> Emit;
+    for (const EqClass &Cls : Classes) {
+      if (Cls.Total % Stab != 0)
+        fatalError("symmetrization: class count " +
+                   std::to_string(Cls.Total) +
+                   " not divisible by stabilizer " + std::to_string(Stab));
+      uint64_t Need = Cls.Total / Stab;
+      for (uint64_t K = 0; K < Need; ++K)
+        ++Emit[Cls.Members[K % Cls.Members.size()]];
+    }
+
+    SymBlock Block;
+    Block.OffDiag = true;
+    for (size_t CI = 0; CI < Analysis.Chains.size(); ++CI) {
+      Block.Runs.push_back(Groups[CI]->runs());
+      if (!Groups[CI]->isOffDiagonal())
+        Block.OffDiag = false;
+    }
+    // Exact condition: adjacent chain indices equal within runs,
+    // strictly increasing across run boundaries.
+    std::vector<CmpAtom> Atoms;
+    for (size_t CI = 0; CI < Analysis.Chains.size(); ++CI) {
+      const Chain &C = Analysis.Chains[CI];
+      const EquivalenceGroup *G = Groups[CI];
+      for (unsigned T = 0; T + 1 < C.Names.size(); ++T)
+        Atoms.push_back(CmpAtom{G->sameRun(T, T + 1) ? CmpKind::EQ
+                                                     : CmpKind::LT,
+                                C.Names[T], C.Names[T + 1]});
+    }
+    Block.Exact = Atoms.empty() ? Cond::always() : Cond::conj(Atoms);
+
+    for (size_t RI = 0; RI < Raw.size(); ++RI) {
+      auto It = Emit.find(RI);
+      if (It == Emit.end())
+        continue;
+      Block.Forms.push_back(
+          FormStmt{Raw[RI].Out, Raw[RI].Rhs, It->second, nullptr});
+    }
+    SK.Blocks.push_back(std::move(Block));
+  }
+  return SK;
+}
+
+} // namespace systec

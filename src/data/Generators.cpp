@@ -1,0 +1,123 @@
+//===- data/Generators.cpp ------------------------------------*- C++ -*-===//
+
+#include "data/Generators.h"
+
+#include "support/Error.h"
+
+#include <algorithm>
+#include <cassert>
+#include <set>
+
+namespace systec {
+
+Tensor generateSymmetricTensor(unsigned Order, int64_t Dim,
+                               int64_t CanonicalNnz, Rng &R,
+                               const TensorFormat &Format, double Fill) {
+  assert(Order >= 2 && "symmetric tensors need order >= 2");
+  Coo Entries(std::vector<int64_t>(Order, Dim));
+  std::set<std::vector<int64_t>> Seen;
+  // Sample canonical (sorted) coordinates, then write the full orbit so
+  // the tensor is exactly symmetric.
+  for (int64_t K = 0; K < CanonicalNnz; ++K) {
+    std::vector<int64_t> C(Order);
+    for (unsigned M = 0; M < Order; ++M)
+      C[M] = R.nextIndex(Dim);
+    std::sort(C.begin(), C.end());
+    if (!Seen.insert(C).second)
+      continue;
+    double V = R.nextDouble();
+    std::vector<int64_t> Perm = C;
+    std::sort(Perm.begin(), Perm.end());
+    do {
+      Entries.add(Perm, V);
+    } while (std::next_permutation(Perm.begin(), Perm.end()));
+  }
+  // Duplicate orbit coordinates cannot occur (orbits are disjoint), so
+  // the combine op is irrelevant; Add keeps values intact.
+  return Tensor::fromCoo(std::move(Entries), Format, Fill);
+}
+
+Tensor generateSparseMatrix(int64_t Rows, int64_t Cols, int64_t Nnz, Rng &R,
+                            const TensorFormat &Format) {
+  Coo Entries({Rows, Cols});
+  std::set<std::pair<int64_t, int64_t>> Seen;
+  for (int64_t K = 0; K < Nnz; ++K) {
+    int64_t I = R.nextIndex(Rows), J = R.nextIndex(Cols);
+    if (!Seen.insert({I, J}).second)
+      continue;
+    Entries.add({I, J}, R.nextDouble());
+  }
+  return Tensor::fromCoo(std::move(Entries), Format);
+}
+
+Tensor symmetrizeMatrix(const Tensor &A) {
+  assert(A.order() == 2 && A.dim(0) == A.dim(1) &&
+         "symmetrize needs a square matrix");
+  Coo Entries(A.dims());
+  A.forEach([&Entries](const std::vector<int64_t> &C, double V) {
+    Entries.add(C, V);
+    Entries.add({C[1], C[0]}, V);
+  });
+  return Tensor::fromCoo(std::move(Entries), A.format(), A.fill());
+}
+
+Tensor generateBandedSymmetric(int64_t Dim, int64_t Bandwidth, Rng &R,
+                               const TensorFormat &Format) {
+  Coo Entries({Dim, Dim});
+  for (int64_t I = 0; I < Dim; ++I) {
+    for (int64_t J = I; J < std::min(Dim, I + Bandwidth + 1); ++J) {
+      double V = R.nextDouble();
+      Entries.add({I, J}, V);
+      if (I != J)
+        Entries.add({J, I}, V);
+    }
+  }
+  return Tensor::fromCoo(std::move(Entries), Format);
+}
+
+Tensor generateDenseMatrix(int64_t Rows, int64_t Cols, Rng &R) {
+  Tensor T = Tensor::dense({Rows, Cols});
+  for (double &V : T.vals())
+    V = R.nextDouble();
+  return T;
+}
+
+Tensor generateDenseVector(int64_t N, Rng &R) {
+  Tensor T = Tensor::dense({N});
+  for (double &V : T.vals())
+    V = R.nextDouble();
+  return T;
+}
+
+const std::vector<MatrixSpec> &vuducSuite() {
+  // Table 2 of the paper (Vuduc et al. collection).
+  static const std::vector<MatrixSpec> Suite = {
+      {"bayer02", 13935, 63679},    {"bayer10", 13436, 94926},
+      {"bcsstk35", 30237, 1450163}, {"coater2", 9540, 207308},
+      {"crystk02", 13965, 968583},  {"crystk03", 24696, 1751178},
+      {"ct20stif", 52329, 2698463}, {"ex11", 16614, 1096948},
+      {"finan512", 74752, 596992},  {"gemat11", 4929, 33185},
+      {"goodwin", 7320, 324784},    {"lhr10", 10672, 232633},
+      {"lnsp3937", 3937, 25407},    {"memplus", 17758, 126150},
+      {"nasasrb", 54870, 2677324},  {"olafu", 16146, 1015156},
+      {"onetone2", 36057, 227628},  {"orani678", 2529, 90185},
+      {"raefsky3", 21200, 1488768}, {"raefsky4", 19779, 1328611},
+      {"rdist1", 4134, 94408},      {"rim", 22560, 1014951},
+      {"saylr4", 3564, 22316},      {"sherman3", 5005, 20033},
+      {"sherman5", 3312, 20793},    {"shyy161", 76480, 329762},
+      {"venkat01", 62424, 1717792}, {"vibrobox", 12328, 342828},
+      {"wang3", 26064, 177168},     {"wang4", 26068, 177196},
+  };
+  return Suite;
+}
+
+Tensor buildSuiteMatrix(const MatrixSpec &Spec, Rng &R) {
+  // A + Aᵀ roughly doubles the entry count; target half so the
+  // symmetrized matrix matches the spec's nnz.
+  Tensor A = generateSparseMatrix(Spec.Dimension, Spec.Dimension,
+                                  std::max<int64_t>(1, Spec.Nonzeros / 2),
+                                  R, TensorFormat::csf(2));
+  return symmetrizeMatrix(A);
+}
+
+} // namespace systec

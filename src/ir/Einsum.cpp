@@ -1,0 +1,334 @@
+//===- ir/Einsum.cpp ------------------------------------------*- C++ -*-===//
+
+#include "ir/Einsum.h"
+
+#include "support/Error.h"
+#include "support/StringUtils.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cctype>
+#include <sstream>
+
+namespace systec {
+
+TensorFormat TensorFormat::dense(unsigned Order) {
+  TensorFormat F;
+  F.Levels.assign(Order, LevelKind::Dense);
+  return F;
+}
+
+TensorFormat TensorFormat::csf(unsigned Order) {
+  assert(Order >= 1 && "csf needs at least one mode");
+  TensorFormat F;
+  F.Levels.assign(Order, LevelKind::Sparse);
+  F.Levels[0] = LevelKind::Dense;
+  return F;
+}
+
+bool TensorFormat::isAllDense() const {
+  for (LevelKind L : Levels)
+    if (L != LevelKind::Dense)
+      return false;
+  return true;
+}
+
+bool TensorFormat::hasSparseLevels() const {
+  for (LevelKind L : Levels)
+    if (L == LevelKind::Sparse || L == LevelKind::RunLength ||
+        L == LevelKind::Banded)
+      return true;
+  return false;
+}
+
+std::string TensorFormat::str() const {
+  std::string Out;
+  const char *Close = "";
+  for (LevelKind L : Levels) {
+    switch (L) {
+    case LevelKind::Dense:
+      Out += "Dense(";
+      break;
+    case LevelKind::Sparse:
+      Out += "Sparse(";
+      break;
+    case LevelKind::RunLength:
+      Out += "RunLength(";
+      break;
+    case LevelKind::Banded:
+      Out += "Banded(";
+      break;
+    }
+    Close = ")";
+    (void)Close;
+  }
+  Out += "Element(0.0)";
+  for (size_t I = 0; I < Levels.size(); ++I)
+    Out += ")";
+  return Out;
+}
+
+TensorDecl &Einsum::declare(const std::string &Tensor, TensorFormat Format,
+                            double Fill) {
+  TensorDecl &D = Decls[Tensor];
+  D.Name = Tensor;
+  D.Format = std::move(Format);
+  D.Order = D.Format.order();
+  D.Fill = Fill;
+  if (D.Symmetry.order() != D.Order)
+    D.Symmetry = Partition::none(D.Order);
+  return D;
+}
+
+void Einsum::setSymmetry(const std::string &Tensor, Partition Sym) {
+  auto It = Decls.find(Tensor);
+  if (It == Decls.end())
+    fatalError("setSymmetry: unknown tensor " + Tensor);
+  if (Sym.order() != It->second.Order)
+    fatalError("setSymmetry: partition order mismatch for " + Tensor);
+  It->second.Symmetry = std::move(Sym);
+}
+
+const TensorDecl &Einsum::decl(const std::string &Tensor) const {
+  auto It = Decls.find(Tensor);
+  if (It == Decls.end())
+    fatalError("unknown tensor " + Tensor);
+  return It->second;
+}
+
+const std::vector<std::string> &Einsum::outputIndices() const {
+  return Output->indices();
+}
+
+std::vector<std::string> Einsum::allIndices() const {
+  std::vector<std::string> Result;
+  auto AddUnique = [&Result](const std::string &Name) {
+    if (std::find(Result.begin(), Result.end(), Name) == Result.end())
+      Result.push_back(Name);
+  };
+  for (const std::string &I : Output->indices())
+    AddUnique(I);
+  std::vector<std::string> RhsIdx;
+  Expr::collectIndices(Rhs, RhsIdx);
+  for (const std::string &I : RhsIdx)
+    AddUnique(I);
+  return Result;
+}
+
+std::vector<std::string> Einsum::contractionIndices() const {
+  std::vector<std::string> Result;
+  const std::vector<std::string> &Outs = Output->indices();
+  for (const std::string &I : allIndices())
+    if (std::find(Outs.begin(), Outs.end(), I) == Outs.end())
+      Result.push_back(I);
+  return Result;
+}
+
+std::string Einsum::str() const {
+  std::string OpTok;
+  switch (ReduceOp) {
+  case OpKind::Add:
+    OpTok = "+=";
+    break;
+  case OpKind::Mul:
+    OpTok = "*=";
+    break;
+  default:
+    OpTok = std::string(opInfo(ReduceOp).Name) + "=";
+    break;
+  }
+  return Output->str() + " " + OpTok + " " + Rhs->str();
+}
+
+namespace {
+
+/// Minimal recursive-descent parser for einsum text.
+class EinsumParser {
+public:
+  EinsumParser(const std::string &Text) : Text(Text) {}
+
+  Einsum parse(const std::string &Name) {
+    Einsum E;
+    E.Name = Name;
+    ExprPtr Out = parseAccess();
+    skipSpace();
+    E.ReduceOp = parseReduceTok();
+    E.Rhs = parseAdditive();
+    skipSpace();
+    if (Pos != Text.size())
+      fatalError("einsum syntax: trailing input at '" + Text.substr(Pos) +
+                 "'");
+    E.Output = Out;
+    // Auto-declare tensors densely; clients refine formats afterwards.
+    declareFrom(E, Out, /*IsOutput=*/true);
+    std::vector<ExprPtr> Accesses;
+    Expr::collectAccesses(E.Rhs, Accesses);
+    for (const ExprPtr &A : Accesses)
+      declareFrom(E, A, /*IsOutput=*/false);
+    // Default loop order: contraction indices then output indices,
+    // outermost-first in reverse appearance order; clients usually
+    // override.
+    std::vector<std::string> All = E.allIndices();
+    E.LoopOrder.assign(All.rbegin(), All.rend());
+    return E;
+  }
+
+private:
+  void declareFrom(Einsum &E, const ExprPtr &A, bool IsOutput) {
+    auto It = E.Decls.find(A->tensorName());
+    if (It != E.Decls.end()) {
+      if (It->second.Order != A->indices().size())
+        fatalError("tensor " + A->tensorName() +
+                   " used with inconsistent arity");
+      It->second.IsOutput |= IsOutput;
+      return;
+    }
+    TensorDecl &D = E.declare(
+        A->tensorName(),
+        TensorFormat::dense(static_cast<unsigned>(A->indices().size())));
+    D.IsOutput = IsOutput;
+  }
+
+  void skipSpace() {
+    while (Pos < Text.size() &&
+           std::isspace(static_cast<unsigned char>(Text[Pos])))
+      ++Pos;
+  }
+
+  bool consume(const std::string &Tok) {
+    skipSpace();
+    if (Text.compare(Pos, Tok.size(), Tok) == 0) {
+      Pos += Tok.size();
+      return true;
+    }
+    return false;
+  }
+
+  std::string parseIdent() {
+    skipSpace();
+    size_t Start = Pos;
+    while (Pos < Text.size() &&
+           (std::isalnum(static_cast<unsigned char>(Text[Pos])) ||
+            Text[Pos] == '_'))
+      ++Pos;
+    if (Pos == Start)
+      fatalError("einsum syntax: expected identifier at '" +
+                 Text.substr(Start) + "'");
+    return Text.substr(Start, Pos - Start);
+  }
+
+  ExprPtr parseAccess() {
+    std::string Tensor = parseIdent();
+    if (!consume("["))
+      fatalError("einsum syntax: expected '[' after " + Tensor);
+    std::vector<std::string> Indices;
+    skipSpace();
+    if (!consume("]")) {
+      while (true) {
+        Indices.push_back(parseIdent());
+        if (consume("]"))
+          break;
+        if (!consume(","))
+          fatalError("einsum syntax: expected ',' or ']' in access");
+      }
+    }
+    return Expr::access(std::move(Tensor), std::move(Indices));
+  }
+
+  OpKind parseReduceTok() {
+    if (consume("+="))
+      return OpKind::Add;
+    if (consume("*="))
+      return OpKind::Mul;
+    if (consume("min="))
+      return OpKind::Min;
+    if (consume("max="))
+      return OpKind::Max;
+    if (consume("="))
+      return OpKind::Add; // plain '=' treated as += into a zero output
+    fatalError("einsum syntax: expected an assignment operator");
+  }
+
+  ExprPtr parseAdditive() {
+    ExprPtr Lhs = parseMultiplicative();
+    std::vector<ExprPtr> Terms{Lhs};
+    while (consume("+"))
+      Terms.push_back(parseMultiplicative());
+    if (Terms.size() == 1)
+      return Terms[0];
+    return Expr::call(OpKind::Add, std::move(Terms));
+  }
+
+  ExprPtr parseMultiplicative() {
+    ExprPtr Lhs = parsePrimary();
+    std::vector<ExprPtr> Factors{Lhs};
+    while (consume("*"))
+      Factors.push_back(parsePrimary());
+    if (Factors.size() == 1)
+      return Factors[0];
+    return Expr::call(OpKind::Mul, std::move(Factors));
+  }
+
+  ExprPtr parsePrimary() {
+    skipSpace();
+    if (Pos < Text.size() &&
+        (std::isdigit(static_cast<unsigned char>(Text[Pos])) ||
+         Text[Pos] == '.')) {
+      size_t End = Pos;
+      while (End < Text.size() &&
+             (std::isdigit(static_cast<unsigned char>(Text[End])) ||
+              Text[End] == '.' || Text[End] == 'e' || Text[End] == '-'))
+        ++End;
+      double Value = std::stod(Text.substr(Pos, End - Pos));
+      Pos = End;
+      return Expr::lit(Value);
+    }
+    if (consume("(")) {
+      ExprPtr E = parseAdditive();
+      if (!consume(")"))
+        fatalError("einsum syntax: expected ')'");
+      return E;
+    }
+    // "min(" / "max(" calls, else a tensor access.
+    size_t Save = Pos;
+    std::string Ident = parseIdent();
+    if ((Ident == "min" || Ident == "max") && consume("(")) {
+      std::vector<ExprPtr> Args;
+      Args.push_back(parseAdditive());
+      while (consume(","))
+        Args.push_back(parseAdditive());
+      if (!consume(")"))
+        fatalError("einsum syntax: expected ')' after " + Ident);
+      return Expr::call(Ident == "min" ? OpKind::Min : OpKind::Max,
+                        std::move(Args));
+    }
+    Pos = Save;
+    return parseAccess();
+  }
+
+  const std::string &Text;
+  size_t Pos = 0;
+};
+
+} // namespace
+
+Einsum parseEinsum(const std::string &Name, const std::string &Text) {
+  return EinsumParser(Text).parse(Name);
+}
+
+std::map<std::string, std::vector<std::pair<std::string, unsigned>>>
+indexSites(const Einsum &E) {
+  std::map<std::string, std::vector<std::pair<std::string, unsigned>>> Sites;
+  auto Record = [&Sites](const ExprPtr &A) {
+    for (unsigned M = 0; M < A->indices().size(); ++M)
+      Sites[A->indices()[M]].push_back({A->tensorName(), M});
+  };
+  Record(E.Output);
+  std::vector<ExprPtr> Accesses;
+  Expr::collectAccesses(E.Rhs, Accesses);
+  for (const ExprPtr &A : Accesses)
+    Record(A);
+  return Sites;
+}
+
+} // namespace systec

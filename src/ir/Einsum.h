@@ -1,0 +1,112 @@
+//===- ir/Einsum.h - Tensor assignment specifications ---------*- C++ -*-===//
+///
+/// \file
+/// The compiler's input language: a single pointwise einsum assignment
+/// `O[outs] op= e(T1[..], ..., Tm[..])` together with per-tensor
+/// declarations (storage format, fill value, symmetry partition) and a
+/// loop order — exactly the contract of the paper's Section 4 ("given an
+/// assignment and a map of input tensors that are known to be symmetric
+/// and the partitions that represent their symmetries").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SYSTEC_IR_EINSUM_H
+#define SYSTEC_IR_EINSUM_H
+
+#include "ir/Expr.h"
+#include "symmetry/Partition.h"
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace systec {
+
+/// Storage level kinds, top level first (column-major fibertree: the
+/// *last* index of an access is the top level, like Finch).
+enum class LevelKind { Dense, Sparse, RunLength, Banded };
+
+/// A tensor storage format: one level per mode, ordered top (last mode)
+/// to bottom (first mode).
+struct TensorFormat {
+  std::vector<LevelKind> Levels;
+
+  /// All-dense format of the given order.
+  static TensorFormat dense(unsigned Order);
+  /// Dense top level, Sparse below: CSC for matrices (paper:
+  /// Dense(Sparse(Element))), CSF for higher orders
+  /// (Dense(Sparse(Sparse(...)))).
+  static TensorFormat csf(unsigned Order);
+
+  unsigned order() const { return static_cast<unsigned>(Levels.size()); }
+  bool isAllDense() const;
+  bool hasSparseLevels() const;
+  std::string str() const;
+
+  bool operator==(const TensorFormat &Other) const {
+    return Levels == Other.Levels;
+  }
+};
+
+/// Declaration of one tensor appearing in an einsum.
+struct TensorDecl {
+  std::string Name;
+  unsigned Order = 0;
+  TensorFormat Format;
+  double Fill = 0.0;
+  /// Known symmetry (Definition 2.2); Partition::none if asymmetric.
+  Partition Symmetry;
+  bool IsOutput = false;
+};
+
+/// A single tensor assignment plus declarations: the compiler input.
+struct Einsum {
+  std::string Name;
+  ExprPtr Output;                    ///< Access expression (may be 0-d)
+  OpKind ReduceOp = OpKind::Add;     ///< reduction into the output
+  ExprPtr Rhs;                       ///< pointwise expression
+  std::vector<std::string> LoopOrder;///< outermost loop first
+  std::map<std::string, TensorDecl> Decls;
+
+  /// Declares or updates a tensor. Returns a reference for chaining.
+  TensorDecl &declare(const std::string &Tensor, TensorFormat Format,
+                      double Fill = 0.0);
+
+  /// Marks \p Tensor symmetric with \p Sym.
+  void setSymmetry(const std::string &Tensor, Partition Sym);
+
+  const TensorDecl &decl(const std::string &Tensor) const;
+
+  /// Output index names in access order.
+  const std::vector<std::string> &outputIndices() const;
+
+  /// All distinct index names (output then contraction), in order of
+  /// first appearance.
+  std::vector<std::string> allIndices() const;
+
+  /// Indices that do not appear in the output (reduction indices).
+  std::vector<std::string> contractionIndices() const;
+
+  /// Renders like "C[i, j] += A[i, k, l] * B[k, j] * B[l, j]".
+  std::string str() const;
+};
+
+/// Parses an einsum from text such as
+///   "C[i,j] += A[i,k,l] * B[k,j] * B[l,j]"
+///   "y[i] min= A[i,j] + d[j]"
+/// Supported reduce tokens: "=", "+=", "*=", "min=", "max=".
+/// The rhs supports `+` and `*` with usual precedence, `min(a,b)` /
+/// `max(a,b)` calls, numeric literals, and tensor accesses. Tensors are
+/// auto-declared with dense formats; callers adjust formats and
+/// symmetries afterwards. Aborts on syntax errors (tool input).
+Einsum parseEinsum(const std::string &Name, const std::string &Text);
+
+/// Infers each index's dimension sites: tensor/mode pairs where the
+/// index appears, used by harnesses to check shape agreement.
+std::map<std::string, std::vector<std::pair<std::string, unsigned>>>
+indexSites(const Einsum &E);
+
+} // namespace systec
+
+#endif // SYSTEC_IR_EINSUM_H

@@ -1,0 +1,298 @@
+//===- ir/Expr.cpp --------------------------------------------*- C++ -*-===//
+
+#include "ir/Expr.h"
+
+#include "support/Error.h"
+#include "support/StringUtils.h"
+
+#include <cassert>
+#include <sstream>
+
+namespace systec {
+
+ExprPtr Expr::lit(double Value) {
+  auto E = std::shared_ptr<Expr>(new Expr());
+  E->Kind = ExprKind::Literal;
+  E->Value = Value;
+  return E;
+}
+
+ExprPtr Expr::scalar(std::string Name) {
+  assert(!Name.empty() && "scalar needs a name");
+  auto E = std::shared_ptr<Expr>(new Expr());
+  E->Kind = ExprKind::Scalar;
+  E->Name = std::move(Name);
+  return E;
+}
+
+ExprPtr Expr::access(std::string Tensor, std::vector<std::string> Indices) {
+  assert(!Tensor.empty() && "access needs a tensor name");
+  auto E = std::shared_ptr<Expr>(new Expr());
+  E->Kind = ExprKind::Access;
+  E->Name = std::move(Tensor);
+  E->Indices = std::move(Indices);
+  return E;
+}
+
+ExprPtr Expr::call(OpKind Op, std::vector<ExprPtr> Args) {
+  assert(!Args.empty() && "call needs arguments");
+  if (Args.size() == 1)
+    return Args[0];
+  auto E = std::shared_ptr<Expr>(new Expr());
+  E->Kind = ExprKind::Call;
+  E->Op = Op;
+  if (opInfo(Op).Associative) {
+    // Flatten nested calls of the same associative operator so operand
+    // normalization sees one argument list.
+    for (const ExprPtr &A : Args) {
+      if (A->kind() == ExprKind::Call && A->op() == Op)
+        E->Args.insert(E->Args.end(), A->args().begin(), A->args().end());
+      else
+        E->Args.push_back(A);
+    }
+  } else {
+    E->Args = std::move(Args);
+  }
+  return E;
+}
+
+ExprPtr Expr::lut(std::vector<CmpAtom> Bits, std::vector<double> Table) {
+  assert(Table.size() == (1ull << Bits.size()) &&
+         "lookup table must have one entry per bit pattern");
+  auto E = std::shared_ptr<Expr>(new Expr());
+  E->Kind = ExprKind::Lut;
+  E->Bits = std::move(Bits);
+  E->Table = std::move(Table);
+  return E;
+}
+
+double Expr::literalValue() const {
+  assert(Kind == ExprKind::Literal && "not a literal");
+  return Value;
+}
+
+const std::string &Expr::scalarName() const {
+  assert(Kind == ExprKind::Scalar && "not a scalar");
+  return Name;
+}
+
+const std::string &Expr::tensorName() const {
+  assert(Kind == ExprKind::Access && "not an access");
+  return Name;
+}
+
+const std::vector<std::string> &Expr::indices() const {
+  assert(Kind == ExprKind::Access && "not an access");
+  return Indices;
+}
+
+OpKind Expr::op() const {
+  assert(Kind == ExprKind::Call && "not a call");
+  return Op;
+}
+
+const std::vector<ExprPtr> &Expr::args() const {
+  assert(Kind == ExprKind::Call && "not a call");
+  return Args;
+}
+
+const std::vector<CmpAtom> &Expr::lutBits() const {
+  assert(Kind == ExprKind::Lut && "not a lut");
+  return Bits;
+}
+
+const std::vector<double> &Expr::lutTable() const {
+  assert(Kind == ExprKind::Lut && "not a lut");
+  return Table;
+}
+
+std::string Expr::str() const {
+  switch (Kind) {
+  case ExprKind::Literal:
+    return formatDouble(Value);
+  case ExprKind::Scalar:
+    return Name;
+  case ExprKind::Access:
+    return Name + "[" + join(Indices, ", ") + "]";
+  case ExprKind::Call: {
+    const OpInfo &Info = opInfo(Op);
+    std::ostringstream OS;
+    bool Infix = Info.Name[0] == '+' || Info.Name[0] == '*' ||
+                 Info.Name[0] == '-' || Info.Name[0] == '/';
+    if (Infix) {
+      for (size_t I = 0; I < Args.size(); ++I) {
+        if (I)
+          OS << " " << Info.Name << " ";
+        bool Paren = Args[I]->kind() == ExprKind::Call;
+        if (Paren)
+          OS << "(";
+        OS << Args[I]->str();
+        if (Paren)
+          OS << ")";
+      }
+    } else {
+      OS << Info.Name << "(";
+      for (size_t I = 0; I < Args.size(); ++I) {
+        if (I)
+          OS << ", ";
+        OS << Args[I]->str();
+      }
+      OS << ")";
+    }
+    return OS.str();
+  }
+  case ExprKind::Lut: {
+    std::ostringstream OS;
+    OS << "lut[";
+    for (size_t I = 0; I < Bits.size(); ++I) {
+      if (I)
+        OS << ", ";
+      OS << Bits[I].str();
+    }
+    OS << "](";
+    for (size_t I = 0; I < Table.size(); ++I) {
+      if (I)
+        OS << ", ";
+      OS << formatDouble(Table[I]);
+    }
+    OS << ")";
+    return OS.str();
+  }
+  }
+  unreachable("unknown expression kind");
+}
+
+bool Expr::equal(const ExprPtr &A, const ExprPtr &B) {
+  if (A.get() == B.get())
+    return true;
+  if (A->Kind != B->Kind)
+    return false;
+  switch (A->Kind) {
+  case ExprKind::Literal:
+    return A->Value == B->Value;
+  case ExprKind::Scalar:
+    return A->Name == B->Name;
+  case ExprKind::Access:
+    return A->Name == B->Name && A->Indices == B->Indices;
+  case ExprKind::Call: {
+    if (A->Op != B->Op || A->Args.size() != B->Args.size())
+      return false;
+    for (size_t I = 0; I < A->Args.size(); ++I)
+      if (!equal(A->Args[I], B->Args[I]))
+        return false;
+    return true;
+  }
+  case ExprKind::Lut:
+    return A->Bits == B->Bits && A->Table == B->Table;
+  }
+  unreachable("unknown expression kind");
+}
+
+ExprPtr Expr::renameIndices(
+    const ExprPtr &E,
+    const std::function<std::string(const std::string &)> &Map) {
+  switch (E->Kind) {
+  case ExprKind::Literal:
+  case ExprKind::Scalar:
+    return E;
+  case ExprKind::Access: {
+    std::vector<std::string> NewIdx;
+    NewIdx.reserve(E->Indices.size());
+    for (const std::string &I : E->Indices)
+      NewIdx.push_back(Map(I));
+    return access(E->Name, std::move(NewIdx));
+  }
+  case ExprKind::Call: {
+    std::vector<ExprPtr> NewArgs;
+    NewArgs.reserve(E->Args.size());
+    for (const ExprPtr &A : E->Args)
+      NewArgs.push_back(renameIndices(A, Map));
+    return call(E->Op, std::move(NewArgs));
+  }
+  case ExprKind::Lut: {
+    std::vector<CmpAtom> NewBits;
+    for (const CmpAtom &B : E->Bits)
+      NewBits.push_back(CmpAtom{B.Kind, Map(B.Lhs), Map(B.Rhs)});
+    return lut(std::move(NewBits), E->Table);
+  }
+  }
+  unreachable("unknown expression kind");
+}
+
+ExprPtr Expr::renameTensors(
+    const ExprPtr &E,
+    const std::function<std::string(const std::string &)> &Map) {
+  switch (E->Kind) {
+  case ExprKind::Literal:
+  case ExprKind::Scalar:
+  case ExprKind::Lut:
+    return E;
+  case ExprKind::Access:
+    return access(Map(E->Name), E->Indices);
+  case ExprKind::Call: {
+    std::vector<ExprPtr> NewArgs;
+    NewArgs.reserve(E->Args.size());
+    for (const ExprPtr &A : E->Args)
+      NewArgs.push_back(renameTensors(A, Map));
+    return call(E->Op, std::move(NewArgs));
+  }
+  }
+  unreachable("unknown expression kind");
+}
+
+void Expr::collectAccesses(const ExprPtr &E, std::vector<ExprPtr> &Out) {
+  switch (E->Kind) {
+  case ExprKind::Access:
+    Out.push_back(E);
+    return;
+  case ExprKind::Call:
+    for (const ExprPtr &A : E->Args)
+      collectAccesses(A, Out);
+    return;
+  default:
+    return;
+  }
+}
+
+void Expr::collectIndices(const ExprPtr &E, std::vector<std::string> &Out) {
+  switch (E->Kind) {
+  case ExprKind::Access:
+    for (const std::string &I : E->Indices)
+      Out.push_back(I);
+    return;
+  case ExprKind::Call:
+    for (const ExprPtr &A : E->Args)
+      collectIndices(A, Out);
+    return;
+  case ExprKind::Lut:
+    for (const CmpAtom &B : E->Bits) {
+      Out.push_back(B.Lhs);
+      Out.push_back(B.Rhs);
+    }
+    return;
+  default:
+    return;
+  }
+}
+
+ExprPtr Expr::replace(const ExprPtr &E, const ExprPtr &From,
+                      const ExprPtr &To) {
+  if (equal(E, From))
+    return To;
+  if (E->Kind == ExprKind::Call) {
+    std::vector<ExprPtr> NewArgs;
+    NewArgs.reserve(E->Args.size());
+    bool Changed = false;
+    for (const ExprPtr &A : E->Args) {
+      ExprPtr NewA = replace(A, From, To);
+      Changed |= NewA.get() != A.get();
+      NewArgs.push_back(std::move(NewA));
+    }
+    if (!Changed)
+      return E;
+    return call(E->Op, std::move(NewArgs));
+  }
+  return E;
+}
+
+} // namespace systec

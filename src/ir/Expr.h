@@ -1,0 +1,115 @@
+//===- ir/Expr.h - Expression trees ---------------------------*- C++ -*-===//
+///
+/// \file
+/// Immutable expression trees for the right-hand sides of tensor
+/// assignments. The tree is deliberately small: literals, index
+/// variables, scalar temporaries, tensor accesses, operator calls, and
+/// the lookup-table node introduced by the simplicial lookup table
+/// transform (paper 4.2.5). Nodes are shared via shared_ptr and never
+/// mutated; all transforms build new trees.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SYSTEC_IR_EXPR_H
+#define SYSTEC_IR_EXPR_H
+
+#include "ir/Cond.h"
+#include "ir/Ops.h"
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace systec {
+
+class Expr;
+using ExprPtr = std::shared_ptr<const Expr>;
+
+/// Expression node kinds.
+enum class ExprKind {
+  Literal, ///< double constant
+  Scalar,  ///< named scalar temporary (from DefScalar)
+  Access,  ///< Tensor[i1, ..., in]; empty index list = 0-d tensor
+  Call,    ///< Op(args...)
+  Lut,     ///< lookup table over equality-pattern bits (paper 4.2.5)
+};
+
+/// An immutable expression node.
+class Expr {
+public:
+  /// Creates a literal constant.
+  static ExprPtr lit(double Value);
+  /// Creates a reference to a scalar temporary or index value.
+  static ExprPtr scalar(std::string Name);
+  /// Creates a tensor access A[i, j, ...].
+  static ExprPtr access(std::string Tensor, std::vector<std::string> Indices);
+  /// Creates an operator call; flattens nested calls of the same
+  /// associative operator.
+  static ExprPtr call(OpKind Op, std::vector<ExprPtr> Args);
+  /// Creates a lookup-table node: the value is Table[idx] where idx is
+  /// the bitmask of which equality atoms hold.
+  static ExprPtr lut(std::vector<CmpAtom> Bits, std::vector<double> Table);
+
+  ExprKind kind() const { return Kind; }
+
+  // Literal.
+  double literalValue() const;
+  // Scalar.
+  const std::string &scalarName() const;
+  // Access.
+  const std::string &tensorName() const;
+  const std::vector<std::string> &indices() const;
+  // Call.
+  OpKind op() const;
+  const std::vector<ExprPtr> &args() const;
+  // Lut.
+  const std::vector<CmpAtom> &lutBits() const;
+  const std::vector<double> &lutTable() const;
+
+  /// Renders the expression, e.g. "A[i, k, l] * B[k, j]".
+  std::string str() const;
+
+  /// Structural equality.
+  static bool equal(const ExprPtr &A, const ExprPtr &B);
+
+  /// Rewrites index names via simultaneous substitution; applies to
+  /// Access indices and Lut bits.
+  static ExprPtr renameIndices(
+      const ExprPtr &E,
+      const std::function<std::string(const std::string &)> &Map);
+
+  /// Renames tensors (used by concordization and diagonal splitting).
+  static ExprPtr renameTensors(
+      const ExprPtr &E,
+      const std::function<std::string(const std::string &)> &Map);
+
+  /// Collects tensor accesses in preorder.
+  static void collectAccesses(const ExprPtr &E, std::vector<ExprPtr> &Out);
+
+  /// Collects all index names used by accesses/luts.
+  static void collectIndices(const ExprPtr &E,
+                             std::vector<std::string> &Out);
+
+  /// Replaces every subexpression structurally equal to \p From with
+  /// \p To.
+  static ExprPtr replace(const ExprPtr &E, const ExprPtr &From,
+                         const ExprPtr &To);
+
+private:
+  Expr() = default;
+
+  ExprKind Kind = ExprKind::Literal;
+  double Value = 0;
+  std::string Name;                 // Scalar name or Access tensor name
+  std::vector<std::string> Indices; // Access
+  OpKind Op = OpKind::Add;          // Call
+  std::vector<ExprPtr> Args;        // Call
+  std::vector<CmpAtom> Bits;        // Lut
+  std::vector<double> Table;        // Lut
+};
+
+} // namespace systec
+
+#endif // SYSTEC_IR_EXPR_H

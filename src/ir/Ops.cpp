@@ -1,0 +1,65 @@
+//===- ir/Ops.cpp ---------------------------------------------*- C++ -*-===//
+
+#include "ir/Ops.h"
+
+#include "support/Error.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace systec {
+
+static constexpr double Inf = std::numeric_limits<double>::infinity();
+
+const OpInfo &opInfo(OpKind Op) {
+  static const OpInfo Infos[] = {
+      /*Add*/ {"+", "add", true, true, false, 0.0, std::nullopt},
+      /*Mul*/ {"*", "mul", true, true, false, 1.0, 0.0},
+      /*Sub*/ {"-", "sub", false, false, false, 0.0, std::nullopt},
+      /*Div*/ {"/", "div", false, false, false, 1.0, std::nullopt},
+      /*Min*/ {"min", "min", true, true, true, Inf, -Inf},
+      /*Max*/ {"max", "max", true, true, true, -Inf, Inf},
+  };
+  return Infos[static_cast<int>(Op)];
+}
+
+double evalOp(OpKind Op, double A, double B) {
+  switch (Op) {
+  case OpKind::Add:
+    return A + B;
+  case OpKind::Mul:
+    return A * B;
+  case OpKind::Sub:
+    return A - B;
+  case OpKind::Div:
+    return A / B;
+  case OpKind::Min:
+    return std::min(A, B);
+  case OpKind::Max:
+    return std::max(A, B);
+  }
+  unreachable("unknown operator kind");
+}
+
+bool isReductionOp(OpKind Op) {
+  const OpInfo &Info = opInfo(Op);
+  return Info.Commutative && Info.Associative;
+}
+
+std::optional<OpKind> parseOp(const std::string &Text) {
+  if (Text == "+")
+    return OpKind::Add;
+  if (Text == "*")
+    return OpKind::Mul;
+  if (Text == "-")
+    return OpKind::Sub;
+  if (Text == "/")
+    return OpKind::Div;
+  if (Text == "min")
+    return OpKind::Min;
+  if (Text == "max")
+    return OpKind::Max;
+  return std::nullopt;
+}
+
+} // namespace systec

@@ -1,0 +1,60 @@
+//===- ir/Ops.h - Operator algebra ----------------------------*- C++ -*-===//
+///
+/// \file
+/// Scalar operators with the algebraic properties the compiler reasons
+/// about. SySTeC is "easily extensible to general operators beyond + and
+/// *" (paper contribution 3); the Bellman-Ford update uses the (min,+)
+/// semiring. Each operator records commutativity, associativity,
+/// idempotence, its identity element, and its annihilator if any. The
+/// identity drives workspace initialization and sparse-fill soundness;
+/// idempotence drives distributive assignment grouping (duplicate
+/// updates collapse without a scale factor).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SYSTEC_IR_OPS_H
+#define SYSTEC_IR_OPS_H
+
+#include <optional>
+#include <string>
+
+namespace systec {
+
+/// Scalar operator kinds usable in expressions and reductions.
+enum class OpKind {
+  Add,
+  Mul,
+  Sub,
+  Div,
+  Min,
+  Max,
+};
+
+/// Algebraic metadata for an operator.
+struct OpInfo {
+  const char *Name;       ///< surface syntax, e.g. "+"
+  const char *Ident;      ///< identifier-safe name, e.g. "add"
+  bool Commutative;
+  bool Associative;
+  bool Idempotent;        ///< op(x, x) == x
+  double Identity;        ///< op(x, Identity) == x (for reductions)
+  std::optional<double> Annihilator; ///< op(x, A) == A for all x
+};
+
+/// Metadata lookup for \p Op.
+const OpInfo &opInfo(OpKind Op);
+
+/// Evaluates the binary operator.
+double evalOp(OpKind Op, double A, double B);
+
+/// True if \p Op may be used as a reduction operator (associative and
+/// commutative with an identity).
+bool isReductionOp(OpKind Op);
+
+/// Parses "+", "*", "min", "max", "-", "/". Returns std::nullopt on
+/// unknown text.
+std::optional<OpKind> parseOp(const std::string &Text);
+
+} // namespace systec
+
+#endif // SYSTEC_IR_OPS_H

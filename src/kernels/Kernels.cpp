@@ -1,0 +1,85 @@
+//===- kernels/Kernels.cpp ------------------------------------*- C++ -*-===//
+
+#include "kernels/Kernels.h"
+
+#include "support/Error.h"
+
+#include <cassert>
+#include <limits>
+
+namespace systec {
+
+Einsum makeSsymv() {
+  Einsum E = parseEinsum("ssymv", "y[i] += A[i,j] * x[j]");
+  E.LoopOrder = {"j", "i"};
+  E.declare("A", TensorFormat::csf(2));
+  E.setSymmetry("A", Partition::full(2));
+  E.declare("x", TensorFormat::dense(1));
+  E.declare("y", TensorFormat::dense(1));
+  return E;
+}
+
+Einsum makeBellmanFord() {
+  Einsum E = parseEinsum("bellmanford", "y[i] min= A[i,j] + d[j]");
+  E.LoopOrder = {"j", "i"};
+  E.declare("A", TensorFormat::csf(2),
+            std::numeric_limits<double>::infinity());
+  E.setSymmetry("A", Partition::full(2));
+  E.declare("d", TensorFormat::dense(1));
+  E.declare("y", TensorFormat::dense(1),
+            std::numeric_limits<double>::infinity());
+  return E;
+}
+
+Einsum makeSyprd() {
+  Einsum E = parseEinsum("syprd", "y[] += x[i] * A[i,j] * x[j]");
+  E.LoopOrder = {"j", "i"};
+  E.declare("A", TensorFormat::csf(2));
+  E.setSymmetry("A", Partition::full(2));
+  E.declare("x", TensorFormat::dense(1));
+  return E;
+}
+
+Einsum makeSsyrk() {
+  Einsum E = parseEinsum("ssyrk", "C[i,j] += A[i,k] * A[j,k]");
+  E.LoopOrder = {"k", "j", "i"};
+  E.declare("A", TensorFormat::csf(2));
+  E.declare("C", TensorFormat::dense(2));
+  return E;
+}
+
+Einsum makeTtm() {
+  Einsum E = parseEinsum("ttm", "C[i,j,l] += A[k,j,l] * B[k,i]");
+  E.LoopOrder = {"l", "k", "j", "i"};
+  E.declare("A", TensorFormat::csf(3));
+  E.setSymmetry("A", Partition::full(3));
+  E.declare("B", TensorFormat::dense(2));
+  E.declare("C", TensorFormat::dense(3));
+  return E;
+}
+
+Einsum makeMttkrp(unsigned Order) {
+  assert(Order >= 3 && Order <= 5 && "MTTKRP supports orders 3-5");
+  static const char *Contraction[] = {"k", "l", "m", "n"};
+  std::string Text = "C[i,j] += A[i";
+  for (unsigned M = 0; M + 1 < Order; ++M)
+    Text += std::string(",") + Contraction[M];
+  Text += "]";
+  for (unsigned M = 0; M + 1 < Order; ++M)
+    Text += std::string(" * B[") + Contraction[M] + ",j]";
+  Einsum E = parseEinsum("mttkrp" + std::to_string(Order), Text);
+  // Chain i <= k <= l <= ... ascends toward inner loops; j innermost
+  // over the dense rank.
+  E.LoopOrder.clear();
+  for (unsigned M = Order - 1; M >= 1; --M)
+    E.LoopOrder.push_back(Contraction[M - 1]);
+  E.LoopOrder.push_back("i");
+  E.LoopOrder.push_back("j");
+  E.declare("A", TensorFormat::csf(Order));
+  E.setSymmetry("A", Partition::full(Order));
+  E.declare("B", TensorFormat::dense(2));
+  E.declare("C", TensorFormat::dense(2));
+  return E;
+}
+
+} // namespace systec

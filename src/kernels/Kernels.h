@@ -1,0 +1,51 @@
+//===- kernels/Kernels.h - Paper kernel definitions -----------*- C++ -*-===//
+///
+/// \file
+/// Einsum definitions for every kernel in the paper's evaluation
+/// (Section 5.2), with the formats, fill values, symmetry annotations
+/// and loop orders the paper uses:
+///
+///   SSYMV        y[i]    += A[i,j] * x[j]          A sym CSC
+///   Bellman-Ford y[i]   min= A[i,j] + d[j]          A sym CSC, fill inf
+///   SYPRD        y[]     += x[i] * A[i,j] * x[j]    A sym CSC
+///   SSYRK        C[i,j]  += A[i,k] * A[j,k]         A unsym CSC, C sym
+///   TTM          C[i,j,l]+= A[k,j,l] * B[k,i]       A fully sym CSF
+///   MTTKRP-n     C[i,j]  += A[i,k,..] * prod B[.,j] A fully sym CSF
+///
+/// Loop orders are chosen so the canonical chains ascend toward inner
+/// loops and sparse accesses are concordant (column-major).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SYSTEC_KERNELS_KERNELS_H
+#define SYSTEC_KERNELS_KERNELS_H
+
+#include "ir/Einsum.h"
+
+namespace systec {
+
+/// Sparse symmetric matrix-vector multiply (paper 5.2.1, Figure 6).
+Einsum makeSsymv();
+
+/// Bellman-Ford relaxation step over the (min,+) semiring
+/// (paper 5.2.2, Figure 7).
+Einsum makeBellmanFord();
+
+/// Symmetric triple product y = x' A x (paper 5.2.3, Figure 8).
+Einsum makeSyprd();
+
+/// Symmetric rank-k update C = A A' (paper 5.2.4, Figure 9). A is not
+/// symmetric; C carries visible output symmetry.
+Einsum makeSsyrk();
+
+/// Mode-1 tensor-times-matrix with fully symmetric A
+/// (paper 5.2.5, Figure 10, Listing 1).
+Einsum makeTtm();
+
+/// Matricized tensor times Khatri-Rao product with fully symmetric A
+/// of the given order (3, 4, or 5; paper 5.2.6, Figure 11).
+Einsum makeMttkrp(unsigned Order);
+
+} // namespace systec
+
+#endif // SYSTEC_KERNELS_KERNELS_H

@@ -1,0 +1,95 @@
+//===- kernels/Oracle.cpp -------------------------------------*- C++ -*-===//
+
+#include "kernels/Oracle.h"
+
+#include "support/Error.h"
+
+#include <cassert>
+#include <functional>
+#include <vector>
+
+namespace systec {
+
+namespace {
+
+double evalExpr(const ExprPtr &E,
+                const std::map<std::string, const Tensor *> &Inputs,
+                const std::map<std::string, int64_t> &Env) {
+  switch (E->kind()) {
+  case ExprKind::Literal:
+    return E->literalValue();
+  case ExprKind::Scalar:
+    fatalError("oracle cannot evaluate scalar temporaries");
+  case ExprKind::Access: {
+    auto It = Inputs.find(E->tensorName());
+    if (It == Inputs.end())
+      fatalError("oracle: missing input " + E->tensorName());
+    std::vector<int64_t> Coords;
+    for (const std::string &I : E->indices())
+      Coords.push_back(Env.at(I));
+    return It->second->at(Coords);
+  }
+  case ExprKind::Call: {
+    double Acc = evalExpr(E->args()[0], Inputs, Env);
+    for (size_t A = 1; A < E->args().size(); ++A)
+      Acc = evalOp(E->op(), Acc, evalExpr(E->args()[A], Inputs, Env));
+    return Acc;
+  }
+  case ExprKind::Lut:
+    fatalError("oracle cannot evaluate lookup tables");
+  }
+  unreachable("unknown expression kind");
+}
+
+} // namespace
+
+Tensor oracleEval(const Einsum &E,
+                  const std::map<std::string, const Tensor *> &Inputs) {
+  // Infer extents from inputs.
+  std::map<std::string, int64_t> Extent;
+  std::vector<ExprPtr> Accesses;
+  Expr::collectAccesses(E.Rhs, Accesses);
+  for (const ExprPtr &A : Accesses) {
+    auto It = Inputs.find(A->tensorName());
+    if (It == Inputs.end())
+      fatalError("oracle: missing input " + A->tensorName());
+    for (unsigned M = 0; M < A->indices().size(); ++M) {
+      auto [EIt, New] =
+          Extent.insert({A->indices()[M], It->second->dim(M)});
+      if (!New && EIt->second != It->second->dim(M))
+        fatalError("oracle: inconsistent extents for " + A->indices()[M]);
+    }
+  }
+
+  std::vector<int64_t> OutDims;
+  for (const std::string &I : E.Output->indices())
+    OutDims.push_back(Extent.at(I));
+  if (OutDims.empty())
+    OutDims.push_back(1);
+  Tensor Out = Tensor::dense(OutDims, opInfo(E.ReduceOp).Identity);
+
+  std::vector<std::string> All = E.allIndices();
+  std::map<std::string, int64_t> Env;
+  std::vector<int64_t> OutCoords(std::max<size_t>(
+      E.Output->indices().size(), 1), 0);
+
+  std::function<void(size_t)> Walk = [&](size_t Depth) {
+    if (Depth == All.size()) {
+      double V = evalExpr(E.Rhs, Inputs, Env);
+      for (size_t M = 0; M < E.Output->indices().size(); ++M)
+        OutCoords[M] = Env.at(E.Output->indices()[M]);
+      double &Dst = Out.denseRef(OutCoords);
+      Dst = evalOp(E.ReduceOp, Dst, V);
+      return;
+    }
+    const std::string &I = All[Depth];
+    for (int64_t C = 0; C < Extent.at(I); ++C) {
+      Env[I] = C;
+      Walk(Depth + 1);
+    }
+  };
+  Walk(0);
+  return Out;
+}
+
+} // namespace systec

@@ -1,0 +1,30 @@
+//===- kernels/Oracle.h - Reference einsum evaluation ---------*- C++ -*-===//
+///
+/// \file
+/// An independent dense reference evaluator for einsums, used as the
+/// correctness oracle in tests: it loops over the full cartesian index
+/// space and evaluates the assignment with random-access reads, sharing
+/// no code with the compiler or the plan executor.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SYSTEC_KERNELS_ORACLE_H
+#define SYSTEC_KERNELS_ORACLE_H
+
+#include "ir/Einsum.h"
+#include "tensor/Tensor.h"
+
+#include <map>
+#include <string>
+
+namespace systec {
+
+/// Evaluates \p E over \p Inputs by brute force, returning the dense
+/// output (a one-element tensor for 0-d outputs). Extents are inferred
+/// from the inputs; inconsistent extents abort.
+Tensor oracleEval(const Einsum &E,
+                  const std::map<std::string, const Tensor *> &Inputs);
+
+} // namespace systec
+
+#endif // SYSTEC_KERNELS_ORACLE_H

@@ -1,0 +1,218 @@
+//===- rewrite/Rewrite.cpp ------------------------------------*- C++ -*-===//
+
+#include "rewrite/Rewrite.h"
+
+#include "support/Error.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+namespace systec {
+
+const ExprPtr &MatchBindings::operator[](const std::string &Slot) const {
+  auto It = Slots.find(Slot);
+  if (It == Slots.end())
+    fatalError("unbound slot " + Slot);
+  return It->second;
+}
+
+bool isSlotName(const std::string &Name) {
+  return !Name.empty() && Name[0] == '$';
+}
+
+static bool matchArgsInOrder(const std::vector<ExprPtr> &PatArgs,
+                             const std::vector<ExprPtr> &SubArgs,
+                             MatchBindings &Bindings) {
+  for (size_t I = 0; I < PatArgs.size(); ++I)
+    if (!matchExpr(PatArgs[I], SubArgs[I], Bindings))
+      return false;
+  return true;
+}
+
+bool matchExpr(const ExprPtr &Pattern, const ExprPtr &Subject,
+               MatchBindings &Bindings) {
+  if (Pattern->kind() == ExprKind::Scalar &&
+      isSlotName(Pattern->scalarName())) {
+    const std::string &Slot = Pattern->scalarName();
+    auto It = Bindings.Slots.find(Slot);
+    if (It != Bindings.Slots.end())
+      return Expr::equal(It->second, Subject);
+    Bindings.Slots[Slot] = Subject;
+    return true;
+  }
+  if (Pattern->kind() != Subject->kind())
+    return false;
+  switch (Pattern->kind()) {
+  case ExprKind::Literal:
+    return Pattern->literalValue() == Subject->literalValue();
+  case ExprKind::Scalar:
+    return Pattern->scalarName() == Subject->scalarName();
+  case ExprKind::Access:
+    return Pattern->tensorName() == Subject->tensorName() &&
+           Pattern->indices() == Subject->indices();
+  case ExprKind::Lut:
+    return Pattern->lutBits() == Subject->lutBits() &&
+           Pattern->lutTable() == Subject->lutTable();
+  case ExprKind::Call: {
+    if (Pattern->op() != Subject->op() ||
+        Pattern->args().size() != Subject->args().size())
+      return false;
+    const OpInfo &Info = opInfo(Pattern->op());
+    if (!Info.Commutative || Pattern->args().size() > 4)
+      return matchArgsInOrder(Pattern->args(), Subject->args(), Bindings);
+    // Commutative small-arity match: try permutations of subject args.
+    std::vector<size_t> Order(Subject->args().size());
+    std::iota(Order.begin(), Order.end(), 0);
+    do {
+      MatchBindings Trial = Bindings;
+      bool Ok = true;
+      for (size_t I = 0; I < Order.size() && Ok; ++I)
+        Ok = matchExpr(Pattern->args()[I], Subject->args()[Order[I]], Trial);
+      if (Ok) {
+        Bindings = std::move(Trial);
+        return true;
+      }
+    } while (std::next_permutation(Order.begin(), Order.end()));
+    return false;
+  }
+  }
+  unreachable("unknown expression kind");
+}
+
+std::optional<ExprPtr> Rule::apply(const ExprPtr &E) const {
+  MatchBindings Bindings;
+  if (!matchExpr(Pattern, E, Bindings))
+    return std::nullopt;
+  return Build(Bindings);
+}
+
+RuleSet &RuleSet::add(ExprPtr Pattern,
+                      std::function<ExprPtr(const MatchBindings &)> Build) {
+  Rules.push_back(Rule{std::move(Pattern), std::move(Build)});
+  return *this;
+}
+
+std::optional<ExprPtr> RuleSet::apply(const ExprPtr &E) const {
+  for (const Rule &R : Rules)
+    if (std::optional<ExprPtr> Out = R.apply(E))
+      return Out;
+  return std::nullopt;
+}
+
+Rewriter RuleSet::rewriter() const {
+  return [this](const ExprPtr &E) { return apply(E); };
+}
+
+ExprPtr postwalk(const ExprPtr &E, const Rewriter &Fn) {
+  ExprPtr Cur = E;
+  if (Cur->kind() == ExprKind::Call) {
+    std::vector<ExprPtr> NewArgs;
+    NewArgs.reserve(Cur->args().size());
+    bool Changed = false;
+    for (const ExprPtr &A : Cur->args()) {
+      ExprPtr NewA = postwalk(A, Fn);
+      Changed |= NewA.get() != A.get();
+      NewArgs.push_back(std::move(NewA));
+    }
+    if (Changed)
+      Cur = Expr::call(Cur->op(), std::move(NewArgs));
+  }
+  if (std::optional<ExprPtr> Out = Fn(Cur))
+    return *Out;
+  return Cur;
+}
+
+ExprPtr prewalk(const ExprPtr &E, const Rewriter &Fn) {
+  ExprPtr Cur = E;
+  for (unsigned Guard = 0; Guard < 64; ++Guard) {
+    std::optional<ExprPtr> Out = Fn(Cur);
+    if (!Out || Expr::equal(*Out, Cur))
+      break;
+    Cur = *Out;
+  }
+  if (Cur->kind() == ExprKind::Call) {
+    std::vector<ExprPtr> NewArgs;
+    NewArgs.reserve(Cur->args().size());
+    bool Changed = false;
+    for (const ExprPtr &A : Cur->args()) {
+      ExprPtr NewA = prewalk(A, Fn);
+      Changed |= NewA.get() != A.get();
+      NewArgs.push_back(std::move(NewA));
+    }
+    if (Changed)
+      Cur = Expr::call(Cur->op(), std::move(NewArgs));
+  }
+  return Cur;
+}
+
+ExprPtr rewriteFixpoint(const ExprPtr &E, const Rewriter &Fn,
+                        unsigned MaxIters) {
+  ExprPtr Cur = E;
+  for (unsigned I = 0; I < MaxIters; ++I) {
+    ExprPtr Next = postwalk(Cur, Fn);
+    if (Expr::equal(Next, Cur))
+      return Cur;
+    Cur = Next;
+  }
+  return Cur;
+}
+
+ExprPtr simplifyExpr(const ExprPtr &E) {
+  Rewriter Fn = [](const ExprPtr &Node) -> std::optional<ExprPtr> {
+    if (Node->kind() != ExprKind::Call)
+      return std::nullopt;
+    OpKind Op = Node->op();
+    const OpInfo &Info = opInfo(Op);
+    if (!Info.Associative || !Info.Commutative)
+      return std::nullopt;
+    // Fold literal arguments together; drop identities; detect
+    // annihilators.
+    std::vector<ExprPtr> Others;
+    bool HaveLit = false;
+    double Lit = Info.Identity;
+    for (const ExprPtr &A : Node->args()) {
+      if (A->kind() == ExprKind::Literal) {
+        Lit = HaveLit ? evalOp(Op, Lit, A->literalValue())
+                      : A->literalValue();
+        HaveLit = true;
+      } else {
+        Others.push_back(A);
+      }
+    }
+    if (!HaveLit)
+      return std::nullopt;
+    if (Info.Annihilator && Lit == *Info.Annihilator)
+      return Expr::lit(Lit);
+    bool LitIsIdentity = Lit == Info.Identity;
+    if (LitIsIdentity && Others.empty())
+      return Expr::lit(Lit);
+    if (LitIsIdentity && Others.size() == Node->args().size() - 1 &&
+        Node->args().back()->kind() != ExprKind::Literal &&
+        Node->args().front()->kind() != ExprKind::Literal) {
+      // Only literal(s) in the middle were folded away; still rebuild.
+      return Expr::call(Op, std::move(Others));
+    }
+    if (LitIsIdentity)
+      return Others.size() == 1 ? Others[0]
+                                : Expr::call(Op, std::move(Others));
+    if (Others.empty())
+      return Expr::lit(Lit);
+    // Canonical position: literal first.
+    std::vector<ExprPtr> NewArgs;
+    NewArgs.push_back(Expr::lit(Lit));
+    NewArgs.insert(NewArgs.end(), Others.begin(), Others.end());
+    if (NewArgs.size() == Node->args().size()) {
+      // Avoid infinite loops when already canonical.
+      bool Same = true;
+      for (size_t I = 0; I < NewArgs.size(); ++I)
+        Same &= Expr::equal(NewArgs[I], Node->args()[I]);
+      if (Same)
+        return std::nullopt;
+    }
+    return Expr::call(Op, std::move(NewArgs));
+  };
+  return rewriteFixpoint(E, Fn);
+}
+
+} // namespace systec

@@ -1,0 +1,94 @@
+//===- rewrite/Rewrite.h - Term rewriting over expressions ----*- C++ -*-===//
+///
+/// \file
+/// A small term-rewriting framework mirroring the role RewriteTools.jl
+/// plays in the original SySTeC ("SySTeC uses RewriteTools, the same
+/// rewriting package used by Finch, to define a set of simplification
+/// rules", paper Section 5.1). Patterns are ordinary Expr trees in
+/// which Scalar nodes whose names begin with '$' act as slot variables;
+/// a slot binds consistently across the pattern. Rules pair a pattern
+/// with a builder over the bindings. Traversal combinators apply
+/// rewriters bottom-up (postwalk), top-down (prewalk), or to fixpoint.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SYSTEC_REWRITE_REWRITE_H
+#define SYSTEC_REWRITE_REWRITE_H
+
+#include "ir/Expr.h"
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace systec {
+
+/// Slot bindings produced by a successful match.
+struct MatchBindings {
+  std::map<std::string, ExprPtr> Slots;
+
+  const ExprPtr &operator[](const std::string &Slot) const;
+};
+
+/// True if \p Name designates a slot variable ("$x").
+bool isSlotName(const std::string &Name);
+
+/// Attempts to match \p Pattern against \p Subject, extending
+/// \p Bindings. Commutative operators are matched against all argument
+/// permutations when the argument count is small (<= 4), otherwise in
+/// order.
+bool matchExpr(const ExprPtr &Pattern, const ExprPtr &Subject,
+               MatchBindings &Bindings);
+
+/// A rewriter maps an expression to a replacement, or nullopt to leave
+/// it unchanged.
+using Rewriter = std::function<std::optional<ExprPtr>(const ExprPtr &)>;
+
+/// One rewrite rule: pattern plus builder.
+struct Rule {
+  ExprPtr Pattern;
+  std::function<ExprPtr(const MatchBindings &)> Build;
+
+  /// Applies the rule at the root only.
+  std::optional<ExprPtr> apply(const ExprPtr &E) const;
+};
+
+/// An ordered collection of rules; the first matching rule fires.
+class RuleSet {
+public:
+  RuleSet &add(ExprPtr Pattern,
+               std::function<ExprPtr(const MatchBindings &)> Build);
+
+  std::optional<ExprPtr> apply(const ExprPtr &E) const;
+
+  /// Adapts the rule set into a Rewriter.
+  Rewriter rewriter() const;
+
+  size_t size() const { return Rules.size(); }
+
+private:
+  std::vector<Rule> Rules;
+};
+
+/// Applies \p Fn once to every node bottom-up, rebuilding the tree.
+ExprPtr postwalk(const ExprPtr &E, const Rewriter &Fn);
+
+/// Applies \p Fn top-down: if it rewrites a node the result is
+/// revisited, then children are traversed.
+ExprPtr prewalk(const ExprPtr &E, const Rewriter &Fn);
+
+/// Repeats postwalk until no change or \p MaxIters.
+ExprPtr rewriteFixpoint(const ExprPtr &E, const Rewriter &Fn,
+                        unsigned MaxIters = 64);
+
+/// Algebraic simplification: folds literal subterms, removes operation
+/// identities (x*1, x+0, min(x,inf)), collapses annihilators (x*0),
+/// flattens associative calls, and canonicalizes literal position
+/// (leading literal factor) for commutative operators.
+ExprPtr simplifyExpr(const ExprPtr &E);
+
+} // namespace systec
+
+#endif // SYSTEC_REWRITE_REWRITE_H

@@ -1,0 +1,831 @@
+//===- runtime/Executor.cpp -----------------------------------*- C++ -*-===//
+
+#include "runtime/Executor.h"
+
+#include "support/Counters.h"
+#include "support/Error.h"
+
+#include <algorithm>
+#include <cassert>
+#include <set>
+
+namespace systec {
+namespace detail {
+
+/// Runtime state of one distinct tensor access: the fibertree position
+/// at which each level was entered. Pos[L] is the parent position for
+/// level L; Pos[order] is the value position.
+struct AccessState {
+  Tensor *T = nullptr;
+  std::vector<std::string> Indices;
+  std::vector<int64_t> Pos;
+  bool SparseFormat = false;
+};
+
+struct ExecCtx {
+  std::vector<int64_t> IndexVal;
+  std::vector<double> ScalarVal;
+  std::vector<AccessState> Accesses;
+};
+
+/// A compiled comparison between two index slots.
+struct CAtom {
+  CmpKind Kind;
+  unsigned A, B;
+
+  bool eval(const ExecCtx &C) const {
+    return evalCmp(Kind, C.IndexVal[A], C.IndexVal[B]);
+  }
+};
+
+/// A compiled DNF condition.
+struct CCond {
+  std::vector<std::vector<CAtom>> Disjuncts;
+
+  bool eval(const ExecCtx &C) const {
+    for (const std::vector<CAtom> &D : Disjuncts) {
+      bool Ok = true;
+      for (const CAtom &A : D)
+        if (!A.eval(C)) {
+          Ok = false;
+          break;
+        }
+      if (Ok)
+        return true;
+    }
+    return false;
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// Expression VM
+//===----------------------------------------------------------------------===//
+
+enum class VKind { Lit, Scalar, Walked, DenseLoad, SparseLoad, Op, Lut };
+
+struct VInstr {
+  VKind Kind;
+  double Lit = 0;
+  unsigned Id = 0; // scalar slot or access id
+  OpKind Op = OpKind::Add;
+  unsigned NArgs = 0;
+  Tensor *T = nullptr;
+  std::vector<std::pair<unsigned, int64_t>> SlotStride; // DenseLoad
+  std::vector<unsigned> CoordSlots;                     // SparseLoad
+  std::vector<CAtom> LutBits;
+  std::vector<double> LutTable;
+};
+
+struct VProgram {
+  std::vector<VInstr> Code;
+  mutable std::vector<int64_t> Scratch;
+
+  double eval(ExecCtx &C) const {
+    double St[32];
+    int Top = -1;
+    for (const VInstr &I : Code) {
+      switch (I.Kind) {
+      case VKind::Lit:
+        St[++Top] = I.Lit;
+        break;
+      case VKind::Scalar:
+        St[++Top] = C.ScalarVal[I.Id];
+        break;
+      case VKind::Walked: {
+        const AccessState &A = C.Accesses[I.Id];
+        St[++Top] = A.T->val(A.Pos[A.T->order()]);
+        break;
+      }
+      case VKind::DenseLoad: {
+        int64_t Pos = 0;
+        for (const auto &[Slot, Stride] : I.SlotStride)
+          Pos += C.IndexVal[Slot] * Stride;
+        St[++Top] = I.T->val(Pos);
+        break;
+      }
+      case VKind::SparseLoad: {
+        // Reuse a scratch buffer; random access walks the levels.
+        Scratch.resize(I.CoordSlots.size());
+        for (size_t M = 0; M < Scratch.size(); ++M)
+          Scratch[M] = C.IndexVal[I.CoordSlots[M]];
+        if (countersEnabled())
+          ++counters().SparseReads;
+        St[++Top] = I.T->at(Scratch);
+        break;
+      }
+      case VKind::Op: {
+        double Acc = St[Top - static_cast<int>(I.NArgs) + 1];
+        for (unsigned K = 1; K < I.NArgs; ++K)
+          Acc = evalOp(I.Op, Acc, St[Top - static_cast<int>(I.NArgs) + 1 +
+                                     static_cast<int>(K)]);
+        Top -= static_cast<int>(I.NArgs);
+        St[++Top] = Acc;
+        if (countersEnabled())
+          counters().ScalarOps += I.NArgs - 1;
+        break;
+      }
+      case VKind::Lut: {
+        unsigned Mask = 0;
+        for (size_t B = 0; B < I.LutBits.size(); ++B)
+          if (I.LutBits[B].eval(C))
+            Mask |= 1u << B;
+        St[++Top] = I.LutTable[Mask];
+        break;
+      }
+      }
+    }
+    assert(Top == 0 && "VM stack imbalance");
+    return St[0];
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// Plan nodes
+//===----------------------------------------------------------------------===//
+
+class PlanNode {
+public:
+  virtual ~PlanNode() = default;
+  virtual void exec(ExecCtx &C) = 0;
+};
+
+using PlanPtr = std::unique_ptr<PlanNode>;
+
+class PlanSeq final : public PlanNode {
+public:
+  std::vector<PlanPtr> Children;
+  void exec(ExecCtx &C) override {
+    for (PlanPtr &Child : Children)
+      Child->exec(C);
+  }
+};
+
+class PlanIf final : public PlanNode {
+public:
+  CCond Cond;
+  PlanPtr Body;
+  void exec(ExecCtx &C) override {
+    if (Cond.eval(C))
+      Body->exec(C);
+  }
+};
+
+class PlanDef final : public PlanNode {
+public:
+  unsigned Slot = 0;
+  VProgram Init;
+  void exec(ExecCtx &C) override { C.ScalarVal[Slot] = Init.eval(C); }
+};
+
+class PlanAssign final : public PlanNode {
+public:
+  VProgram Rhs;
+  std::optional<OpKind> Reduce;
+  unsigned Mult = 1;
+  bool ScalarTarget = false;
+  unsigned ScalarSlot = 0;
+  Tensor *T = nullptr;
+  std::vector<std::pair<unsigned, int64_t>> SlotStride;
+
+  void exec(ExecCtx &C) override {
+    double V = Rhs.eval(C);
+    if (Mult > 1) {
+      if (Reduce && opInfo(*Reduce).Idempotent) {
+        // Duplicate updates collapse under idempotent reductions.
+      } else if (!Reduce || *Reduce == OpKind::Add) {
+        V *= Mult;
+      } else {
+        // Rare general case: apply the reduction Mult times below.
+      }
+    }
+    unsigned Times = 1;
+    if (Mult > 1 && Reduce && !opInfo(*Reduce).Idempotent &&
+        *Reduce != OpKind::Add)
+      Times = Mult;
+    for (unsigned Rep = 0; Rep < Times; ++Rep) {
+      if (ScalarTarget) {
+        double &Dst = C.ScalarVal[ScalarSlot];
+        Dst = Reduce ? evalOp(*Reduce, Dst, V) : V;
+      } else {
+        int64_t Pos = 0;
+        for (const auto &[Slot, Stride] : SlotStride)
+          Pos += C.IndexVal[Slot] * Stride;
+        double Cur = T->val(Pos);
+        T->setVal(Pos, Reduce ? evalOp(*Reduce, Cur, V) : V);
+      }
+      if (countersEnabled()) {
+        ++counters().Reductions;
+        if (!ScalarTarget)
+          ++counters().OutputWrites;
+      }
+    }
+  }
+};
+
+class PlanReplicate final : public PlanNode {
+public:
+  Tensor *T = nullptr;
+  Partition Sym;
+
+  void exec(ExecCtx &C) override {
+    uint64_t Copies = replicateSymmetric(*T, Sym);
+    if (countersEnabled())
+      counters().OutputWrites += Copies;
+  }
+};
+
+class PlanLoop final : public PlanNode {
+public:
+  unsigned Slot = 0;
+  int64_t Extent = 0;
+
+  struct WalkerRef {
+    unsigned AccessId;
+    unsigned Level;
+    bool Bottom;
+  };
+  std::vector<WalkerRef> Walkers;
+  // Bounds: lo = max(0, IndexVal[slot]+delta...), hi analogous
+  // (inclusive).
+  std::vector<std::pair<unsigned, int64_t>> LoTerms, HiTerms;
+  PlanPtr Body;
+
+  void exec(ExecCtx &C) override {
+    int64_t Lo = 0, Hi = Extent - 1;
+    for (const auto &[S, D] : LoTerms)
+      Lo = std::max(Lo, C.IndexVal[S] + D);
+    for (const auto &[S, D] : HiTerms)
+      Hi = std::min(Hi, C.IndexVal[S] + D);
+    if (Lo > Hi)
+      return;
+
+    if (Walkers.empty()) {
+      for (int64_t V = Lo; V <= Hi; ++V) {
+        C.IndexVal[Slot] = V;
+        Body->exec(C);
+      }
+      return;
+    }
+
+    // The first walker drives iteration; the others must agree on each
+    // candidate coordinate (intersection).
+    const WalkerRef &W = Walkers[0];
+    AccessState &A = C.Accesses[W.AccessId];
+    const Level &Lev = A.T->level(W.Level);
+    const int64_t Parent = A.Pos[W.Level];
+
+    auto Step = [&](int64_t Coord, int64_t Child) {
+      A.Pos[W.Level + 1] = Child;
+      if (countersEnabled() && W.Bottom && A.SparseFormat)
+        ++counters().SparseReads;
+      for (size_t K = 1; K < Walkers.size(); ++K) {
+        const WalkerRef &O = Walkers[K];
+        AccessState &OA = C.Accesses[O.AccessId];
+        const int64_t OParent = OA.Pos[O.Level];
+        if (OA.T == A.T && O.Level == W.Level && OParent == Parent) {
+          OA.Pos[O.Level + 1] = Child;
+        } else {
+          int64_t OChild = OA.T->locate(O.Level, OParent, Coord);
+          if (OChild < 0)
+            return; // missing in intersection
+          OA.Pos[O.Level + 1] = OChild;
+        }
+        if (countersEnabled() && O.Bottom && OA.SparseFormat)
+          ++counters().SparseReads;
+      }
+      C.IndexVal[Slot] = Coord;
+      Body->exec(C);
+    };
+
+    switch (Lev.Kind) {
+    case LevelKind::Dense: {
+      for (int64_t V = Lo; V <= Hi; ++V)
+        Step(V, Parent * Lev.Dim + V);
+      return;
+    }
+    case LevelKind::Sparse: {
+      int64_t B = Lev.Ptr[Parent], E = Lev.Ptr[Parent + 1];
+      if (Lo > 0)
+        B = std::lower_bound(Lev.Crd.begin() + B, Lev.Crd.begin() + E, Lo) -
+            Lev.Crd.begin();
+      for (int64_t KPos = B; KPos < E; ++KPos) {
+        int64_t Coord = Lev.Crd[KPos];
+        if (Coord > Hi)
+          break;
+        Step(Coord, KPos);
+      }
+      return;
+    }
+    case LevelKind::RunLength: {
+      int64_t Start = 0;
+      for (int64_t KPos = Lev.Ptr[Parent]; KPos < Lev.Ptr[Parent + 1];
+           ++KPos) {
+        int64_t End = Lev.RunEnd[KPos];
+        for (int64_t V = std::max(Start, Lo); V < End; ++V) {
+          if (V > Hi)
+            return;
+          Step(V, KPos);
+        }
+        Start = End;
+        if (Start > Hi)
+          return;
+      }
+      return;
+    }
+    case LevelKind::Banded: {
+      int64_t B = std::max(Lo, Lev.Lo[Parent]);
+      int64_t E = std::min(Hi, Lev.Hi[Parent] - 1);
+      for (int64_t V = B; V <= E; ++V)
+        Step(V, Lev.Off[Parent] + (V - Lev.Lo[Parent]));
+      return;
+    }
+    }
+    unreachable("unknown level kind");
+  }
+};
+
+} // namespace detail
+
+using namespace detail;
+
+//===----------------------------------------------------------------------===//
+// Plan compilation
+//===----------------------------------------------------------------------===//
+
+/// Compiles a Kernel's statement tree into plan nodes against bound
+/// tensors. Friend of Executor.
+class PlanCompiler {
+public:
+  PlanCompiler(Executor &E) : E(E) {}
+
+  void compileAll() {
+    collectExtents(E.K.Body);
+    if (E.K.Epilogue)
+      collectExtents(E.K.Epilogue);
+    E.Ctx = std::make_unique<ExecCtx>();
+    E.BodyPlan = compile(E.K.Body);
+    if (E.K.Epilogue)
+      E.EpiloguePlan = compile(E.K.Epilogue);
+    E.Ctx->IndexVal.assign(IndexSlots.size(), 0);
+    E.Ctx->ScalarVal.assign(ScalarSlots.size(), 0.0);
+    E.Ctx->Accesses = AccessStates;
+  }
+
+private:
+  Executor &E;
+  std::map<std::string, unsigned> IndexSlots;
+  std::map<std::string, unsigned> ScalarSlots;
+  std::map<std::string, int64_t> Extents;
+  std::map<std::string, unsigned> AccessIds; // key: printed access
+  std::vector<AccessState> AccessStates;
+  std::vector<unsigned> Driven; // per access id, along current DFS path
+  std::set<std::string> BoundVars;
+
+  unsigned indexSlot(const std::string &Name) {
+    auto [It, New] = IndexSlots.insert({Name, IndexSlots.size()});
+    (void)New;
+    return It->second;
+  }
+
+  unsigned scalarSlot(const std::string &Name) {
+    auto [It, New] = ScalarSlots.insert({Name, ScalarSlots.size()});
+    (void)New;
+    return It->second;
+  }
+
+  Tensor *tensorFor(const std::string &Name) {
+    Tensor *T = E.lookup(Name);
+    if (!T)
+      fatalError("kernel '" + E.K.Name + "' uses unbound tensor " + Name);
+    return T;
+  }
+
+  unsigned accessId(const ExprPtr &Access) {
+    std::string Key = Access->str();
+    auto It = AccessIds.find(Key);
+    if (It != AccessIds.end())
+      return It->second;
+    unsigned Id = static_cast<unsigned>(AccessStates.size());
+    AccessIds[Key] = Id;
+    AccessState S;
+    S.T = tensorFor(Access->tensorName());
+    S.Indices = Access->indices();
+    S.Pos.assign(S.T->order() + 1, 0);
+    S.SparseFormat = !S.T->format().isAllDense();
+    AccessStates.push_back(std::move(S));
+    Driven.push_back(0);
+    return Id;
+  }
+
+  void collectExtents(const StmtPtr &S) {
+    Stmt::walk(S, [this](const StmtPtr &Node) {
+      std::vector<ExprPtr> Accesses;
+      if (Node->kind() == StmtKind::Assign) {
+        Expr::collectAccesses(Node->rhs(), Accesses);
+        if (Node->lhs()->kind() == ExprKind::Access)
+          Accesses.push_back(Node->lhs());
+      } else if (Node->kind() == StmtKind::DefScalar) {
+        Expr::collectAccesses(Node->rhs(), Accesses);
+      }
+      for (const ExprPtr &A : Accesses) {
+        Tensor *T = tensorFor(A->tensorName());
+        // A 0-d access ("y[]") binds to a one-element dense tensor.
+        if (A->indices().empty())
+          continue;
+        if (T->order() != A->indices().size())
+          fatalError("access " + A->str() + " arity mismatch");
+        for (unsigned M = 0; M < A->indices().size(); ++M) {
+          const std::string &Idx = A->indices()[M];
+          auto [It, New] = Extents.insert({Idx, T->dim(M)});
+          if (!New && It->second != T->dim(M))
+            fatalError("index " + Idx + " has inconsistent extents");
+        }
+      }
+    });
+  }
+
+  CAtom compileAtom(const CmpAtom &A) {
+    return CAtom{A.Kind, indexSlot(A.Lhs), indexSlot(A.Rhs)};
+  }
+
+  CCond compileCond(const Cond &C) {
+    CCond Out;
+    for (const Conj &D : C.disjuncts()) {
+      std::vector<CAtom> Atoms;
+      for (const CmpAtom &A : D.Atoms)
+        Atoms.push_back(compileAtom(A));
+      Out.Disjuncts.push_back(std::move(Atoms));
+    }
+    return Out;
+  }
+
+  VProgram compileExpr(const ExprPtr &Ex) {
+    VProgram P;
+    emitExpr(Ex, P);
+    return P;
+  }
+
+  void emitExpr(const ExprPtr &Ex, VProgram &P) {
+    switch (Ex->kind()) {
+    case ExprKind::Literal: {
+      VInstr I;
+      I.Kind = VKind::Lit;
+      I.Lit = Ex->literalValue();
+      P.Code.push_back(std::move(I));
+      return;
+    }
+    case ExprKind::Scalar: {
+      VInstr I;
+      I.Kind = VKind::Scalar;
+      I.Id = scalarSlot(Ex->scalarName());
+      P.Code.push_back(std::move(I));
+      return;
+    }
+    case ExprKind::Access: {
+      unsigned Id = accessId(Ex);
+      const AccessState &S = AccessStates[Id];
+      VInstr I;
+      if (Driven[Id] == S.T->order() && S.T->order() > 0) {
+        I.Kind = VKind::Walked;
+        I.Id = Id;
+      } else if (S.T->format().isAllDense()) {
+        I.Kind = VKind::DenseLoad;
+        I.T = S.T;
+        I.SlotStride = denseStrides(S.T, Ex->indices());
+      } else {
+        I.Kind = VKind::SparseLoad;
+        I.T = S.T;
+        for (const std::string &Idx : Ex->indices())
+          I.CoordSlots.push_back(indexSlot(Idx));
+      }
+      P.Code.push_back(std::move(I));
+      return;
+    }
+    case ExprKind::Call: {
+      for (const ExprPtr &A : Ex->args())
+        emitExpr(A, P);
+      VInstr I;
+      I.Kind = VKind::Op;
+      I.Op = Ex->op();
+      I.NArgs = static_cast<unsigned>(Ex->args().size());
+      P.Code.push_back(std::move(I));
+      return;
+    }
+    case ExprKind::Lut: {
+      VInstr I;
+      I.Kind = VKind::Lut;
+      for (const CmpAtom &B : Ex->lutBits())
+        I.LutBits.push_back(compileAtom(B));
+      I.LutTable = Ex->lutTable();
+      P.Code.push_back(std::move(I));
+      return;
+    }
+    }
+    unreachable("unknown expression kind");
+  }
+
+  std::vector<std::pair<unsigned, int64_t>>
+  denseStrides(Tensor *T, const std::vector<std::string> &Indices) {
+    // Column-major: mode 0 is contiguous. A 0-d access maps to
+    // position 0 of a one-element tensor.
+    std::vector<std::pair<unsigned, int64_t>> Out;
+    if (Indices.empty())
+      return Out;
+    assert(Indices.size() == T->order() && "access arity mismatch");
+    int64_t Stride = 1;
+    for (unsigned M = 0; M < Indices.size(); ++M) {
+      Out.push_back({indexSlot(Indices[M]), Stride});
+      Stride *= T->dim(M);
+    }
+    return Out;
+  }
+
+  PlanPtr compile(const StmtPtr &S) {
+    switch (S->kind()) {
+    case StmtKind::Block: {
+      auto Seq = std::make_unique<PlanSeq>();
+      for (const StmtPtr &Child : S->stmts())
+        Seq->Children.push_back(compile(Child));
+      return Seq;
+    }
+    case StmtKind::If: {
+      // Conditions referencing unbound indices sink into the body's
+      // loops (safety net; the compiler pipeline normally places them
+      // correctly).
+      if (!allBound(S->condition()))
+        return compile(sinkCondition(S->condition(), S->body()));
+      auto If = std::make_unique<PlanIf>();
+      If->Cond = compileCond(S->condition());
+      If->Body = compile(S->body());
+      return If;
+    }
+    case StmtKind::Loop:
+      return compileLoop(S);
+    case StmtKind::DefScalar: {
+      auto Def = std::make_unique<PlanDef>();
+      Def->Init = compileExpr(S->rhs());
+      Def->Slot = scalarSlot(S->scalarName());
+      return Def;
+    }
+    case StmtKind::Assign: {
+      auto As = std::make_unique<PlanAssign>();
+      As->Rhs = compileExpr(S->rhs());
+      As->Reduce = S->reduceOp();
+      As->Mult = S->multiplicity();
+      // Fold additive multiplicities into the program (y += k*e) and
+      // collapse idempotent duplicates, so the hot path has no
+      // multiplicity logic.
+      if (As->Mult > 1 && As->Reduce) {
+        if (opInfo(*As->Reduce).Idempotent) {
+          As->Mult = 1;
+        } else if (*As->Reduce == OpKind::Add) {
+          VInstr Lit;
+          Lit.Kind = VKind::Lit;
+          Lit.Lit = As->Mult;
+          As->Rhs.Code.push_back(std::move(Lit));
+          VInstr Mul;
+          Mul.Kind = VKind::Op;
+          Mul.Op = OpKind::Mul;
+          Mul.NArgs = 2;
+          As->Rhs.Code.push_back(std::move(Mul));
+          As->Mult = 1;
+        }
+      }
+      const ExprPtr &Lhs = S->lhs();
+      if (Lhs->kind() == ExprKind::Scalar) {
+        As->ScalarTarget = true;
+        As->ScalarSlot = scalarSlot(Lhs->scalarName());
+      } else {
+        Tensor *T = tensorFor(Lhs->tensorName());
+        if (!T->format().isAllDense())
+          fatalError("output tensor " + Lhs->tensorName() +
+                     " must be dense for writes");
+        As->T = T;
+        As->SlotStride = denseStrides(T, Lhs->indices());
+      }
+      return As;
+    }
+    case StmtKind::Replicate: {
+      auto Rep = std::make_unique<PlanReplicate>();
+      Rep->T = tensorFor(S->tensorName());
+      if (!Rep->T->format().isAllDense())
+        fatalError("replicate requires a dense output");
+      Rep->Sym = S->outputSymmetry();
+      return Rep;
+    }
+    }
+    unreachable("unknown statement kind");
+  }
+
+  bool allBound(const Cond &C) {
+    for (const Conj &D : C.disjuncts())
+      for (const CmpAtom &A : D.Atoms)
+        if (!BoundVars.count(A.Lhs) || !BoundVars.count(A.Rhs))
+          return false;
+    return true;
+  }
+
+  /// Pushes a condition with unbound references inside loops until its
+  /// variables are bound: If(c, Loop(x, B)) => Loop(x, If(c, B)).
+  StmtPtr sinkCondition(const Cond &C, const StmtPtr &Body) {
+    if (Body->kind() == StmtKind::Loop)
+      return Stmt::loop(Body->loopIndex(),
+                        Stmt::ifThen(C, Body->body()));
+    if (Body->kind() == StmtKind::If)
+      return Stmt::ifThen(Body->condition(),
+                          Stmt::ifThen(C, Body->body()));
+    if (Body->kind() == StmtKind::Block) {
+      std::vector<StmtPtr> Guarded;
+      for (const StmtPtr &Child : Body->stmts())
+        Guarded.push_back(Stmt::ifThen(C, Child));
+      return Stmt::block(std::move(Guarded));
+    }
+    fatalError("condition references indices that are never bound");
+  }
+
+  PlanPtr compileLoop(const StmtPtr &S) {
+    const std::string &Var = S->loopIndex();
+    auto Loop = std::make_unique<PlanLoop>();
+    Loop->Slot = indexSlot(Var);
+    auto ExtIt = Extents.find(Var);
+    if (ExtIt == Extents.end())
+      fatalError("loop index " + Var + " has no known extent");
+    Loop->Extent = ExtIt->second;
+    BoundVars.insert(Var);
+
+    // Peel liftable bound atoms off leading single-conjunction Ifs
+    // (looking through single-statement blocks).
+    StmtPtr Body = S->body();
+    while (E.Options.EnableBoundLifting) {
+      if (Body->kind() == StmtKind::Block && Body->stmts().size() == 1) {
+        Body = Body->stmts()[0];
+        continue;
+      }
+      if (Body->kind() != StmtKind::If ||
+          Body->condition().disjuncts().size() != 1)
+        break;
+      std::vector<CmpAtom> Residual;
+      for (const CmpAtom &A : Body->condition().disjuncts()[0].Atoms) {
+        CmpAtom Atom = A;
+        if (Atom.Rhs == Var && Atom.Lhs != Var) {
+          std::swap(Atom.Lhs, Atom.Rhs);
+          Atom.Kind = swapCmp(Atom.Kind);
+        }
+        if (Atom.Lhs == Var && Atom.Rhs != Var && BoundVars.count(Atom.Rhs)) {
+          unsigned Other = indexSlot(Atom.Rhs);
+          switch (Atom.Kind) {
+          case CmpKind::LE:
+            Loop->HiTerms.push_back({Other, 0});
+            continue;
+          case CmpKind::LT:
+            Loop->HiTerms.push_back({Other, -1});
+            continue;
+          case CmpKind::GE:
+            Loop->LoTerms.push_back({Other, 0});
+            continue;
+          case CmpKind::GT:
+            Loop->LoTerms.push_back({Other, 1});
+            continue;
+          case CmpKind::EQ:
+            Loop->LoTerms.push_back({Other, 0});
+            Loop->HiTerms.push_back({Other, 0});
+            continue;
+          case CmpKind::NE:
+            break; // not liftable
+          }
+        }
+        Residual.push_back(A);
+      }
+      if (Residual.empty()) {
+        Body = Body->body();
+      } else {
+        Body = Stmt::ifThen(Cond::conj(std::move(Residual)), Body->body());
+        break;
+      }
+    }
+
+    // Register walkers: sparse accesses in the subtree whose next
+    // undriven level is this loop's index.
+    std::vector<unsigned> WalkerIds;
+    if (E.Options.EnableSparseWalk) {
+      std::vector<ExprPtr> Accesses;
+      collectSubtreeAccesses(Body, Accesses);
+      std::set<std::string> Seen;
+      for (const ExprPtr &A : Accesses) {
+        if (!Seen.insert(A->str()).second)
+          continue;
+        unsigned Id = accessId(A);
+        AccessState &St = AccessStates[Id];
+        if (!St.SparseFormat)
+          continue;
+        unsigned D = Driven[Id];
+        if (D < St.T->order() &&
+            St.Indices[St.T->modeOfLevel(D)] == Var) {
+          PlanLoop::WalkerRef W;
+          W.AccessId = Id;
+          W.Level = D;
+          W.Bottom = (D + 1 == St.T->order());
+          Loop->Walkers.push_back(W);
+          WalkerIds.push_back(Id);
+          ++Driven[Id];
+        }
+      }
+    }
+
+    Loop->Body = compile(Body);
+
+    for (unsigned Id : WalkerIds)
+      --Driven[Id];
+    BoundVars.erase(Var);
+    return Loop;
+  }
+
+  void collectSubtreeAccesses(const StmtPtr &S, std::vector<ExprPtr> &Out) {
+    Stmt::walk(S, [&Out](const StmtPtr &Node) {
+      if (Node->kind() == StmtKind::Assign) {
+        Expr::collectAccesses(Node->rhs(), Out);
+      } else if (Node->kind() == StmtKind::DefScalar) {
+        Expr::collectAccesses(Node->rhs(), Out);
+      }
+    });
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// Executor
+//===----------------------------------------------------------------------===//
+
+Executor::Executor(Kernel KIn, ExecOptions OptionsIn)
+    : K(std::move(KIn)), Options(OptionsIn) {}
+
+Executor::~Executor() = default;
+Executor::Executor(Executor &&) = default;
+
+Executor &Executor::bind(const std::string &Name, Tensor *T) {
+  assert(T && "binding null tensor");
+  Bound[Name] = T;
+  return *this;
+}
+
+Tensor *Executor::lookup(const std::string &Name) const {
+  auto It = Bound.find(Name);
+  return It == Bound.end() ? nullptr : It->second;
+}
+
+void Executor::prepare() {
+  assert(!Prepared && "prepare called twice");
+  // Materialize diagonal splits (both halves from one pass per source).
+  std::map<std::string, std::pair<Tensor *, Tensor *>> SplitCache;
+  for (const SplitRequest &Req : K.Splits) {
+    auto It = SplitCache.find(Req.Source);
+    if (It == SplitCache.end()) {
+      Tensor *Src = lookup(Req.Source);
+      if (!Src)
+        fatalError("split source " + Req.Source + " not bound");
+      auto DeclIt = K.Decls.find(Req.Source);
+      if (DeclIt == K.Decls.end())
+        fatalError("split source " + Req.Source + " not declared");
+      auto [OffDiag, Diag] = Src->splitDiagonal(DeclIt->second.Symmetry);
+      Owned.push_back(std::make_unique<Tensor>(std::move(OffDiag)));
+      Tensor *OffPtr = Owned.back().get();
+      Owned.push_back(std::make_unique<Tensor>(std::move(Diag)));
+      Tensor *DiagPtr = Owned.back().get();
+      It = SplitCache.insert({Req.Source, {OffPtr, DiagPtr}}).first;
+    }
+    Bound[Req.Alias] = Req.DiagonalPart ? It->second.second
+                                        : It->second.first;
+  }
+  // Materialize transposes (possibly of split aliases).
+  for (const TransposeRequest &Req : K.Transposes) {
+    Tensor *Src = lookup(Req.Source);
+    if (!Src)
+      fatalError("transpose source " + Req.Source + " not bound");
+    TensorFormat Format = TensorFormat::dense(Src->order());
+    auto DeclIt = K.Decls.find(Req.Alias);
+    if (DeclIt != K.Decls.end())
+      Format = DeclIt->second.Format;
+    Owned.push_back(std::make_unique<Tensor>(
+        Src->transposed(Req.ModePerm, Format)));
+    Bound[Req.Alias] = Owned.back().get();
+  }
+  PlanCompiler(*this).compileAll();
+  Prepared = true;
+}
+
+void Executor::run() {
+  runBody();
+  runEpilogue();
+}
+
+void Executor::runBody() {
+  assert(Prepared && "prepare() must run before run()");
+  BodyPlan->exec(*Ctx);
+}
+
+void Executor::runEpilogue() {
+  assert(Prepared && "prepare() must run before run()");
+  if (EpiloguePlan)
+    EpiloguePlan->exec(*Ctx);
+}
+
+} // namespace systec

@@ -1,0 +1,98 @@
+//===- runtime/Executor.h - Kernel execution engine -----------*- C++ -*-===//
+///
+/// \file
+/// Lowers a Kernel's loop-nest IR into an executable plan and runs it
+/// over bound tensors. This plays the role Finch's compiler plays in the
+/// original SySTeC: accesses to sparse tensors act as iterators over
+/// stored coordinates, and comparisons between index variables are
+/// lifted into loop bounds (paper Section 2.2), which is what makes the
+/// canonical-triangle restriction cheap.
+///
+/// Semantics note: when a loop is driven by a sparse access ("walker"),
+/// iteration visits only stored coordinates. This is sound when missing
+/// coordinates annihilate every reduction in the loop body (fill = 0
+/// under (+,*), fill = inf under (min,+)); every kernel produced by the
+/// SySTeC pipeline and the naive lowering satisfies this. For oracle
+/// testing the executor can disable walkers and bound lifting.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SYSTEC_RUNTIME_EXECUTOR_H
+#define SYSTEC_RUNTIME_EXECUTOR_H
+
+#include "ir/Kernel.h"
+#include "tensor/Tensor.h"
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace systec {
+
+namespace detail {
+class PlanNode;
+struct ExecCtx;
+} // namespace detail
+
+/// Execution options (ablation switches).
+struct ExecOptions {
+  /// Drive loops from sparse accesses; disabling iterates dense extents
+  /// (oracle mode).
+  bool EnableSparseWalk = true;
+  /// Lift comparisons into loop bounds; disabling evaluates them as
+  /// residual predicates.
+  bool EnableBoundLifting = true;
+};
+
+/// Compiles and runs one Kernel over bound tensors.
+///
+/// Usage:
+///   Executor Exec(Kernel);
+///   Exec.bind("A", &A).bind("x", &X).bind("y", &Y);
+///   Exec.prepare();            // materializes aliases, compiles plan
+///   Exec.run();                // body + epilogue
+class Executor {
+public:
+  explicit Executor(Kernel K, ExecOptions Options = ExecOptions());
+  ~Executor();
+  Executor(Executor &&);
+  Executor &operator=(Executor &&) = delete;
+
+  /// Binds a tensor by declaration name. The tensor must outlive the
+  /// executor and match the declaration's order.
+  Executor &bind(const std::string &Name, Tensor *T);
+
+  /// Materializes transposes/splits requested by the kernel and compiles
+  /// the execution plan. Call after all binds.
+  void prepare();
+
+  /// Runs the main loop nest followed by the epilogue.
+  void run();
+  /// Runs only the main loop nest (what the paper times).
+  void runBody();
+  /// Runs only the replication epilogue.
+  void runEpilogue();
+
+  const Kernel &kernel() const { return K; }
+
+  /// The tensor bound (or materialized) under \p Name; null if unknown.
+  Tensor *lookup(const std::string &Name) const;
+
+private:
+  friend class PlanCompiler;
+
+  Kernel K;
+  ExecOptions Options;
+  std::map<std::string, Tensor *> Bound;
+  std::vector<std::unique_ptr<Tensor>> Owned;
+
+  std::unique_ptr<detail::PlanNode> BodyPlan;
+  std::unique_ptr<detail::PlanNode> EpiloguePlan;
+  std::unique_ptr<detail::ExecCtx> Ctx;
+  bool Prepared = false;
+};
+
+} // namespace systec
+
+#endif // SYSTEC_RUNTIME_EXECUTOR_H

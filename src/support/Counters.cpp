@@ -1,0 +1,16 @@
+//===- support/Counters.cpp -----------------------------------*- C++ -*-===//
+
+#include "support/Counters.h"
+
+namespace systec {
+
+namespace {
+bool CountersOn = true;
+ExecCounters GlobalCounters;
+} // namespace
+
+bool countersEnabled() { return CountersOn; }
+void setCountersEnabled(bool Enabled) { CountersOn = Enabled; }
+ExecCounters &counters() { return GlobalCounters; }
+
+} // namespace systec

@@ -1,0 +1,42 @@
+//===- support/Counters.h - Execution statistics --------------*- C++ -*-===//
+///
+/// \file
+/// Global execution counters used to validate the paper's "reads only
+/// 1/n! of the tensor" and "performs 1/m! of the computations" claims.
+/// Counting is compiled in unconditionally but gated by a cheap flag so
+/// benchmark timings can disable it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SYSTEC_SUPPORT_COUNTERS_H
+#define SYSTEC_SUPPORT_COUNTERS_H
+
+#include <cstdint>
+
+namespace systec {
+
+/// Aggregate counters for one kernel execution.
+struct ExecCounters {
+  /// Nonzero elements read from sparse/structured input tensors.
+  uint64_t SparseReads = 0;
+  /// Scalar reductions performed into outputs or workspaces.
+  uint64_t Reductions = 0;
+  /// Elementwise scalar operations (multiplies/adds inside expressions).
+  uint64_t ScalarOps = 0;
+  /// Writes to output tensors (including replication copies).
+  uint64_t OutputWrites = 0;
+
+  void reset() { *this = ExecCounters(); }
+};
+
+/// Whether the runtime updates counters. Defaults to on; benchmarks turn
+/// it off around timed regions.
+bool countersEnabled();
+void setCountersEnabled(bool Enabled);
+
+/// The process-wide counter sink.
+ExecCounters &counters();
+
+} // namespace systec
+
+#endif // SYSTEC_SUPPORT_COUNTERS_H

@@ -1,0 +1,20 @@
+//===- support/Error.cpp --------------------------------------*- C++ -*-===//
+
+#include "support/Error.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace systec {
+
+void fatalError(const std::string &Message) {
+  std::fprintf(stderr, "systec fatal error: %s\n", Message.c_str());
+  std::abort();
+}
+
+void unreachable(const char *Message) {
+  std::fprintf(stderr, "systec unreachable: %s\n", Message);
+  std::abort();
+}
+
+} // namespace systec

@@ -1,0 +1,29 @@
+//===- support/Error.h - Fatal error reporting ----------------*- C++ -*-===//
+///
+/// \file
+/// Fatal error handling for SySTeC. Library code does not use exceptions;
+/// violated invariants abort with a message (LLVM-style programmatic
+/// errors), and user-facing recoverable conditions are reported through
+/// return values at API boundaries.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SYSTEC_SUPPORT_ERROR_H
+#define SYSTEC_SUPPORT_ERROR_H
+
+#include <string>
+
+namespace systec {
+
+/// Prints \p Message to stderr and aborts. Used for unrecoverable
+/// conditions triggered by invalid client input (as opposed to asserts,
+/// which guard internal invariants).
+[[noreturn]] void fatalError(const std::string &Message);
+
+/// Marks a point in control flow that must be unreachable if the program
+/// invariants hold.
+[[noreturn]] void unreachable(const char *Message);
+
+} // namespace systec
+
+#endif // SYSTEC_SUPPORT_ERROR_H

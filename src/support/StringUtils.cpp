@@ -1,0 +1,51 @@
+//===- support/StringUtils.cpp --------------------------------*- C++ -*-===//
+
+#include "support/StringUtils.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+
+namespace systec {
+
+std::string join(const std::vector<std::string> &Items,
+                 const std::string &Sep) {
+  return joinAny(Items, Sep);
+}
+
+std::string formatDouble(double Value) {
+  if (std::isinf(Value))
+    return Value > 0 ? "inf" : "-inf";
+  if (Value == static_cast<long long>(Value) && std::fabs(Value) < 1e15) {
+    char Buf[32];
+    std::snprintf(Buf, sizeof(Buf), "%lld", static_cast<long long>(Value));
+    return Buf;
+  }
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%g", Value);
+  return Buf;
+}
+
+std::string trim(const std::string &Text) {
+  size_t Begin = 0, End = Text.size();
+  while (Begin < End && std::isspace(static_cast<unsigned char>(Text[Begin])))
+    ++Begin;
+  while (End > Begin &&
+         std::isspace(static_cast<unsigned char>(Text[End - 1])))
+    --End;
+  return Text.substr(Begin, End - Begin);
+}
+
+std::vector<std::string> splitAndTrim(const std::string &Text, char Sep) {
+  std::vector<std::string> Pieces;
+  size_t Start = 0;
+  for (size_t I = 0; I <= Text.size(); ++I) {
+    if (I == Text.size() || Text[I] == Sep) {
+      Pieces.push_back(trim(Text.substr(Start, I - Start)));
+      Start = I + 1;
+    }
+  }
+  return Pieces;
+}
+
+} // namespace systec

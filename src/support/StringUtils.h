@@ -1,0 +1,47 @@
+//===- support/StringUtils.h - Small string helpers -----------*- C++ -*-===//
+///
+/// \file
+/// String joining/formatting helpers shared by the IR printer, the code
+/// generator, and the benchmark harnesses.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SYSTEC_SUPPORT_STRINGUTILS_H
+#define SYSTEC_SUPPORT_STRINGUTILS_H
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace systec {
+
+/// Joins the elements of \p Items with \p Sep between consecutive items.
+std::string join(const std::vector<std::string> &Items,
+                 const std::string &Sep);
+
+/// Joins arbitrary streamable items with \p Sep.
+template <typename T>
+std::string joinAny(const std::vector<T> &Items, const std::string &Sep) {
+  std::ostringstream OS;
+  for (size_t I = 0; I < Items.size(); ++I) {
+    if (I != 0)
+      OS << Sep;
+    OS << Items[I];
+  }
+  return OS.str();
+}
+
+/// Formats a double without trailing zero noise ("2" not "2.000000";
+/// "0.5" not "0.500000"). Used by the IR printer.
+std::string formatDouble(double Value);
+
+/// Splits \p Text on \p Sep, trimming ASCII whitespace from each piece.
+/// Empty pieces are preserved.
+std::vector<std::string> splitAndTrim(const std::string &Text, char Sep);
+
+/// Trims leading and trailing ASCII whitespace.
+std::string trim(const std::string &Text);
+
+} // namespace systec
+
+#endif // SYSTEC_SUPPORT_STRINGUTILS_H

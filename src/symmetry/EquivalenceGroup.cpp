@@ -1,0 +1,162 @@
+//===- symmetry/EquivalenceGroup.cpp --------------------------*- C++ -*-===//
+
+#include "symmetry/EquivalenceGroup.h"
+
+#include "support/Error.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+#include <sstream>
+
+namespace systec {
+
+EquivalenceGroup::EquivalenceGroup(std::vector<unsigned> RunLengthsIn)
+    : RunLengths(std::move(RunLengthsIn)) {
+  N = 0;
+  for (unsigned Len : RunLengths) {
+    assert(Len >= 1 && "zero-length run");
+    N += Len;
+  }
+  RunOfPos.resize(N);
+  RunBegin.resize(RunLengths.size());
+  unsigned Pos = 0;
+  for (unsigned R = 0; R < RunLengths.size(); ++R) {
+    RunBegin[R] = Pos;
+    for (unsigned I = 0; I < RunLengths[R]; ++I)
+      RunOfPos[Pos++] = R;
+  }
+}
+
+EquivalenceGroup EquivalenceGroup::distinct(unsigned N) {
+  return EquivalenceGroup(std::vector<unsigned>(N, 1u));
+}
+
+bool EquivalenceGroup::isOffDiagonal() const {
+  for (unsigned Len : RunLengths)
+    if (Len > 1)
+      return false;
+  return true;
+}
+
+std::pair<unsigned, unsigned> EquivalenceGroup::runRange(unsigned R) const {
+  assert(R < RunLengths.size() && "run out of range");
+  return {RunBegin[R], RunBegin[R] + RunLengths[R]};
+}
+
+bool EquivalenceGroup::sameRun(unsigned A, unsigned B) const {
+  assert(A < N && B < N && "position out of range");
+  return RunOfPos[A] == RunOfPos[B];
+}
+
+unsigned EquivalenceGroup::representative(unsigned A) const {
+  assert(A < N && "position out of range");
+  return RunBegin[RunOfPos[A]];
+}
+
+uint64_t EquivalenceGroup::uniquePermutationCount() const {
+  uint64_t Numer = 1;
+  for (uint64_t K = 2; K <= N; ++K)
+    Numer *= K;
+  uint64_t Denom = 1;
+  for (unsigned Len : RunLengths)
+    for (uint64_t K = 2; K <= Len; ++K)
+      Denom *= K;
+  return Numer / Denom;
+}
+
+std::vector<Permutation> EquivalenceGroup::uniquePermutations() const {
+  std::vector<Permutation> Result;
+  for (const Permutation &Sigma : allPermutations(N)) {
+    // Definition 4.2 (stated over sigma's positions): for positions I<J
+    // in the same run of E, require sigma placing I before J. With our
+    // one-line convention result[T] = X[Sigma[T]], element I appears at
+    // output position Sigma^-1(I); order preservation of same-run
+    // elements means Inv[I] < Inv[J].
+    Permutation Inv = Sigma.inverse();
+    bool Ok = true;
+    for (unsigned I = 0; I < N && Ok; ++I)
+      for (unsigned J = I + 1; J < N && Ok; ++J)
+        if (sameRun(I, J) && Inv[I] > Inv[J])
+          Ok = false;
+    if (Ok)
+      Result.push_back(Sigma);
+  }
+  assert(Result.size() == uniquePermutationCount() &&
+         "unique symmetry group size mismatch");
+  return Result;
+}
+
+std::vector<EquivalenceGroup> EquivalenceGroup::enumerate(unsigned N) {
+  assert(N >= 1 && "enumerating groups over empty index set");
+  // Compositions of N via the 2^(N-1) cut masks. We order with the
+  // off-diagonal (all cuts) case first — that matches the paper's
+  // listings which handle the pure-triangle block before diagonals.
+  std::vector<EquivalenceGroup> Result;
+  std::vector<std::vector<unsigned>> Compositions;
+  for (uint64_t Mask = 0; Mask < (1ull << (N - 1)); ++Mask) {
+    std::vector<unsigned> Runs;
+    unsigned Len = 1;
+    for (unsigned I = 0; I + 1 < N; ++I) {
+      if (Mask & (1ull << I)) {
+        Runs.push_back(Len);
+        Len = 1;
+      } else {
+        ++Len;
+      }
+    }
+    Runs.push_back(Len);
+    Compositions.push_back(std::move(Runs));
+  }
+  std::sort(Compositions.begin(), Compositions.end(),
+            [](const std::vector<unsigned> &A, const std::vector<unsigned> &B) {
+              if (A.size() != B.size())
+                return A.size() > B.size(); // more runs = fewer equalities
+              return A < B;
+            });
+  for (auto &Runs : Compositions)
+    Result.push_back(EquivalenceGroup(std::move(Runs)));
+  return Result;
+}
+
+EquivalenceGroup
+EquivalenceGroup::classify(const std::vector<int64_t> &Sorted) {
+  assert(!Sorted.empty() && "classifying empty coordinates");
+  assert(std::is_sorted(Sorted.begin(), Sorted.end()) &&
+         "classify requires canonical (sorted) coordinates");
+  std::vector<unsigned> Runs;
+  unsigned Len = 1;
+  for (size_t I = 1; I < Sorted.size(); ++I) {
+    if (Sorted[I] == Sorted[I - 1]) {
+      ++Len;
+    } else {
+      Runs.push_back(Len);
+      Len = 1;
+    }
+  }
+  Runs.push_back(Len);
+  return EquivalenceGroup(std::move(Runs));
+}
+
+std::string
+EquivalenceGroup::str(const std::vector<std::string> &Names) const {
+  assert(Names.size() == N && "name count mismatch");
+  std::ostringstream OS;
+  OS << "{";
+  unsigned Pos = 0;
+  for (unsigned R = 0; R < RunLengths.size(); ++R) {
+    if (R)
+      OS << ",";
+    OS << "(";
+    for (unsigned I = 0; I < RunLengths[R]; ++I) {
+      if (I)
+        OS << "=";
+      OS << Names[Pos++];
+    }
+    OS << ")";
+  }
+  OS << "}";
+  return OS.str();
+}
+
+} // namespace systec

@@ -1,0 +1,89 @@
+//===- symmetry/EquivalenceGroup.h - Diagonal classification --*- C++ -*-===//
+///
+/// \file
+/// Equivalence groups (paper Definition 4.1) generalize diagonals: an
+/// equivalence group over an *ordered* permutable index list P states
+/// which adjacent indices in the canonical chain p1 <= ... <= pn are
+/// equal. Under the monotone canonical condition, equal indices must
+/// form contiguous runs, so the equivalence groups compatible with the
+/// chain are exactly the 2^(n-1) compositions of n.
+///
+/// The unique symmetry group S_P|E (Definition 4.2) is the set of
+/// permutations that are order-preserving within every run of E; its
+/// size is n! / prod(run!), the number of distinct assignments to emit
+/// for coordinates on that diagonal (Section 3.1).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SYSTEC_SYMMETRY_EQUIVALENCEGROUP_H
+#define SYSTEC_SYMMETRY_EQUIVALENCEGROUP_H
+
+#include "symmetry/Permutation.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace systec {
+
+/// An equivalence group over an ordered permutable index list of size N,
+/// represented as a composition (ordered list of run lengths summing to
+/// N). Run lengths > 1 mark maximal groups of equal indices.
+class EquivalenceGroup {
+public:
+  explicit EquivalenceGroup(std::vector<unsigned> RunLengths);
+
+  /// The finest group: no indices equal (all runs of length 1). This is
+  /// the off-diagonal case.
+  static EquivalenceGroup distinct(unsigned N);
+
+  unsigned size() const { return N; }
+  const std::vector<unsigned> &runs() const { return RunLengths; }
+
+  /// True if every run has length 1 (no equalities).
+  bool isOffDiagonal() const;
+
+  /// Position range [Begin, End) of run \p R in the ordered index list.
+  std::pair<unsigned, unsigned> runRange(unsigned R) const;
+
+  /// Whether ordered positions \p A and \p B lie in the same run.
+  bool sameRun(unsigned A, unsigned B) const;
+
+  /// The representative (first) position of the run containing \p A.
+  unsigned representative(unsigned A) const;
+
+  /// |S_P|E| = n! / prod(run!).
+  uint64_t uniquePermutationCount() const;
+
+  /// The unique symmetry group S_P|E: permutations sigma (one-line,
+  /// paper convention result[T] = X[sigma[T]]) such that positions in
+  /// the same run keep their relative order. Deterministic
+  /// lexicographic order.
+  std::vector<Permutation> uniquePermutations() const;
+
+  /// All equivalence groups over N ordered indices that are compatible
+  /// with the monotone canonical chain: the 2^(N-1) compositions of N,
+  /// finest (off-diagonal) first, then by lexicographic run pattern.
+  static std::vector<EquivalenceGroup> enumerate(unsigned N);
+
+  /// Classifies a concrete coordinate tuple (already canonical, i.e.
+  /// non-decreasing) into its equivalence group.
+  static EquivalenceGroup classify(const std::vector<int64_t> &Sorted);
+
+  /// Human-readable form over index names, e.g. "{(i=k),(l)}".
+  std::string str(const std::vector<std::string> &Names) const;
+
+  bool operator==(const EquivalenceGroup &Other) const {
+    return RunLengths == Other.RunLengths;
+  }
+
+private:
+  unsigned N = 0;
+  std::vector<unsigned> RunLengths;
+  std::vector<unsigned> RunOfPos; // position -> run id
+  std::vector<unsigned> RunBegin; // run id -> first position
+};
+
+} // namespace systec
+
+#endif // SYSTEC_SYMMETRY_EQUIVALENCEGROUP_H

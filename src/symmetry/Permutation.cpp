@@ -1,0 +1,76 @@
+//===- symmetry/Permutation.cpp -------------------------------*- C++ -*-===//
+
+#include "symmetry/Permutation.h"
+
+#include "support/Error.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+#include <sstream>
+
+namespace systec {
+
+Permutation::Permutation(std::vector<unsigned> ImageIn)
+    : Image(std::move(ImageIn)) {
+  std::vector<bool> Seen(Image.size(), false);
+  for (unsigned V : Image) {
+    assert(V < Image.size() && "permutation image out of range");
+    assert(!Seen[V] && "permutation image has duplicates");
+    Seen[V] = true;
+  }
+}
+
+Permutation Permutation::identity(unsigned N) {
+  std::vector<unsigned> Image(N);
+  std::iota(Image.begin(), Image.end(), 0u);
+  return Permutation(std::move(Image));
+}
+
+Permutation Permutation::compose(const Permutation &Other) const {
+  assert(size() == Other.size() && "composing mismatched permutations");
+  std::vector<unsigned> Out(size());
+  // (this ∘ Other).apply(X)[T] = Other.apply(X)[Image[T]]
+  //                            = X[Other.Image[Image[T]]].
+  for (unsigned T = 0; T < size(); ++T)
+    Out[T] = Other.Image[Image[T]];
+  return Permutation(std::move(Out));
+}
+
+Permutation Permutation::inverse() const {
+  std::vector<unsigned> Out(size());
+  for (unsigned T = 0; T < size(); ++T)
+    Out[Image[T]] = T;
+  return Permutation(std::move(Out));
+}
+
+bool Permutation::isIdentity() const {
+  for (unsigned T = 0; T < size(); ++T)
+    if (Image[T] != T)
+      return false;
+  return true;
+}
+
+std::string Permutation::str() const {
+  std::ostringstream OS;
+  OS << "(";
+  for (unsigned T = 0; T < size(); ++T) {
+    if (T)
+      OS << ",";
+    OS << Image[T];
+  }
+  OS << ")";
+  return OS.str();
+}
+
+std::vector<Permutation> allPermutations(unsigned N) {
+  std::vector<unsigned> Image(N);
+  std::iota(Image.begin(), Image.end(), 0u);
+  std::vector<Permutation> Result;
+  do {
+    Result.push_back(Permutation(Image));
+  } while (std::next_permutation(Image.begin(), Image.end()));
+  return Result;
+}
+
+} // namespace systec

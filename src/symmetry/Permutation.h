@@ -1,0 +1,70 @@
+//===- symmetry/Permutation.h - Permutations of index tuples --*- C++ -*-===//
+///
+/// \file
+/// Permutations in one-line notation and generation of (constrained)
+/// symmetric groups. The symmetrization stage (paper Section 4.1) applies
+/// every permutation in a *unique symmetry group* S_P|E (Definition 4.2)
+/// to the original assignment.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SYSTEC_SYMMETRY_PERMUTATION_H
+#define SYSTEC_SYMMETRY_PERMUTATION_H
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace systec {
+
+/// A permutation of {0, ..., n-1} in one-line notation: position \c T of
+/// the permuted tuple holds element \c Image[T] of the original, i.e.
+/// apply(X)[T] = X[Image[T]]. This matches the paper's convention in
+/// Figure 5 where sigma = (3,1,2) maps (i,k,l) to (l,i,k).
+class Permutation {
+public:
+  Permutation() = default;
+  explicit Permutation(std::vector<unsigned> Image);
+
+  /// The identity permutation on \p N elements.
+  static Permutation identity(unsigned N);
+
+  unsigned size() const { return static_cast<unsigned>(Image.size()); }
+  unsigned operator[](unsigned T) const { return Image[T]; }
+
+  /// Applies this permutation to a tuple: result[T] = X[Image[T]].
+  template <typename T>
+  std::vector<T> apply(const std::vector<T> &X) const {
+    std::vector<T> Out(Image.size());
+    for (size_t I = 0; I < Image.size(); ++I)
+      Out[I] = X[Image[I]];
+    return Out;
+  }
+
+  /// Composition: (this * Other).apply(X) == this.apply(Other.apply(X)).
+  Permutation compose(const Permutation &Other) const;
+
+  /// The inverse permutation.
+  Permutation inverse() const;
+
+  bool isIdentity() const;
+  bool operator==(const Permutation &Other) const {
+    return Image == Other.Image;
+  }
+
+  /// One-line notation string, e.g. "(2,0,1)".
+  std::string str() const;
+
+  const std::vector<unsigned> &image() const { return Image; }
+
+private:
+  std::vector<unsigned> Image;
+};
+
+/// All n! permutations of {0,...,N-1}, in lexicographic order of their
+/// one-line notation. Deterministic order keeps generated code stable.
+std::vector<Permutation> allPermutations(unsigned N);
+
+} // namespace systec
+
+#endif // SYSTEC_SYMMETRY_PERMUTATION_H

@@ -1,0 +1,94 @@
+//===- tensor/Coo.cpp -----------------------------------------*- C++ -*-===//
+
+#include "tensor/Coo.h"
+
+#include "support/Error.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+namespace systec {
+
+Coo::Coo(std::vector<int64_t> DimsIn) : Dims(std::move(DimsIn)) {
+  assert(!Dims.empty() && "tensors need at least one mode");
+}
+
+void Coo::addRaw(const int64_t *CoordsIn, double Val) {
+  for (unsigned M = 0; M < order(); ++M) {
+    assert(CoordsIn[M] >= 0 && CoordsIn[M] < Dims[M] &&
+           "coordinate out of bounds");
+    Coords.push_back(CoordsIn[M]);
+  }
+  Vals.push_back(Val);
+}
+
+void Coo::add(const std::vector<int64_t> &CoordsIn, double Val) {
+  assert(CoordsIn.size() == order() && "coordinate arity mismatch");
+  addRaw(CoordsIn.data(), Val);
+}
+
+void Coo::sortAndCombine(OpKind Combine) {
+  const unsigned N = order();
+  std::vector<size_t> Perm(size());
+  std::iota(Perm.begin(), Perm.end(), 0);
+  auto Less = [&](size_t A, size_t B) {
+    for (unsigned M = N; M-- > 0;) {
+      int64_t CA = Coords[A * N + M], CB = Coords[B * N + M];
+      if (CA != CB)
+        return CA < CB;
+    }
+    return false;
+  };
+  std::sort(Perm.begin(), Perm.end(), Less);
+
+  std::vector<int64_t> NewCoords;
+  std::vector<double> NewVals;
+  NewCoords.reserve(Coords.size());
+  NewVals.reserve(Vals.size());
+  for (size_t K = 0; K < Perm.size(); ++K) {
+    size_t I = Perm[K];
+    bool SameAsPrev = !NewVals.empty();
+    if (SameAsPrev) {
+      size_t Prev = NewVals.size() - 1;
+      for (unsigned M = 0; M < N; ++M)
+        if (NewCoords[Prev * N + M] != Coords[I * N + M]) {
+          SameAsPrev = false;
+          break;
+        }
+    }
+    if (SameAsPrev) {
+      NewVals.back() = evalOp(Combine, NewVals.back(), Vals[I]);
+    } else {
+      for (unsigned M = 0; M < N; ++M)
+        NewCoords.push_back(Coords[I * N + M]);
+      NewVals.push_back(Vals[I]);
+    }
+  }
+  Coords = std::move(NewCoords);
+  Vals = std::move(NewVals);
+}
+
+void Coo::append(const Coo &Other) {
+  assert(Dims == Other.Dims && "appending mismatched tensors");
+  Coords.insert(Coords.end(), Other.Coords.begin(), Other.Coords.end());
+  Vals.insert(Vals.end(), Other.Vals.begin(), Other.Vals.end());
+}
+
+Coo Coo::transposed(const std::vector<unsigned> &ModePerm) const {
+  const unsigned N = order();
+  assert(ModePerm.size() == N && "mode permutation arity mismatch");
+  std::vector<int64_t> NewDims(N);
+  for (unsigned M = 0; M < N; ++M)
+    NewDims[M] = Dims[ModePerm[M]];
+  Coo Out(std::move(NewDims));
+  std::vector<int64_t> Tmp(N);
+  for (size_t I = 0; I < size(); ++I) {
+    for (unsigned M = 0; M < N; ++M)
+      Tmp[M] = Coords[I * N + ModePerm[M]];
+    Out.addRaw(Tmp.data(), Vals[I]);
+  }
+  return Out;
+}
+
+} // namespace systec

@@ -1,0 +1,62 @@
+//===- tensor/Coo.h - Coordinate-format tensor builder --------*- C++ -*-===//
+///
+/// \file
+/// A flat coordinate-list (COO) staging buffer used to build the level
+/// formats. Coordinates are stored structure-of-arrays to keep million-
+/// entry 5-dimensional tensors cheap to sort.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SYSTEC_TENSOR_COO_H
+#define SYSTEC_TENSOR_COO_H
+
+#include "ir/Ops.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace systec {
+
+/// Coordinate-format staging storage for one tensor.
+class Coo {
+public:
+  Coo(std::vector<int64_t> Dims);
+
+  unsigned order() const { return static_cast<unsigned>(Dims.size()); }
+  const std::vector<int64_t> &dims() const { return Dims; }
+  size_t size() const { return Vals.size(); }
+
+  /// Appends one entry; \p Coords has order() elements.
+  void add(const std::vector<int64_t> &Coords, double Val);
+  /// Pointer variant for hot loops (named distinctly so brace-initialized
+  /// coordinate lists never bind to a null pointer).
+  void addRaw(const int64_t *Coords, double Val);
+
+  /// Coordinate \p Mode of entry \p I.
+  int64_t coord(size_t I, unsigned Mode) const {
+    return Coords[I * order() + Mode];
+  }
+  double value(size_t I) const { return Vals[I]; }
+  void setValue(size_t I, double Val) { Vals[I] = Val; }
+
+  /// Sorts entries lexicographically with the *last* mode most
+  /// significant (column-major / fibertree order) and combines
+  /// duplicate coordinates with \p Combine.
+  void sortAndCombine(OpKind Combine = OpKind::Add);
+
+  /// Appends all entries of \p Other (dims must match).
+  void append(const Coo &Other);
+
+  /// Returns a new Coo with modes permuted: result mode m holds source
+  /// mode ModePerm[m].
+  Coo transposed(const std::vector<unsigned> &ModePerm) const;
+
+private:
+  std::vector<int64_t> Dims;
+  std::vector<int64_t> Coords; // order() coordinates per entry
+  std::vector<double> Vals;
+};
+
+} // namespace systec
+
+#endif // SYSTEC_TENSOR_COO_H

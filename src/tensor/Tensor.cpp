@@ -1,0 +1,363 @@
+//===- tensor/Tensor.cpp --------------------------------------*- C++ -*-===//
+
+#include "tensor/Tensor.h"
+
+#include "support/Error.h"
+#include "support/StringUtils.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <functional>
+#include <sstream>
+
+namespace systec {
+
+namespace {
+
+/// A contiguous range of sorted COO entries sharing all coordinates
+/// above the current level, tagged with the parent position it belongs
+/// to.
+struct Segment {
+  int64_t ParentPos;
+  size_t Begin, End;
+};
+
+} // namespace
+
+Tensor Tensor::fromCoo(Coo Entries, TensorFormat Format, double Fill,
+                       OpKind Combine) {
+  const unsigned N = Entries.order();
+  if (Format.order() != N)
+    fatalError("format order does not match coordinate order");
+  Entries.sortAndCombine(Combine);
+
+  Tensor T;
+  T.Dims = Entries.dims();
+  T.Format = Format;
+  T.Fill = Fill;
+  T.Levels.resize(N);
+
+  std::vector<Segment> Segments{{0, 0, Entries.size()}};
+  int64_t PosCount = 1;
+
+  for (unsigned L = 0; L < N; ++L) {
+    const unsigned Mode = N - 1 - L;
+    const int64_t Dim = T.Dims[Mode];
+    Level &Lev = T.Levels[L];
+    Lev.Kind = Format.Levels[L];
+    Lev.Dim = Dim;
+    const bool Bottom = (L == N - 1);
+    std::vector<Segment> NewSegments;
+
+    // Groups a segment's entries by this level's coordinate and invokes
+    // \p Fn(coord, begin, end) in ascending coordinate order.
+    auto ForEachGroup = [&](const Segment &Seg, auto &&Fn) {
+      size_t I = Seg.Begin;
+      while (I < Seg.End) {
+        int64_t C = Entries.coord(I, Mode);
+        size_t J = I;
+        while (J < Seg.End && Entries.coord(J, Mode) == C)
+          ++J;
+        Fn(C, I, J);
+        I = J;
+      }
+    };
+
+    switch (Lev.Kind) {
+    case LevelKind::Dense: {
+      for (const Segment &Seg : Segments)
+        ForEachGroup(Seg, [&](int64_t C, size_t B, size_t E) {
+          NewSegments.push_back({Seg.ParentPos * Dim + C, B, E});
+        });
+      PosCount *= Dim;
+      if (Bottom) {
+        T.Vals.assign(static_cast<size_t>(PosCount), Fill);
+        for (const Segment &Seg : NewSegments) {
+          assert(Seg.End - Seg.Begin == 1 && "uncombined duplicate entry");
+          T.Vals[Seg.ParentPos] = Entries.value(Seg.Begin);
+        }
+      }
+      break;
+    }
+    case LevelKind::Sparse: {
+      Lev.Ptr.assign(static_cast<size_t>(PosCount) + 1, 0);
+      size_t SegIdx = 0;
+      for (int64_t P = 0; P < PosCount; ++P) {
+        Lev.Ptr[P] = static_cast<int64_t>(Lev.Crd.size());
+        if (SegIdx < Segments.size() && Segments[SegIdx].ParentPos == P) {
+          ForEachGroup(Segments[SegIdx], [&](int64_t C, size_t B, size_t E) {
+            NewSegments.push_back(
+                {static_cast<int64_t>(Lev.Crd.size()), B, E});
+            Lev.Crd.push_back(C);
+          });
+          ++SegIdx;
+        }
+      }
+      Lev.Ptr[PosCount] = static_cast<int64_t>(Lev.Crd.size());
+      PosCount = static_cast<int64_t>(Lev.Crd.size());
+      if (Bottom) {
+        T.Vals.resize(static_cast<size_t>(PosCount));
+        for (const Segment &Seg : NewSegments)
+          T.Vals[Seg.ParentPos] = Entries.value(Seg.Begin);
+      }
+      break;
+    }
+    case LevelKind::RunLength: {
+      if (!Bottom)
+        fatalError("RunLength levels are only supported at the bottom");
+      Lev.Ptr.assign(static_cast<size_t>(PosCount) + 1, 0);
+      size_t SegIdx = 0;
+      for (int64_t P = 0; P < PosCount; ++P) {
+        Lev.Ptr[P] = static_cast<int64_t>(Lev.RunEnd.size());
+        auto PushRun = [&](int64_t EndC, double V) {
+          // Merge with the previous run of this parent when values match.
+          if (static_cast<int64_t>(Lev.RunEnd.size()) > Lev.Ptr[P] &&
+              T.Vals.back() == V) {
+            Lev.RunEnd.back() = EndC;
+            return;
+          }
+          Lev.RunEnd.push_back(EndC);
+          T.Vals.push_back(V);
+        };
+        int64_t NextC = 0;
+        if (SegIdx < Segments.size() && Segments[SegIdx].ParentPos == P) {
+          ForEachGroup(Segments[SegIdx], [&](int64_t C, size_t B, size_t E) {
+            assert(E - B == 1 && "uncombined duplicate entry");
+            if (C > NextC)
+              PushRun(C, Fill);
+            PushRun(C + 1, Entries.value(B));
+            NextC = C + 1;
+          });
+          ++SegIdx;
+        }
+        if (NextC < Dim)
+          PushRun(Dim, Fill);
+      }
+      Lev.Ptr[PosCount] = static_cast<int64_t>(Lev.RunEnd.size());
+      PosCount = static_cast<int64_t>(Lev.RunEnd.size());
+      break;
+    }
+    case LevelKind::Banded: {
+      Lev.Lo.assign(static_cast<size_t>(PosCount), 0);
+      Lev.Hi.assign(static_cast<size_t>(PosCount), 0);
+      Lev.Off.assign(static_cast<size_t>(PosCount) + 1, 0);
+      size_t SegIdx = 0;
+      int64_t Total = 0;
+      for (int64_t P = 0; P < PosCount; ++P) {
+        Lev.Off[P] = Total;
+        if (SegIdx < Segments.size() && Segments[SegIdx].ParentPos == P) {
+          const Segment &Seg = Segments[SegIdx];
+          int64_t LoC = Entries.coord(Seg.Begin, Mode);
+          int64_t HiC = Entries.coord(Seg.End - 1, Mode) + 1;
+          Lev.Lo[P] = LoC;
+          Lev.Hi[P] = HiC;
+          ForEachGroup(Seg, [&](int64_t C, size_t B, size_t E) {
+            NewSegments.push_back({Total + (C - LoC), B, E});
+          });
+          Total += HiC - LoC;
+          ++SegIdx;
+        }
+      }
+      Lev.Off[PosCount] = Total;
+      PosCount = Total;
+      if (Bottom) {
+        T.Vals.assign(static_cast<size_t>(PosCount), Fill);
+        for (const Segment &Seg : NewSegments)
+          T.Vals[Seg.ParentPos] = Entries.value(Seg.Begin);
+      }
+      break;
+    }
+    }
+    Segments = std::move(NewSegments);
+  }
+  return T;
+}
+
+Tensor Tensor::dense(std::vector<int64_t> Dims, double Fill) {
+  Tensor T;
+  T.Dims = std::move(Dims);
+  const unsigned N = T.order();
+  T.Format = TensorFormat::dense(N);
+  T.Fill = Fill;
+  T.Levels.resize(N);
+  size_t Total = 1;
+  for (unsigned L = 0; L < N; ++L) {
+    T.Levels[L].Kind = LevelKind::Dense;
+    T.Levels[L].Dim = T.Dims[N - 1 - L];
+    Total *= static_cast<size_t>(T.Levels[L].Dim);
+  }
+  T.Vals.assign(Total, Fill);
+  return T;
+}
+
+int64_t Tensor::locate(unsigned L, int64_t Pos, int64_t C) const {
+  const Level &Lev = Levels[L];
+  switch (Lev.Kind) {
+  case LevelKind::Dense:
+    return Pos * Lev.Dim + C;
+  case LevelKind::Sparse: {
+    auto Begin = Lev.Crd.begin() + Lev.Ptr[Pos];
+    auto End = Lev.Crd.begin() + Lev.Ptr[Pos + 1];
+    auto It = std::lower_bound(Begin, End, C);
+    if (It == End || *It != C)
+      return -1;
+    return It - Lev.Crd.begin();
+  }
+  case LevelKind::RunLength: {
+    auto Begin = Lev.RunEnd.begin() + Lev.Ptr[Pos];
+    auto End = Lev.RunEnd.begin() + Lev.Ptr[Pos + 1];
+    auto It = std::upper_bound(Begin, End, C);
+    assert(It != End || C < Lev.Dim ? It != End : true);
+    if (It == End)
+      return -1;
+    return It - Lev.RunEnd.begin();
+  }
+  case LevelKind::Banded: {
+    if (C < Lev.Lo[Pos] || C >= Lev.Hi[Pos])
+      return -1;
+    return Lev.Off[Pos] + (C - Lev.Lo[Pos]);
+  }
+  }
+  unreachable("unknown level kind");
+}
+
+double Tensor::at(const std::vector<int64_t> &Coords) const {
+  assert(Coords.size() == order() && "coordinate arity mismatch");
+  int64_t Pos = 0;
+  for (unsigned L = 0; L < order(); ++L) {
+    Pos = locate(L, Pos, Coords[modeOfLevel(L)]);
+    if (Pos < 0)
+      return Fill;
+  }
+  return Vals[Pos];
+}
+
+double &Tensor::denseRef(const std::vector<int64_t> &Coords) {
+  assert(Format.isAllDense() && "denseRef requires an all-dense tensor");
+  int64_t Pos = 0;
+  for (unsigned L = 0; L < order(); ++L)
+    Pos = Pos * Levels[L].Dim + Coords[modeOfLevel(L)];
+  return Vals[Pos];
+}
+
+void Tensor::setAllValues(double V) {
+  std::fill(Vals.begin(), Vals.end(), V);
+}
+
+void Tensor::forEach(
+    const std::function<void(const std::vector<int64_t> &, double)> &Fn)
+    const {
+  std::vector<int64_t> Coords(order());
+  // Recursive descent over levels.
+  std::function<void(unsigned, int64_t)> Walk = [&](unsigned L,
+                                                    int64_t Pos) {
+    const Level &Lev = Levels[L];
+    const unsigned Mode = modeOfLevel(L);
+    auto Visit = [&](int64_t C, int64_t Child) {
+      Coords[Mode] = C;
+      if (L + 1 == order())
+        Fn(Coords, Vals[Child]);
+      else
+        Walk(L + 1, Child);
+    };
+    switch (Lev.Kind) {
+    case LevelKind::Dense:
+      for (int64_t C = 0; C < Lev.Dim; ++C)
+        Visit(C, Pos * Lev.Dim + C);
+      return;
+    case LevelKind::Sparse:
+      for (int64_t K = Lev.Ptr[Pos]; K < Lev.Ptr[Pos + 1]; ++K)
+        Visit(Lev.Crd[K], K);
+      return;
+    case LevelKind::RunLength: {
+      int64_t Start = 0;
+      for (int64_t K = Lev.Ptr[Pos]; K < Lev.Ptr[Pos + 1]; ++K) {
+        for (int64_t C = Start; C < Lev.RunEnd[K]; ++C)
+          Visit(C, K);
+        Start = Lev.RunEnd[K];
+      }
+      return;
+    }
+    case LevelKind::Banded:
+      for (int64_t C = Lev.Lo[Pos]; C < Lev.Hi[Pos]; ++C)
+        Visit(C, Lev.Off[Pos] + (C - Lev.Lo[Pos]));
+      return;
+    }
+    unreachable("unknown level kind");
+  };
+  Walk(0, 0);
+}
+
+Coo Tensor::toCoo() const {
+  Coo Out(Dims);
+  forEach([&Out](const std::vector<int64_t> &Coords, double V) {
+    Out.add(Coords, V);
+  });
+  return Out;
+}
+
+Tensor Tensor::transposed(const std::vector<unsigned> &ModePerm,
+                          const TensorFormat &NewFormat) const {
+  return fromCoo(toCoo().transposed(ModePerm), NewFormat, Fill);
+}
+
+std::pair<Tensor, Tensor> Tensor::splitDiagonal(const Partition &Sym) const {
+  assert(Sym.order() == order() && "partition order mismatch");
+  Coo OffDiag(Dims), Diag(Dims);
+  forEach([&](const std::vector<int64_t> &Coords, double V) {
+    if (Sym.isOnDiagonal(Coords))
+      Diag.add(Coords, V);
+    else
+      OffDiag.add(Coords, V);
+  });
+  return {fromCoo(std::move(OffDiag), Format, Fill),
+          fromCoo(std::move(Diag), Format, Fill)};
+}
+
+double Tensor::maxAbsDiff(const Tensor &A, const Tensor &B) {
+  assert(A.dims() == B.dims() && "shape mismatch");
+  double Max = 0;
+  A.forEach([&](const std::vector<int64_t> &Coords, double V) {
+    Max = std::max(Max, std::fabs(V - B.at(Coords)));
+  });
+  B.forEach([&](const std::vector<int64_t> &Coords, double V) {
+    Max = std::max(Max, std::fabs(V - A.at(Coords)));
+  });
+  return Max;
+}
+
+uint64_t replicateSymmetric(Tensor &T, const Partition &Sym) {
+  assert(T.format().isAllDense() && "replication needs a dense tensor");
+  assert(Sym.order() == T.order() && "partition order mismatch");
+  const unsigned N = T.order();
+  uint64_t Copies = 0;
+  std::vector<int64_t> Coords(N, 0);
+  std::function<void(unsigned)> Walk = [&](unsigned M) {
+    if (M == N) {
+      if (!Sym.isCanonical(Coords)) {
+        T.denseRef(Coords) = T.at(Sym.canonicalize(Coords));
+        ++Copies;
+      }
+      return;
+    }
+    for (Coords[M] = 0; Coords[M] < T.dim(M); ++Coords[M])
+      Walk(M + 1);
+  };
+  Walk(0);
+  return Copies;
+}
+
+std::string Tensor::summary() const {
+  std::ostringstream OS;
+  OS << order() << "-d ";
+  for (unsigned M = 0; M < order(); ++M) {
+    if (M)
+      OS << "x";
+    OS << Dims[M];
+  }
+  OS << ", " << Vals.size() << " stored, " << Format.str();
+  return OS.str();
+}
+
+} // namespace systec

@@ -1,0 +1,143 @@
+//===- tensor/Tensor.h - Fibertree level-format tensors -------*- C++ -*-===//
+///
+/// \file
+/// Sparse and structured tensors stored as a stack of per-mode levels
+/// (the fibertree abstraction of Finch/TACO; paper Section 2.2). Like
+/// Finch, storage is column-major: the *last* access mode is the top
+/// level, so CSC is Dense(Sparse(Element)) for A[i,j] and 3-d CSF is
+/// Dense(Sparse(Sparse(Element))).
+///
+/// Supported level kinds:
+///  - Dense:     all coordinates present, positions computed.
+///  - Sparse:    compressed coordinates (ptr/crd).
+///  - RunLength: runs of equal values covering the full extent
+///               (structured; bottom level only).
+///  - Banded:    one contiguous coordinate interval per parent position
+///               (covers banded and triangular structure).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SYSTEC_TENSOR_TENSOR_H
+#define SYSTEC_TENSOR_TENSOR_H
+
+#include "ir/Einsum.h"
+#include "symmetry/Partition.h"
+#include "tensor/Coo.h"
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace systec {
+
+/// Storage for one fibertree level. Level L of an order-n tensor holds
+/// access mode n-1-L. Child positions index the next level down (or the
+/// value array at the bottom).
+struct Level {
+  LevelKind Kind = LevelKind::Dense;
+  int64_t Dim = 0;
+
+  // Sparse: child k in [Ptr[p], Ptr[p+1]) has coordinate Crd[k].
+  std::vector<int64_t> Ptr;
+  std::vector<int64_t> Crd;
+
+  // RunLength: runs k in [Ptr[p], Ptr[p+1]); run k covers coordinates
+  // [RunEnd[k-1] (or 0), RunEnd[k]). Runs tile [0, Dim).
+  std::vector<int64_t> RunEnd;
+
+  // Banded: coordinates [Lo[p], Hi[p]); child position Off[p]+(c-Lo[p]).
+  std::vector<int64_t> Lo, Hi, Off;
+};
+
+/// An immutable-shape, mutable-value tensor in a fibertree format.
+class Tensor {
+public:
+  Tensor() = default;
+
+  /// Builds from coordinate data (sorted/combined internally).
+  /// \p Combine resolves duplicate coordinates.
+  static Tensor fromCoo(Coo Entries, TensorFormat Format, double Fill = 0.0,
+                        OpKind Combine = OpKind::Add);
+
+  /// An all-dense tensor filled with \p Fill (used for outputs,
+  /// vectors, and oracle references).
+  static Tensor dense(std::vector<int64_t> Dims, double Fill = 0.0);
+
+  unsigned order() const { return static_cast<unsigned>(Dims.size()); }
+  const std::vector<int64_t> &dims() const { return Dims; }
+  int64_t dim(unsigned Mode) const { return Dims[Mode]; }
+  const TensorFormat &format() const { return Format; }
+  double fill() const { return Fill; }
+
+  /// Level index holding access mode \p Mode.
+  unsigned levelOfMode(unsigned Mode) const { return order() - 1 - Mode; }
+  /// Access mode held by level \p L.
+  unsigned modeOfLevel(unsigned L) const { return order() - 1 - L; }
+  const Level &level(unsigned L) const { return Levels[L]; }
+
+  /// Number of stored values (explicit entries / positions at bottom).
+  size_t storedCount() const { return Vals.size(); }
+  double val(int64_t Pos) const { return Vals[Pos]; }
+  void setVal(int64_t Pos, double V) { Vals[Pos] = V; }
+  const std::vector<double> &vals() const { return Vals; }
+  std::vector<double> &vals() { return Vals; }
+
+  /// Random access (walks the levels; missing coordinates yield fill).
+  double at(const std::vector<int64_t> &Coords) const;
+
+  /// Mutable access for all-dense tensors.
+  double &denseRef(const std::vector<int64_t> &Coords);
+
+  /// Resets every stored value to \p V.
+  void setAllValues(double V);
+
+  /// Descends one level: child position of coordinate \p C under parent
+  /// position \p Pos, or -1 when the coordinate is not stored.
+  int64_t locate(unsigned L, int64_t Pos, int64_t C) const;
+
+  /// Iterates stored entries in coordinate order (RunLength levels are
+  /// expanded per coordinate).
+  void forEach(
+      const std::function<void(const std::vector<int64_t> &, double)> &Fn)
+      const;
+
+  /// Explicit entries as COO (access-mode coordinate order).
+  Coo toCoo() const;
+
+  /// Tensor with modes permuted (result mode m = source mode
+  /// ModePerm[m]), in format \p NewFormat.
+  Tensor transposed(const std::vector<unsigned> &ModePerm,
+                    const TensorFormat &NewFormat) const;
+
+  /// Splits into (off-diagonal, diagonal) parts relative to \p Sym
+  /// (paper 4.2.9 / Listing 7's A_nondiag and A_diag).
+  std::pair<Tensor, Tensor> splitDiagonal(const Partition &Sym) const;
+
+  /// Maximum absolute difference over the union of explicit entries of
+  /// two same-shaped tensors (fill-extended).
+  static double maxAbsDiff(const Tensor &A, const Tensor &B);
+
+  /// One-line summary "2-d 100x100, 512 stored, Dense(Sparse(...))".
+  std::string summary() const;
+
+  /// Copies the canonical triangle of an all-dense tensor to every
+  /// non-canonical coordinate under \p Sym (the replication
+  /// post-processing step of paper 4.2.2). Returns the number of
+  /// copies performed.
+  friend uint64_t replicateSymmetric(Tensor &T, const Partition &Sym);
+
+private:
+  std::vector<int64_t> Dims; // per access mode
+  TensorFormat Format;       // per level, top first
+  double Fill = 0.0;
+  std::vector<Level> Levels; // top first
+  std::vector<double> Vals;  // bottom positions
+};
+
+uint64_t replicateSymmetric(Tensor &T, const Partition &Sym);
+
+} // namespace systec
+
+#endif // SYSTEC_TENSOR_TENSOR_H

@@ -1,0 +1,135 @@
+//===- tests/baselines_test.cpp -------------------------------*- C++ -*-===//
+///
+/// The native comparator kernels (TACO/MKL/SPLATT stand-ins) against
+/// the independent dense oracle.
+///
+//===----------------------------------------------------------------------===//
+
+#include "baselines/Baselines.h"
+#include "data/Generators.h"
+#include "kernels/Kernels.h"
+#include "kernels/Oracle.h"
+
+#include <gtest/gtest.h>
+
+using namespace systec;
+
+namespace {
+
+constexpr double Tol = 1e-10;
+
+} // namespace
+
+TEST(Baselines, TacoSpmv) {
+  Rng R(3);
+  Tensor A = generateSparseMatrix(50, 50, 200, R, TensorFormat::csf(2));
+  Tensor X = generateDenseVector(50, R);
+  Tensor Y = Tensor::dense({50});
+  tacoSpmv(A, X, Y);
+  Einsum E = parseEinsum("spmv", "y[i] += A[i,j] * x[j]");
+  Tensor Ref = oracleEval(E, {{"A", &A}, {"x", &X}});
+  EXPECT_LT(Tensor::maxAbsDiff(Y, Ref), Tol);
+}
+
+TEST(Baselines, MklSymvMatchesFullSpmv) {
+  Rng R(4);
+  Tensor A = generateSymmetricTensor(2, 60, 250, R, TensorFormat::csf(2));
+  Tensor Up = upperTriangle(A);
+  Tensor X = generateDenseVector(60, R);
+  Tensor YFull = Tensor::dense({60}), YSym = Tensor::dense({60});
+  tacoSpmv(A, X, YFull);
+  mklSymv(Up, X, YSym);
+  EXPECT_LT(Tensor::maxAbsDiff(YFull, YSym), Tol);
+}
+
+TEST(Baselines, UpperTriangleKeepsCanonicalOnly) {
+  Rng R(5);
+  Tensor A = generateSymmetricTensor(2, 20, 40, R, TensorFormat::csf(2));
+  Tensor Up = upperTriangle(A);
+  Up.forEach([](const std::vector<int64_t> &C, double) {
+    EXPECT_LE(C[0], C[1]);
+  });
+  // Canonical entry count: (nnz + diag) / 2.
+  EXPECT_LT(Up.storedCount(), A.storedCount());
+}
+
+TEST(Baselines, TacoBellmanFord) {
+  Rng R(6);
+  double Inf = std::numeric_limits<double>::infinity();
+  Tensor A =
+      generateSymmetricTensor(2, 40, 100, R, TensorFormat::csf(2), Inf);
+  Tensor D = generateDenseVector(40, R);
+  Tensor Y = Tensor::dense({40}, 0.0);
+  Y.setAllValues(Inf);
+  tacoBellmanFord(A, D, Y);
+  Einsum E = parseEinsum("bf", "y[i] min= A[i,j] + d[j]");
+  Tensor Ref = oracleEval(E, {{"A", &A}, {"d", &D}});
+  EXPECT_LT(Tensor::maxAbsDiff(Y, Ref), Tol);
+}
+
+TEST(Baselines, TacoSyprd) {
+  Rng R(7);
+  Tensor A = generateSymmetricTensor(2, 40, 150, R, TensorFormat::csf(2));
+  Tensor X = generateDenseVector(40, R);
+  double Out = tacoSyprd(A, X);
+  Einsum E = parseEinsum("syprd", "y[] += x[i] * A[i,j] * x[j]");
+  Tensor Ref = oracleEval(E, {{"A", &A}, {"x", &X}});
+  EXPECT_NEAR(Out, Ref.at({0}), Tol);
+}
+
+TEST(Baselines, TacoSsyrk) {
+  Rng R(8);
+  Tensor A = generateSparseMatrix(30, 30, 120, R, TensorFormat::csf(2));
+  Tensor C = Tensor::dense({30, 30});
+  tacoSsyrk(A, C);
+  Einsum E = parseEinsum("ssyrk", "C[i,j] += A[i,k] * A[j,k]");
+  Tensor Ref = oracleEval(E, {{"A", &A}});
+  EXPECT_LT(Tensor::maxAbsDiff(C, Ref), Tol);
+}
+
+TEST(Baselines, TacoTtm) {
+  Rng R(9);
+  Tensor A = generateSymmetricTensor(3, 15, 80, R, TensorFormat::csf(3));
+  Tensor B = generateDenseMatrix(15, 6, R);
+  Tensor C = Tensor::dense({6, 15, 15});
+  tacoTtm(A, B, C);
+  Einsum E = parseEinsum("ttm", "C[i,j,l] += A[k,j,l] * B[k,i]");
+  Tensor Ref = oracleEval(E, {{"A", &A}, {"B", &B}});
+  EXPECT_LT(Tensor::maxAbsDiff(C, Ref), Tol);
+}
+
+TEST(Baselines, TacoMttkrp3) {
+  Rng R(10);
+  Tensor A = generateSymmetricTensor(3, 15, 80, R, TensorFormat::csf(3));
+  Tensor B = generateDenseMatrix(15, 5, R);
+  Tensor C = Tensor::dense({15, 5});
+  tacoMttkrp3(A, B, C);
+  Einsum E = parseEinsum("mttkrp",
+                         "C[i,j] += A[i,k,l] * B[k,j] * B[l,j]");
+  Tensor Ref = oracleEval(E, {{"A", &A}, {"B", &B}});
+  EXPECT_LT(Tensor::maxAbsDiff(C, Ref), Tol);
+}
+
+TEST(Baselines, SplattMatchesTaco) {
+  Rng R(11);
+  Tensor A = generateSymmetricTensor(3, 18, 120, R, TensorFormat::csf(3));
+  Tensor B = generateDenseMatrix(18, 7, R);
+  Tensor C1 = Tensor::dense({18, 7}), C2 = Tensor::dense({18, 7});
+  tacoMttkrp3(A, B, C1);
+  splattMttkrp3(A, B, C2);
+  EXPECT_LT(Tensor::maxAbsDiff(C1, C2), Tol);
+}
+
+TEST(Baselines, AccumulateSemantics) {
+  // Baselines add into the output rather than overwriting.
+  Rng R(12);
+  Tensor A = generateSparseMatrix(10, 10, 20, R, TensorFormat::csf(2));
+  Tensor X = generateDenseVector(10, R);
+  Tensor Y = Tensor::dense({10});
+  tacoSpmv(A, X, Y);
+  Tensor YTwice = Tensor::dense({10});
+  tacoSpmv(A, X, YTwice);
+  tacoSpmv(A, X, YTwice);
+  for (int64_t I = 0; I < 10; ++I)
+    EXPECT_NEAR(YTwice.at({I}), 2 * Y.at({I}), Tol);
+}

@@ -1,0 +1,131 @@
+//===- tests/data_test.cpp ------------------------------------*- C++ -*-===//
+///
+/// Workload generator tests: exact symmetry of generated tensors,
+/// nonzero counts, the Table 2 suite, and structured workloads.
+///
+//===----------------------------------------------------------------------===//
+
+#include "data/Generators.h"
+#include "symmetry/Partition.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+using namespace systec;
+
+TEST(Generators, SymmetricMatrixIsExactlySymmetric) {
+  Rng R(1);
+  Tensor A = generateSymmetricTensor(2, 50, 200, R, TensorFormat::csf(2));
+  A.forEach([&A](const std::vector<int64_t> &C, double V) {
+    EXPECT_EQ(A.at({C[1], C[0]}), V);
+  });
+}
+
+/// Property sweep: symmetry of generated order-n tensors under every
+/// permutation of a random sample of coordinates.
+class SymmetricGen : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(SymmetricGen, InvariantUnderPermutations) {
+  const unsigned Order = GetParam();
+  Rng R(2);
+  Tensor A = generateSymmetricTensor(Order, 10, 60, R,
+                                     TensorFormat::csf(Order));
+  Partition Full = Partition::full(Order);
+  A.forEach([&](const std::vector<int64_t> &C, double V) {
+    std::vector<int64_t> P = C;
+    std::sort(P.begin(), P.end());
+    do {
+      EXPECT_EQ(A.at(P), V);
+    } while (std::next_permutation(P.begin(), P.end()));
+    EXPECT_EQ(A.at(Full.canonicalize(C)), V);
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(Orders, SymmetricGen,
+                         ::testing::Values(2u, 3u, 4u, 5u));
+
+TEST(Generators, SymmetricTensorStoredCountMatchesOrbits) {
+  Rng R(3);
+  Tensor A = generateSymmetricTensor(3, 12, 50, R, TensorFormat::csf(3));
+  // Stored count equals the sum of orbit sizes over canonical entries.
+  Partition Full = Partition::full(3);
+  uint64_t FromOrbits = 0;
+  A.forEach([&](const std::vector<int64_t> &C, double) {
+    if (Full.isCanonical(C))
+      FromOrbits += Full.orbitSize(C);
+  });
+  EXPECT_EQ(FromOrbits, A.storedCount());
+}
+
+TEST(Generators, SparseMatrixNnzApproximate) {
+  Rng R(4);
+  Tensor A = generateSparseMatrix(200, 200, 1000, R, TensorFormat::csf(2));
+  // Collisions make it slightly less than requested.
+  EXPECT_LE(A.storedCount(), 1000u);
+  EXPECT_GE(A.storedCount(), 950u);
+}
+
+TEST(Generators, SymmetrizeMatrixAddsTranspose) {
+  Rng R(5);
+  Tensor A = generateSparseMatrix(30, 30, 60, R, TensorFormat::csf(2));
+  Tensor S = symmetrizeMatrix(A);
+  S.forEach([&S](const std::vector<int64_t> &C, double V) {
+    EXPECT_EQ(S.at({C[1], C[0]}), V);
+  });
+  A.forEach([&](const std::vector<int64_t> &C, double V) {
+    EXPECT_EQ(S.at(C), V + A.at({C[1], C[0]}));
+  });
+}
+
+TEST(Generators, BandedSymmetric) {
+  Rng R(6);
+  Tensor A = generateBandedSymmetric(20, 2, R, TensorFormat::csf(2));
+  A.forEach([](const std::vector<int64_t> &C, double) {
+    EXPECT_LE(std::abs(C[0] - C[1]), 2);
+  });
+  A.forEach([&A](const std::vector<int64_t> &C, double V) {
+    EXPECT_EQ(A.at({C[1], C[0]}), V);
+  });
+}
+
+TEST(Generators, DenseMatrixShapeAndRange) {
+  Rng R(7);
+  Tensor B = generateDenseMatrix(8, 5, R);
+  EXPECT_EQ(B.storedCount(), 40u);
+  for (double V : B.vals()) {
+    EXPECT_GE(V, 0.0);
+    EXPECT_LT(V, 1.0);
+  }
+}
+
+TEST(Suite, TableTwoContents) {
+  const std::vector<MatrixSpec> &Suite = vuducSuite();
+  ASSERT_EQ(Suite.size(), 30u);
+  // Spot-check entries against Table 2.
+  EXPECT_EQ(Suite[0].Name, "bayer02");
+  EXPECT_EQ(Suite[0].Dimension, 13935);
+  EXPECT_EQ(Suite[0].Nonzeros, 63679);
+  auto Finan = std::find_if(Suite.begin(), Suite.end(),
+                            [](const MatrixSpec &S) {
+                              return S.Name == "finan512";
+                            });
+  ASSERT_NE(Finan, Suite.end());
+  EXPECT_EQ(Finan->Dimension, 74752);
+  EXPECT_EQ(Finan->Nonzeros, 596992);
+}
+
+TEST(Suite, BuildMatchesSpecApproximately) {
+  Rng R(8);
+  MatrixSpec Spec{"test", 500, 4000};
+  Tensor A = buildSuiteMatrix(Spec, R);
+  EXPECT_EQ(A.dim(0), 500);
+  EXPECT_EQ(A.dim(1), 500);
+  // A + A' lands near the requested count.
+  EXPECT_GT(A.storedCount(), Spec.Nonzeros * 0.85);
+  EXPECT_LT(A.storedCount(), Spec.Nonzeros * 1.15);
+  // And is symmetric.
+  A.forEach([&A](const std::vector<int64_t> &C, double V) {
+    EXPECT_EQ(A.at({C[1], C[0]}), V);
+  });
+}

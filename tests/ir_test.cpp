@@ -1,0 +1,439 @@
+//===- tests/ir_test.cpp --------------------------------------*- C++ -*-===//
+///
+/// Tests for operators, conditions, expressions, statements, and the
+/// einsum parser.
+///
+//===----------------------------------------------------------------------===//
+
+#include "ir/Cond.h"
+#include "ir/Einsum.h"
+#include "ir/Expr.h"
+#include "ir/Ops.h"
+#include "ir/Stmt.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+using namespace systec;
+
+//===----------------------------------------------------------------------===//
+// Ops
+//===----------------------------------------------------------------------===//
+
+TEST(Ops, AddProperties) {
+  const OpInfo &I = opInfo(OpKind::Add);
+  EXPECT_TRUE(I.Commutative);
+  EXPECT_TRUE(I.Associative);
+  EXPECT_FALSE(I.Idempotent);
+  EXPECT_EQ(I.Identity, 0.0);
+  EXPECT_FALSE(I.Annihilator.has_value());
+}
+
+TEST(Ops, MulAnnihilator) {
+  const OpInfo &I = opInfo(OpKind::Mul);
+  ASSERT_TRUE(I.Annihilator.has_value());
+  EXPECT_EQ(*I.Annihilator, 0.0);
+  EXPECT_EQ(I.Identity, 1.0);
+}
+
+TEST(Ops, MinIsIdempotentWithInfIdentity) {
+  const OpInfo &I = opInfo(OpKind::Min);
+  EXPECT_TRUE(I.Idempotent);
+  EXPECT_EQ(I.Identity, std::numeric_limits<double>::infinity());
+}
+
+TEST(Ops, EvalAll) {
+  EXPECT_EQ(evalOp(OpKind::Add, 2, 3), 5);
+  EXPECT_EQ(evalOp(OpKind::Mul, 2, 3), 6);
+  EXPECT_EQ(evalOp(OpKind::Sub, 2, 3), -1);
+  EXPECT_EQ(evalOp(OpKind::Div, 6, 3), 2);
+  EXPECT_EQ(evalOp(OpKind::Min, 2, 3), 2);
+  EXPECT_EQ(evalOp(OpKind::Max, 2, 3), 3);
+}
+
+TEST(Ops, ReductionOps) {
+  EXPECT_TRUE(isReductionOp(OpKind::Add));
+  EXPECT_TRUE(isReductionOp(OpKind::Min));
+  EXPECT_FALSE(isReductionOp(OpKind::Sub));
+  EXPECT_FALSE(isReductionOp(OpKind::Div));
+}
+
+TEST(Ops, Parse) {
+  EXPECT_EQ(parseOp("+"), OpKind::Add);
+  EXPECT_EQ(parseOp("min"), OpKind::Min);
+  EXPECT_FALSE(parseOp("??").has_value());
+}
+
+//===----------------------------------------------------------------------===//
+// Cond
+//===----------------------------------------------------------------------===//
+
+TEST(Cond, EvalCmpAll) {
+  EXPECT_TRUE(evalCmp(CmpKind::LT, 1, 2));
+  EXPECT_FALSE(evalCmp(CmpKind::LT, 2, 2));
+  EXPECT_TRUE(evalCmp(CmpKind::LE, 2, 2));
+  EXPECT_TRUE(evalCmp(CmpKind::EQ, 3, 3));
+  EXPECT_TRUE(evalCmp(CmpKind::NE, 3, 4));
+  EXPECT_TRUE(evalCmp(CmpKind::GT, 5, 4));
+  EXPECT_TRUE(evalCmp(CmpKind::GE, 4, 4));
+}
+
+TEST(Cond, SwapAndNegate) {
+  EXPECT_EQ(swapCmp(CmpKind::LT), CmpKind::GT);
+  EXPECT_EQ(swapCmp(CmpKind::LE), CmpKind::GE);
+  EXPECT_EQ(swapCmp(CmpKind::EQ), CmpKind::EQ);
+  EXPECT_EQ(negateCmp(CmpKind::LT), CmpKind::GE);
+  EXPECT_EQ(negateCmp(CmpKind::EQ), CmpKind::NE);
+}
+
+TEST(Cond, AlwaysNever) {
+  EXPECT_TRUE(Cond::always().isAlways());
+  EXPECT_FALSE(Cond::always().isNever());
+  EXPECT_TRUE(Cond::never().isNever());
+}
+
+TEST(Cond, EvalConjunction) {
+  Cond C = Cond::conj({CmpAtom{CmpKind::LE, "i", "j"},
+                       CmpAtom{CmpKind::LT, "j", "k"}});
+  auto Env = [](const std::string &N) -> int64_t {
+    if (N == "i")
+      return 1;
+    if (N == "j")
+      return 1;
+    return 5;
+  };
+  EXPECT_TRUE(C.eval(Env));
+  Cond C2 = Cond::conj({CmpAtom{CmpKind::LT, "i", "j"}});
+  EXPECT_FALSE(C2.eval(Env));
+}
+
+TEST(Cond, UnionDeduplicates) {
+  Cond A = Cond::atom(CmpKind::LT, "i", "j");
+  Cond U = Cond::unionOf(A, A);
+  EXPECT_EQ(U.disjuncts().size(), 1u);
+}
+
+TEST(Cond, WithAtomDistributes) {
+  Cond A = Cond::unionOf(Cond::atom(CmpKind::LT, "i", "j"),
+                         Cond::atom(CmpKind::EQ, "i", "j"));
+  Cond B = A.withAtom(CmpKind::LT, "j", "k");
+  ASSERT_EQ(B.disjuncts().size(), 2u);
+  EXPECT_EQ(B.disjuncts()[0].Atoms.size(), 2u);
+}
+
+TEST(Cond, Renamed) {
+  Cond A = Cond::atom(CmpKind::LT, "i", "j");
+  Cond B = A.renamed([](const std::string &N) {
+    return N == "i" ? std::string("x") : N;
+  });
+  EXPECT_EQ(B.str(), "x < j");
+}
+
+TEST(Cond, StrFormats) {
+  EXPECT_EQ(Cond::never().str(), "false");
+  EXPECT_EQ(Cond::always().str(), "true");
+  Cond C = Cond::unionOf(
+      Cond::conj({CmpAtom{CmpKind::EQ, "i", "k"},
+                  CmpAtom{CmpKind::NE, "k", "l"}}),
+      Cond::conj({CmpAtom{CmpKind::NE, "i", "k"},
+                  CmpAtom{CmpKind::EQ, "k", "l"}}));
+  EXPECT_EQ(C.str(), "(i == k && k != l) || (i != k && k == l)");
+}
+
+TEST(Cond, SimplifyLtOrEq) {
+  // Paper 4.2.4: (i == j) || (i < j)  =>  i <= j.
+  Cond C = Cond::unionOf(Cond::atom(CmpKind::EQ, "i", "j"),
+                         Cond::atom(CmpKind::LT, "i", "j"));
+  EXPECT_EQ(simplifyCond(C).str(), "i <= j");
+}
+
+TEST(Cond, SimplifyHandlesSwappedOperands) {
+  Cond C = Cond::unionOf(Cond::atom(CmpKind::GT, "j", "i"),
+                         Cond::atom(CmpKind::EQ, "i", "j"));
+  EXPECT_EQ(simplifyCond(C).str(), "i <= j");
+}
+
+TEST(Cond, SimplifyToAlways) {
+  Cond C = Cond::unionOf(Cond::atom(CmpKind::LE, "i", "j"),
+                         Cond::atom(CmpKind::GT, "i", "j"));
+  EXPECT_TRUE(simplifyCond(C).isAlways());
+}
+
+TEST(Cond, SimplifyToNe) {
+  Cond C = Cond::unionOf(Cond::atom(CmpKind::LT, "i", "j"),
+                         Cond::atom(CmpKind::GT, "i", "j"));
+  EXPECT_EQ(simplifyCond(C).str(), "i != j");
+}
+
+TEST(Cond, SimplifyLeavesMultiAtomDisjunctsAlone) {
+  Cond C = Cond::unionOf(
+      Cond::conj({CmpAtom{CmpKind::EQ, "i", "k"},
+                  CmpAtom{CmpKind::NE, "k", "l"}}),
+      Cond::conj({CmpAtom{CmpKind::NE, "i", "k"},
+                  CmpAtom{CmpKind::EQ, "k", "l"}}));
+  EXPECT_EQ(simplifyCond(C).disjuncts().size(), 2u);
+}
+
+//===----------------------------------------------------------------------===//
+// Expr
+//===----------------------------------------------------------------------===//
+
+TEST(Expr, LiteralPrinting) {
+  EXPECT_EQ(Expr::lit(2.0)->str(), "2");
+  EXPECT_EQ(Expr::lit(0.5)->str(), "0.5");
+}
+
+TEST(Expr, AccessPrinting) {
+  EXPECT_EQ(Expr::access("A", {"i", "j"})->str(), "A[i, j]");
+  EXPECT_EQ(Expr::access("y", {})->str(), "y[]");
+}
+
+TEST(Expr, CallPrintingInfix) {
+  ExprPtr E = Expr::call(OpKind::Mul, {Expr::access("A", {"i", "j"}),
+                                       Expr::access("x", {"j"})});
+  EXPECT_EQ(E->str(), "A[i, j] * x[j]");
+}
+
+TEST(Expr, CallPrintingPrefix) {
+  ExprPtr E = Expr::call(OpKind::Min, {Expr::scalar("a"),
+                                       Expr::scalar("b")});
+  EXPECT_EQ(E->str(), "min(a, b)");
+}
+
+TEST(Expr, AssociativeFlattening) {
+  ExprPtr AB = Expr::call(OpKind::Mul, {Expr::scalar("a"),
+                                        Expr::scalar("b")});
+  ExprPtr ABC = Expr::call(OpKind::Mul, {AB, Expr::scalar("c")});
+  EXPECT_EQ(ABC->args().size(), 3u);
+}
+
+TEST(Expr, NonAssociativeNotFlattened) {
+  ExprPtr AB = Expr::call(OpKind::Sub, {Expr::scalar("a"),
+                                        Expr::scalar("b")});
+  ExprPtr ABC = Expr::call(OpKind::Sub, {AB, Expr::scalar("c")});
+  EXPECT_EQ(ABC->args().size(), 2u);
+}
+
+TEST(Expr, SingleArgCallCollapses) {
+  ExprPtr E = Expr::call(OpKind::Add, {Expr::scalar("a")});
+  EXPECT_EQ(E->kind(), ExprKind::Scalar);
+}
+
+TEST(Expr, StructuralEquality) {
+  ExprPtr A = Expr::call(OpKind::Mul, {Expr::access("A", {"i", "j"}),
+                                       Expr::access("x", {"j"})});
+  ExprPtr B = Expr::call(OpKind::Mul, {Expr::access("A", {"i", "j"}),
+                                       Expr::access("x", {"j"})});
+  ExprPtr C = Expr::call(OpKind::Mul, {Expr::access("A", {"j", "i"}),
+                                       Expr::access("x", {"j"})});
+  EXPECT_TRUE(Expr::equal(A, B));
+  EXPECT_FALSE(Expr::equal(A, C));
+}
+
+TEST(Expr, RenameIndicesSimultaneous) {
+  // Swapping i and j must be simultaneous, not sequential.
+  ExprPtr E = Expr::access("A", {"i", "j"});
+  ExprPtr Swapped = Expr::renameIndices(E, [](const std::string &N) {
+    return N == "i" ? "j" : (N == "j" ? "i" : N);
+  });
+  EXPECT_EQ(Swapped->str(), "A[j, i]");
+}
+
+TEST(Expr, RenameTensors) {
+  ExprPtr E = Expr::call(OpKind::Mul, {Expr::access("A", {"i"}),
+                                       Expr::access("B", {"i"})});
+  ExprPtr R = Expr::renameTensors(E, [](const std::string &N) {
+    return N == "A" ? std::string("A_nondiag") : N;
+  });
+  EXPECT_EQ(R->str(), "A_nondiag[i] * B[i]");
+}
+
+TEST(Expr, CollectAccesses) {
+  ExprPtr E = Expr::call(
+      OpKind::Mul,
+      {Expr::access("A", {"i", "k"}), Expr::access("B", {"k", "j"}),
+       Expr::lit(2.0)});
+  std::vector<ExprPtr> Out;
+  Expr::collectAccesses(E, Out);
+  EXPECT_EQ(Out.size(), 2u);
+}
+
+TEST(Expr, ReplaceSubexpression) {
+  ExprPtr A = Expr::access("A", {"i", "j"});
+  ExprPtr E = Expr::call(OpKind::Mul, {A, Expr::access("x", {"j"})});
+  ExprPtr R = Expr::replace(E, A, Expr::scalar("t"));
+  EXPECT_EQ(R->str(), "t * x[j]");
+}
+
+TEST(Expr, LutConstructionAndPrint) {
+  ExprPtr L = Expr::lut({CmpAtom{CmpKind::EQ, "i", "k"}}, {2.0, 1.0});
+  EXPECT_EQ(L->lutTable().size(), 2u);
+  EXPECT_EQ(L->str(), "lut[i == k](2, 1)");
+}
+
+//===----------------------------------------------------------------------===//
+// Stmt
+//===----------------------------------------------------------------------===//
+
+TEST(Stmt, LoopHeaderCollapsing) {
+  StmtPtr S = Stmt::loops({"j", "i"},
+                          Stmt::assign(Expr::access("y", {"i"}), OpKind::Add,
+                                       Expr::access("x", {"i"})));
+  EXPECT_EQ(S->str(), "for j=_, i=_\n  y[i] += x[i]\n");
+}
+
+TEST(Stmt, IfPrinting) {
+  StmtPtr S = Stmt::ifThen(Cond::atom(CmpKind::LT, "i", "j"),
+                           Stmt::defScalar("t", Expr::lit(0)));
+  EXPECT_EQ(S->str(), "if i < j\n  t = 0\n");
+}
+
+TEST(Stmt, AssignWithMultiplicity) {
+  StmtPtr S = Stmt::assign(Expr::access("y", {"i"}), OpKind::Add,
+                           Expr::scalar("t"), 2);
+  EXPECT_EQ(S->str(), "y[i] += 2 * t\n");
+}
+
+TEST(Stmt, AssignMinReduce) {
+  StmtPtr S = Stmt::assign(Expr::access("y", {"i"}), OpKind::Min,
+                           Expr::scalar("t"));
+  EXPECT_EQ(S->str(), "y[i] min= t\n");
+}
+
+TEST(Stmt, OverwriteAssign) {
+  StmtPtr S = Stmt::assign(Expr::access("y", {"i"}), std::nullopt,
+                           Expr::scalar("t"));
+  EXPECT_EQ(S->str(), "y[i] = t\n");
+}
+
+TEST(Stmt, BlockFlattening) {
+  StmtPtr A = Stmt::defScalar("a", Expr::lit(1));
+  StmtPtr Inner = Stmt::block({A, A});
+  StmtPtr Outer = Stmt::block({Inner, A});
+  EXPECT_EQ(Outer->stmts().size(), 3u);
+}
+
+TEST(Stmt, StructuralEquality) {
+  auto Mk = [] {
+    return Stmt::loop("i", Stmt::assign(Expr::access("y", {"i"}),
+                                        OpKind::Add, Expr::lit(1)));
+  };
+  EXPECT_TRUE(Stmt::equal(Mk(), Mk()));
+  StmtPtr Other = Stmt::loop("j", Stmt::assign(Expr::access("y", {"j"}),
+                                               OpKind::Add, Expr::lit(1)));
+  EXPECT_FALSE(Stmt::equal(Mk(), Other));
+}
+
+TEST(Stmt, RenameIndices) {
+  StmtPtr S = Stmt::loop(
+      "i", Stmt::ifThen(Cond::atom(CmpKind::LT, "i", "j"),
+                        Stmt::assign(Expr::access("y", {"i"}), OpKind::Add,
+                                     Expr::access("x", {"j"}))));
+  StmtPtr R = Stmt::renameIndices(S, [](const std::string &N) {
+    return N == "i" ? std::string("p") : N;
+  });
+  EXPECT_EQ(R->str(), "for p=_\n  if p < j\n    y[p] += x[j]\n");
+}
+
+TEST(Stmt, WalkVisitsAll) {
+  StmtPtr S = Stmt::loop(
+      "i", Stmt::block({Stmt::defScalar("t", Expr::lit(0)),
+                        Stmt::assign(Expr::access("y", {"i"}), OpKind::Add,
+                                     Expr::scalar("t"))}));
+  int Count = 0;
+  Stmt::walk(S, [&Count](const StmtPtr &) { ++Count; });
+  EXPECT_EQ(Count, 4); // loop, block, def, assign
+}
+
+TEST(Stmt, ReplicatePrinting) {
+  StmtPtr S = Stmt::replicate("C", Partition::parse(2, "{0,1}"));
+  EXPECT_EQ(S->str(), "replicate C over {0,1}\n");
+}
+
+//===----------------------------------------------------------------------===//
+// Einsum parser
+//===----------------------------------------------------------------------===//
+
+TEST(Einsum, ParseMttkrp) {
+  Einsum E = parseEinsum("mttkrp",
+                         "C[i,j] += A[i,k,l] * B[k,j] * B[l,j]");
+  EXPECT_EQ(E.str(), "C[i, j] += A[i, k, l] * B[k, j] * B[l, j]");
+  EXPECT_EQ(E.ReduceOp, OpKind::Add);
+  EXPECT_EQ(E.Decls.size(), 3u);
+  EXPECT_TRUE(E.decl("C").IsOutput);
+  EXPECT_FALSE(E.decl("A").IsOutput);
+  EXPECT_EQ(E.decl("A").Order, 3u);
+}
+
+TEST(Einsum, ParseMinReduce) {
+  Einsum E = parseEinsum("bf", "y[i] min= A[i,j] + d[j]");
+  EXPECT_EQ(E.ReduceOp, OpKind::Min);
+  EXPECT_EQ(E.Rhs->op(), OpKind::Add);
+}
+
+TEST(Einsum, ParseScalarOutput) {
+  Einsum E = parseEinsum("syprd", "y[] += x[i] * A[i,j] * x[j]");
+  EXPECT_TRUE(E.outputIndices().empty());
+  EXPECT_EQ(E.contractionIndices().size(), 2u);
+}
+
+TEST(Einsum, ParseLiteralFactor) {
+  Einsum E = parseEinsum("scale", "y[i] += 2 * x[i]");
+  EXPECT_EQ(E.Rhs->str(), "2 * x[i]");
+}
+
+TEST(Einsum, ParsePrecedence) {
+  Einsum E = parseEinsum("p", "y[i] += A[i,j] * x[j] + z[i]");
+  EXPECT_EQ(E.Rhs->op(), OpKind::Add);
+  EXPECT_EQ(E.Rhs->args().size(), 2u);
+}
+
+TEST(Einsum, ParseMinCall) {
+  Einsum E = parseEinsum("m", "y[i] += min(a[i], b[i])");
+  EXPECT_EQ(E.Rhs->op(), OpKind::Min);
+}
+
+TEST(Einsum, AllIndicesOrder) {
+  Einsum E = parseEinsum("mttkrp",
+                         "C[i,j] += A[i,k,l] * B[k,j] * B[l,j]");
+  std::vector<std::string> Expect{"i", "j", "k", "l"};
+  EXPECT_EQ(E.allIndices(), Expect);
+}
+
+TEST(Einsum, ContractionIndices) {
+  Einsum E = parseEinsum("mttkrp",
+                         "C[i,j] += A[i,k,l] * B[k,j] * B[l,j]");
+  std::vector<std::string> Expect{"k", "l"};
+  EXPECT_EQ(E.contractionIndices(), Expect);
+}
+
+TEST(Einsum, DeclareAndSymmetry) {
+  Einsum E = parseEinsum("s", "y[i] += A[i,j] * x[j]");
+  E.declare("A", TensorFormat::csf(2));
+  E.setSymmetry("A", Partition::full(2));
+  EXPECT_TRUE(E.decl("A").Symmetry.isFull());
+  EXPECT_EQ(E.decl("A").Format.Levels[0], LevelKind::Dense);
+  EXPECT_EQ(E.decl("A").Format.Levels[1], LevelKind::Sparse);
+}
+
+TEST(Einsum, IndexSites) {
+  Einsum E = parseEinsum("s", "y[i] += A[i,j] * x[j]");
+  auto Sites = indexSites(E);
+  EXPECT_EQ(Sites["j"].size(), 2u);
+  EXPECT_EQ(Sites["i"].size(), 2u); // y and A
+}
+
+TEST(TensorFormatTest, Str) {
+  EXPECT_EQ(TensorFormat::csf(2).str(),
+            "Dense(Sparse(Element(0.0)))");
+  EXPECT_EQ(TensorFormat::csf(3).str(),
+            "Dense(Sparse(Sparse(Element(0.0))))");
+  EXPECT_EQ(TensorFormat::dense(1).str(), "Dense(Element(0.0))");
+}
+
+TEST(TensorFormatTest, Predicates) {
+  EXPECT_TRUE(TensorFormat::dense(3).isAllDense());
+  EXPECT_FALSE(TensorFormat::csf(3).isAllDense());
+  EXPECT_TRUE(TensorFormat::csf(3).hasSparseLevels());
+}

@@ -1,0 +1,160 @@
+//===- tests/lower_test.cpp -----------------------------------*- C++ -*-===//
+///
+/// Tests for kernel lowering: naive nests, chain condition placement,
+/// workspace insertion (4.2.8), diagonal splitting (4.2.9),
+/// concordization transposes (4.2.3), and replication epilogues.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Compiler.h"
+#include "kernels/Kernels.h"
+
+#include <gtest/gtest.h>
+
+using namespace systec;
+
+TEST(LowerNaive, SsymvGolden) {
+  Kernel K = lowerNaive(makeSsymv());
+  EXPECT_EQ(K.Body->str(1), "  for j=_, i=_\n    y[i] += A[i, j] * x[j]\n");
+  EXPECT_TRUE(K.Transposes.empty());
+  EXPECT_EQ(K.Epilogue, nullptr);
+}
+
+TEST(LowerNaive, SyprdGetsScalarWorkspace) {
+  Kernel K = lowerNaive(makeSyprd());
+  std::string S = K.Body->str(0);
+  EXPECT_NE(S.find("w_0 = 0"), std::string::npos);
+  EXPECT_NE(S.find("y[] += w_0"), std::string::npos);
+}
+
+TEST(LowerNaive, MttkrpConcordizesFactorMatrix) {
+  // B[k,j] with j innermost is discordant; the naive kernel reads the
+  // transposed alias B_T[j,k].
+  Kernel K = lowerNaive(makeMttkrp(3));
+  ASSERT_EQ(K.Transposes.size(), 1u);
+  EXPECT_EQ(K.Transposes[0].Alias, "B_T");
+  EXPECT_EQ(K.Transposes[0].Source, "B");
+  std::vector<unsigned> Perm{1, 0};
+  EXPECT_EQ(K.Transposes[0].ModePerm, Perm);
+  EXPECT_NE(K.Body->str(0).find("B_T[j, k]"), std::string::npos);
+  EXPECT_EQ(K.Body->str(0).find("B[k, j]"), std::string::npos);
+}
+
+TEST(LowerSymmetric, SsymvStructure) {
+  CompileResult R = compileEinsum(makeSsymv());
+  std::string S = R.Optimized.Body->str(0);
+  // Off-diagonal nest over the split tensor with a strict triangle.
+  EXPECT_NE(S.find("A_nondiag"), std::string::npos);
+  EXPECT_NE(S.find("if i < j"), std::string::npos);
+  // Workspace for the transposed update (paper 4.2.8).
+  EXPECT_NE(S.find("w_0 = 0"), std::string::npos);
+  EXPECT_NE(S.find("y[j] += w_0"), std::string::npos);
+  // Diagonal nest over A_diag.
+  EXPECT_NE(S.find("A_diag"), std::string::npos);
+  ASSERT_EQ(R.Optimized.Splits.size(), 2u);
+}
+
+TEST(LowerSymmetric, SsymvNoSplitKeepsGroupedBlocks) {
+  PipelineOptions Opt;
+  Opt.DiagonalSplit = false;
+  CompileResult R = compileEinsum(makeSsymv(), Opt);
+  EXPECT_TRUE(R.Optimized.Splits.empty());
+  std::string S = R.Optimized.Body->str(0);
+  // Cross-diagonal grouping produced the i <= j block of paper 4.2.6.
+  EXPECT_NE(S.find("if i <= j"), std::string::npos);
+}
+
+TEST(LowerSymmetric, SsyrkEpilogueReplicates) {
+  CompileResult R = compileEinsum(makeSsyrk());
+  ASSERT_NE(R.Optimized.Epilogue, nullptr);
+  EXPECT_EQ(R.Optimized.Epilogue->str(0), "replicate C over {0,1}\n");
+}
+
+TEST(LowerSymmetric, SsyrkNoSplitWithoutSymmetricInput) {
+  // A is asymmetric: nothing to split even though splitting is on.
+  CompileResult R = compileEinsum(makeSsyrk());
+  EXPECT_TRUE(R.Optimized.Splits.empty());
+}
+
+TEST(LowerSymmetric, TtmSplitsAndReplicates) {
+  CompileResult R = compileEinsum(makeTtm());
+  EXPECT_EQ(R.Optimized.Splits.size(), 2u);
+  ASSERT_NE(R.Optimized.Epilogue, nullptr);
+  EXPECT_EQ(R.Optimized.Epilogue->str(0), "replicate C over {0}{1,2}\n");
+}
+
+TEST(LowerSymmetric, ChainConditionsAtBindingLoops) {
+  // MTTKRP-4d: i <= k sits inside loop i, k <= l inside loop k, etc.,
+  // so the runtime can lift every atom into a bound.
+  CompileResult R = compileEinsum(makeMttkrp(4));
+  std::string S = R.Optimized.Body->str(0);
+  // Strict chain in the off-diagonal nest, in nesting order m,l,k,i.
+  size_t PosLM = S.find("if l < m");
+  size_t PosKL = S.find("if k < l");
+  size_t PosIK = S.find("if i < k");
+  ASSERT_NE(PosLM, std::string::npos);
+  ASSERT_NE(PosKL, std::string::npos);
+  ASSERT_NE(PosIK, std::string::npos);
+  EXPECT_LT(PosLM, PosKL);
+  EXPECT_LT(PosKL, PosIK);
+}
+
+TEST(LowerSymmetric, MttkrpTransposesBothReads) {
+  CompileResult R = compileEinsum(makeMttkrp(3));
+  ASSERT_EQ(R.Optimized.Transposes.size(), 1u);
+  std::string S = R.Optimized.Body->str(0);
+  EXPECT_NE(S.find("B_T[j, i]"), std::string::npos);
+  EXPECT_NE(S.find("B_T[j, k]"), std::string::npos);
+  EXPECT_NE(S.find("B_T[j, l]"), std::string::npos);
+}
+
+TEST(LowerSymmetric, ConcordizeOffKeepsOriginalAccesses) {
+  PipelineOptions Opt;
+  Opt.Concordize = false;
+  CompileResult R = compileEinsum(makeMttkrp(3), Opt);
+  EXPECT_TRUE(R.Optimized.Transposes.empty());
+  EXPECT_NE(R.Optimized.Body->str(0).find("B[k, j]"), std::string::npos);
+}
+
+TEST(LowerSymmetric, WorkspaceOffWritesDirectly) {
+  PipelineOptions Opt;
+  Opt.Workspace = false;
+  CompileResult R = compileEinsum(makeSsymv(), Opt);
+  std::string S = R.Optimized.Body->str(0);
+  EXPECT_EQ(S.find("w_0"), std::string::npos);
+  EXPECT_NE(S.find("y[j] +="), std::string::npos);
+}
+
+TEST(LowerSymmetric, DeclsIncludeAliases) {
+  CompileResult R = compileEinsum(makeMttkrp(3));
+  EXPECT_TRUE(R.Optimized.Decls.count("A_nondiag"));
+  EXPECT_TRUE(R.Optimized.Decls.count("A_diag"));
+  EXPECT_TRUE(R.Optimized.Decls.count("B_T"));
+  // Alias formats follow the source.
+  EXPECT_EQ(R.Optimized.Decls.at("A_diag").Format,
+            TensorFormat::csf(3));
+}
+
+TEST(LowerSymmetric, ReportMentionsAllStages) {
+  CompileResult R = compileEinsum(makeSsymv());
+  std::string Rep = R.report();
+  EXPECT_NE(Rep.find("=== analysis ==="), std::string::npos);
+  EXPECT_NE(Rep.find("=== symmetrized ==="), std::string::npos);
+  EXPECT_NE(Rep.find("=== naive kernel ==="), std::string::npos);
+  EXPECT_NE(Rep.find("=== optimized kernel ==="), std::string::npos);
+}
+
+TEST(LowerSymmetric, TtmOffDiagonalHasNoResidualIf) {
+  // The strict nest needs no per-element block condition: the canonical
+  // chain conditions are lifted into bounds and the equality cases live
+  // in the diagonal nest.
+  CompileResult R = compileEinsum(makeTtm());
+  std::string S = R.Optimized.Body->str(0);
+  size_t NonDiag = S.find("A_nondiag");
+  ASSERT_NE(NonDiag, std::string::npos);
+  // The diagonal nest is a second top-level loop over l.
+  size_t DiagNest = S.find("for l=_", 1);
+  ASSERT_NE(DiagNest, std::string::npos);
+  // No equality conditions appear in the off-diagonal nest.
+  EXPECT_EQ(S.substr(0, DiagNest).find("=="), std::string::npos);
+}

@@ -1,0 +1,299 @@
+//===- tests/passes_test.cpp ----------------------------------*- C++ -*-===//
+///
+/// Tests for the optimization passes of paper Section 4.2, pass by
+/// pass, against the paper's worked examples.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Analysis.h"
+#include "core/Passes.h"
+#include "core/Symmetrize.h"
+#include "kernels/Kernels.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace systec;
+
+namespace {
+
+SymKernel symmetrized(const Einsum &E) {
+  return symmetrize(E, analyzeSymmetry(E));
+}
+
+const SymBlock *findBlock(const SymKernel &SK, const std::string &CondStr) {
+  for (const SymBlock &B : SK.Blocks)
+    if (B.Exact.str() == CondStr)
+      return &B;
+  return nullptr;
+}
+
+unsigned totalForms(const SymKernel &SK) {
+  unsigned N = 0;
+  for (const SymBlock &B : SK.Blocks)
+    N += static_cast<unsigned>(B.Forms.size());
+  return N;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// 4.2.7 Distributive assignment grouping
+//===----------------------------------------------------------------------===//
+
+TEST(DistributiveGrouping, SyprdFactorTwo) {
+  // Listing 4 -> Listing 5: two equivalent updates become one with a
+  // factor of 2.
+  SymKernel SK = symmetrized(makeSyprd());
+  passDistributiveGrouping(SK);
+  const SymBlock *Off = findBlock(SK, "i < j");
+  ASSERT_NE(Off, nullptr);
+  ASSERT_EQ(Off->Forms.size(), 1u);
+  EXPECT_EQ(Off->Forms[0].Mult, 2u);
+  const SymBlock *Diag = findBlock(SK, "i == j");
+  ASSERT_NE(Diag, nullptr);
+  EXPECT_EQ(Diag->Forms[0].Mult, 1u);
+}
+
+TEST(DistributiveGrouping, Mttkrp5FactorTwentyFour) {
+  SymKernel SK = symmetrized(makeMttkrp(5));
+  passDistributiveGrouping(SK);
+  const SymBlock *Off =
+      findBlock(SK, "i < k && k < l && l < m && m < n");
+  ASSERT_NE(Off, nullptr);
+  for (const FormStmt &F : Off->Forms)
+    EXPECT_EQ(F.Mult, 24u);
+}
+
+//===----------------------------------------------------------------------===//
+// 4.2.2 Visible output restriction
+//===----------------------------------------------------------------------===//
+
+TEST(VisibleOutput, SsyrkKeepsCanonicalHalf) {
+  SymKernel SK = symmetrized(makeSsyrk());
+  passVisibleOutputRestriction(SK);
+  EXPECT_TRUE(SK.RestrictedOutput);
+  const SymBlock *Off = findBlock(SK, "i < j");
+  ASSERT_NE(Off, nullptr);
+  ASSERT_EQ(Off->Forms.size(), 1u);
+  EXPECT_EQ(Off->Forms[0].Out->str(), "C[i, j]");
+}
+
+TEST(VisibleOutput, TtmMatchesListing3) {
+  // Listing 2 -> Listing 3: six off-diagonal assignments reduce to the
+  // three writing the canonical triangle of C.
+  SymKernel SK = symmetrized(makeTtm());
+  passVisibleOutputRestriction(SK);
+  const SymBlock *Off = findBlock(SK, "j < k && k < l");
+  ASSERT_NE(Off, nullptr);
+  std::set<std::string> Outs;
+  for (const FormStmt &F : Off->Forms)
+    Outs.insert(F.Out->str());
+  std::set<std::string> Expect{"C[i, j, l]", "C[i, j, k]", "C[i, k, l]"};
+  EXPECT_EQ(Outs, Expect);
+}
+
+TEST(VisibleOutput, TtmDiagonalKeepsEqualWrites) {
+  // With j == k, C[i,j,k] has equal trailing coordinates: canonical,
+  // kept; C[i,l,k] is strictly descending: dropped.
+  SymKernel SK = symmetrized(makeTtm());
+  passVisibleOutputRestriction(SK);
+  const SymBlock *D1 = findBlock(SK, "j == k && k < l");
+  ASSERT_NE(D1, nullptr);
+  std::set<std::string> Outs;
+  for (const FormStmt &F : D1->Forms)
+    Outs.insert(F.Out->str());
+  EXPECT_TRUE(Outs.count("C[i, j, l]"));
+  EXPECT_TRUE(Outs.count("C[i, j, k]"));
+  EXPECT_FALSE(Outs.count("C[i, l, k]"));
+}
+
+TEST(VisibleOutput, NoOpWithoutOutputSymmetry) {
+  SymKernel SK = symmetrized(makeSsymv());
+  unsigned Before = totalForms(SK);
+  passVisibleOutputRestriction(SK);
+  EXPECT_EQ(totalForms(SK), Before);
+  EXPECT_FALSE(SK.RestrictedOutput);
+}
+
+//===----------------------------------------------------------------------===//
+// 4.2.1 Common tensor access elimination
+//===----------------------------------------------------------------------===//
+
+TEST(CommonAccess, SsymvHoistsSharedRead) {
+  // Figure 2: `a = A[i,j]` reused by both updates.
+  SymKernel SK = symmetrized(makeSsymv());
+  passCommonAccessElimination(SK);
+  const SymBlock *Off = findBlock(SK, "i < j");
+  ASSERT_NE(Off, nullptr);
+  ASSERT_EQ(Off->Defs.size(), 1u);
+  EXPECT_EQ(Off->Defs[0]->str(0), "t_A_i_j = A[i, j]\n");
+  for (const FormStmt &F : Off->Forms)
+    EXPECT_NE(F.Rhs->str().find("t_A_i_j"), std::string::npos);
+}
+
+TEST(CommonAccess, SingleUseNotHoisted) {
+  SymKernel SK = symmetrized(makeSsymv());
+  passCommonAccessElimination(SK);
+  const SymBlock *Diag = findBlock(SK, "i == j");
+  ASSERT_NE(Diag, nullptr);
+  EXPECT_TRUE(Diag->Defs.empty());
+}
+
+TEST(CommonAccess, MttkrpHoistsFactorReads) {
+  // Listing 7: A and all three B rows are hoisted in the off-diagonal
+  // block.
+  SymKernel SK = symmetrized(makeMttkrp(3));
+  passDistributiveGrouping(SK);
+  passCommonAccessElimination(SK);
+  const SymBlock *Off = findBlock(SK, "i < k && k < l");
+  ASSERT_NE(Off, nullptr);
+  EXPECT_EQ(Off->Defs.size(), 4u); // A, B[i,:], B[k,:], B[l,:]
+}
+
+//===----------------------------------------------------------------------===//
+// 4.2.4 Consolidate conditional blocks
+//===----------------------------------------------------------------------===//
+
+TEST(Consolidate, MergesIdenticalDiagonalBlocks) {
+  // The two single-pair MTTKRP diagonal blocks carry identical forms
+  // after redistribution, so they consolidate into one block with the
+  // union condition (Listing 7 lines 11-15).
+  SymKernel SK = symmetrized(makeMttkrp(3));
+  passDistributiveGrouping(SK);
+  passConsolidateBlocks(SK);
+  EXPECT_EQ(SK.Blocks.size(), 3u);
+  const SymBlock *Merged =
+      findBlock(SK, "(i < k && k == l) || (i == k && k < l)");
+  ASSERT_NE(Merged, nullptr);
+  EXPECT_EQ(Merged->Forms.size(), 3u);
+}
+
+TEST(Consolidate, KeepsDistinctBlocksApart) {
+  // TTM's diagonal blocks have different supports and must survive.
+  SymKernel SK = symmetrized(makeTtm());
+  passConsolidateBlocks(SK);
+  EXPECT_EQ(SK.Blocks.size(), 4u);
+}
+
+//===----------------------------------------------------------------------===//
+// 4.2.6 Group assignments across branches
+//===----------------------------------------------------------------------===//
+
+TEST(GroupAcross, SsymvMatchesPaperExample) {
+  // Paper 4.2.6: y[i] += A[i,j]*x[j] is shared by the i<j and i==j
+  // blocks; grouping emits it once under i <= j.
+  SymKernel SK = symmetrized(makeSsymv());
+  passGroupAcrossBranches(SK, /*AcrossDiagonal=*/true);
+  const SymBlock *Grouped = findBlock(SK, "i <= j");
+  ASSERT_NE(Grouped, nullptr);
+  ASSERT_EQ(Grouped->Forms.size(), 1u);
+  EXPECT_EQ(Grouped->Forms[0].key(), "y[i] <- A[i, j] * x[j]");
+  const SymBlock *Rest = findBlock(SK, "i < j");
+  ASSERT_NE(Rest, nullptr);
+  ASSERT_EQ(Rest->Forms.size(), 1u);
+  EXPECT_EQ(Rest->Forms[0].key(), "y[j] <- A[i, j] * x[i]");
+}
+
+TEST(GroupAcross, RespectsDiagonalSides) {
+  // With AcrossDiagonal=false (diagonal splitting on), off-diagonal and
+  // diagonal blocks do not merge.
+  SymKernel SK = symmetrized(makeSsymv());
+  passGroupAcrossBranches(SK, /*AcrossDiagonal=*/false);
+  EXPECT_EQ(findBlock(SK, "i <= j"), nullptr);
+}
+
+//===----------------------------------------------------------------------===//
+// 4.2.5 Simplicial lookup table
+//===----------------------------------------------------------------------===//
+
+TEST(SimplicialLut, EqualFactorsBecomePlainMultiplicity) {
+  // MTTKRP-3d: both single-pair diagonal blocks have factor 1
+  // everywhere; the lookup table degenerates to a plain merge.
+  SymKernel SK = symmetrized(makeMttkrp(3));
+  passDistributiveGrouping(SK);
+  passSimplicialLut(SK);
+  const SymBlock *Merged =
+      findBlock(SK, "(i < k && k == l) || (i == k && k < l)");
+  ASSERT_NE(Merged, nullptr);
+  for (const FormStmt &F : Merged->Forms) {
+    EXPECT_EQ(F.Factor, nullptr);
+    EXPECT_EQ(F.Mult, 1u);
+  }
+}
+
+TEST(SimplicialLut, Mttkrp4BuildsFactorTable) {
+  // 4-d diagonals with unequal multiplicities merge via a lookup table
+  // indexed by the equality pattern.
+  SymKernel SK = symmetrized(makeMttkrp(4));
+  passDistributiveGrouping(SK);
+  unsigned Before = static_cast<unsigned>(SK.Blocks.size());
+  passSimplicialLut(SK);
+  EXPECT_LT(SK.Blocks.size(), Before);
+  bool SawLut = false;
+  for (const SymBlock &B : SK.Blocks)
+    for (const FormStmt &F : B.Forms)
+      if (F.Factor) {
+        SawLut = true;
+        EXPECT_EQ(F.Factor->kind(), ExprKind::Lut);
+        EXPECT_EQ(F.Factor->lutBits().size(), 3u);
+        EXPECT_EQ(F.Factor->lutTable().size(), 8u);
+      }
+  EXPECT_TRUE(SawLut);
+}
+
+TEST(SimplicialLut, SkipsNonAdditiveReductions) {
+  SymKernel SK = symmetrized(makeBellmanFord());
+  unsigned Before = static_cast<unsigned>(SK.Blocks.size());
+  passSimplicialLut(SK);
+  EXPECT_EQ(SK.Blocks.size(), Before);
+}
+
+//===----------------------------------------------------------------------===//
+// Full pipeline structure
+//===----------------------------------------------------------------------===//
+
+TEST(Pipeline, DefaultOptionsSetLoweringFlags) {
+  SymKernel SK = symmetrized(makeSsymv());
+  runPasses(SK, PipelineOptions());
+  EXPECT_TRUE(SK.SplitDiagonal);
+  EXPECT_TRUE(SK.Concordize);
+  EXPECT_TRUE(SK.UseWorkspaces);
+}
+
+TEST(Pipeline, Mttkrp3FinalBlockStructure) {
+  // After the full pipeline: one off-diagonal block (three assignments
+  // with factor 2), the merged single-pair diagonal block, and the
+  // grouped full-diagonal contribution (Listing 7 modulo grouping).
+  SymKernel SK = symmetrized(makeMttkrp(3));
+  runPasses(SK, PipelineOptions());
+  unsigned OffBlocks = 0, DiagBlocks = 0;
+  for (const SymBlock &B : SK.Blocks)
+    (B.isOffDiagonal() ? OffBlocks : DiagBlocks)++;
+  EXPECT_EQ(OffBlocks, 1u);
+  EXPECT_GE(DiagBlocks, 1u);
+  for (const SymBlock &B : SK.Blocks)
+    if (B.isOffDiagonal())
+      for (const FormStmt &F : B.Forms)
+        EXPECT_EQ(F.Mult, 2u);
+}
+
+TEST(Pipeline, AblationFlagsDisablePasses) {
+  PipelineOptions Off;
+  Off.DistributiveGrouping = false;
+  Off.CommonAccessElimination = false;
+  Off.ConsolidateBlocks = false;
+  Off.GroupAcrossBranches = false;
+  Off.SimplicialLut = false;
+  SymKernel SK = symmetrized(makeMttkrp(3));
+  runPasses(SK, Off);
+  // Without grouping the off-diagonal block keeps six assignments.
+  const SymBlock *OffB = findBlock(SK, "i < k && k < l");
+  ASSERT_NE(OffB, nullptr);
+  unsigned Total = 0;
+  for (const FormStmt &F : OffB->Forms)
+    Total += F.Mult;
+  EXPECT_EQ(Total, 6u);
+  EXPECT_TRUE(OffB->Defs.empty());
+}

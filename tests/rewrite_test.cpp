@@ -1,0 +1,176 @@
+//===- tests/rewrite_test.cpp ---------------------------------*- C++ -*-===//
+///
+/// Tests for the term-rewriting framework (the RewriteTools.jl
+/// analogue): slot matching, rules, traversal combinators, and
+/// algebraic simplification.
+///
+//===----------------------------------------------------------------------===//
+
+#include "rewrite/Rewrite.h"
+
+#include <gtest/gtest.h>
+
+using namespace systec;
+
+namespace {
+
+ExprPtr slot(const char *Name) { return Expr::scalar(Name); }
+
+} // namespace
+
+TEST(Match, SlotBindsAnything) {
+  MatchBindings B;
+  EXPECT_TRUE(matchExpr(slot("$x"), Expr::access("A", {"i"}), B));
+  EXPECT_EQ(B["$x"]->str(), "A[i]");
+}
+
+TEST(Match, SlotConsistency) {
+  // $x * $x only matches squares.
+  ExprPtr Pat = Expr::call(OpKind::Mul, {slot("$x"), slot("$x")});
+  MatchBindings B1;
+  EXPECT_TRUE(matchExpr(
+      Pat,
+      Expr::call(OpKind::Mul,
+                 {Expr::access("x", {"i"}), Expr::access("x", {"i"})}),
+      B1));
+  MatchBindings B2;
+  EXPECT_FALSE(matchExpr(
+      Pat,
+      Expr::call(OpKind::Mul,
+                 {Expr::access("x", {"i"}), Expr::access("x", {"j"})}),
+      B2));
+}
+
+TEST(Match, LiteralExact) {
+  MatchBindings B;
+  EXPECT_TRUE(matchExpr(Expr::lit(2), Expr::lit(2), B));
+  EXPECT_FALSE(matchExpr(Expr::lit(2), Expr::lit(3), B));
+}
+
+TEST(Match, CommutativeReordering) {
+  // Pattern 2 * $x matches x * 2 because * is commutative.
+  ExprPtr Pat = Expr::call(OpKind::Mul, {Expr::lit(2), slot("$x")});
+  MatchBindings B;
+  EXPECT_TRUE(matchExpr(
+      Pat, Expr::call(OpKind::Mul, {Expr::scalar("a"), Expr::lit(2)}), B));
+  EXPECT_EQ(B["$x"]->str(), "a");
+}
+
+TEST(Match, NonCommutativeOrderMatters) {
+  ExprPtr Pat = Expr::call(OpKind::Sub, {Expr::lit(0), slot("$x")});
+  MatchBindings B;
+  EXPECT_FALSE(matchExpr(
+      Pat, Expr::call(OpKind::Sub, {Expr::scalar("a"), Expr::lit(0)}), B));
+}
+
+TEST(Match, ArityMismatch) {
+  ExprPtr Pat = Expr::call(OpKind::Mul, {slot("$x"), slot("$y")});
+  MatchBindings B;
+  EXPECT_FALSE(matchExpr(
+      Pat,
+      Expr::call(OpKind::Mul,
+                 {Expr::scalar("a"), Expr::scalar("b"), Expr::scalar("c")}),
+      B));
+}
+
+TEST(Rule, AppliesAtRoot) {
+  // x + x -> 2 * x (the distributive grouping rule, paper 4.2.7).
+  Rule R{Expr::call(OpKind::Add, {slot("$x"), slot("$x")}),
+         [](const MatchBindings &B) {
+           return Expr::call(OpKind::Mul, {Expr::lit(2), B["$x"]});
+         }};
+  ExprPtr E = Expr::call(OpKind::Add, {Expr::access("a", {"i"}),
+                                       Expr::access("a", {"i"})});
+  auto Out = R.apply(E);
+  ASSERT_TRUE(Out.has_value());
+  EXPECT_EQ((*Out)->str(), "2 * a[i]");
+}
+
+TEST(RuleSet, FirstMatchWins) {
+  RuleSet RS;
+  RS.add(slot("$x"),
+         [](const MatchBindings &) { return Expr::lit(1); });
+  RS.add(Expr::lit(5),
+         [](const MatchBindings &) { return Expr::lit(2); });
+  auto Out = RS.apply(Expr::lit(5));
+  ASSERT_TRUE(Out.has_value());
+  EXPECT_EQ((*Out)->literalValue(), 1.0);
+}
+
+TEST(Walk, PostwalkRewritesLeavesFirst) {
+  // Rewrite every access A[...] to the scalar t, bottom-up.
+  Rewriter Fn = [](const ExprPtr &E) -> std::optional<ExprPtr> {
+    if (E->kind() == ExprKind::Access && E->tensorName() == "A")
+      return Expr::scalar("t");
+    return std::nullopt;
+  };
+  ExprPtr E = Expr::call(OpKind::Mul, {Expr::access("A", {"i", "j"}),
+                                       Expr::access("x", {"j"})});
+  EXPECT_EQ(postwalk(E, Fn)->str(), "t * x[j]");
+}
+
+TEST(Walk, PrewalkStopsAtFixpointPerNode) {
+  int Calls = 0;
+  Rewriter Fn = [&Calls](const ExprPtr &E) -> std::optional<ExprPtr> {
+    ++Calls;
+    if (E->kind() == ExprKind::Literal && E->literalValue() > 0)
+      return Expr::lit(E->literalValue() - 1);
+    return std::nullopt;
+  };
+  ExprPtr Out = prewalk(Expr::lit(3), Fn);
+  EXPECT_EQ(Out->literalValue(), 0.0);
+}
+
+TEST(Walk, FixpointTerminates) {
+  Rewriter Fn = [](const ExprPtr &E) -> std::optional<ExprPtr> {
+    // (a + a) -> 2*a anywhere.
+    if (E->kind() == ExprKind::Call && E->op() == OpKind::Add &&
+        E->args().size() == 2 && Expr::equal(E->args()[0], E->args()[1]))
+      return Expr::call(OpKind::Mul, {Expr::lit(2), E->args()[0]});
+    return std::nullopt;
+  };
+  ExprPtr A = Expr::scalar("a");
+  ExprPtr E = Expr::call(OpKind::Add, {Expr::call(OpKind::Add, {A, A})});
+  ExprPtr Out = rewriteFixpoint(E, Fn);
+  EXPECT_EQ(Out->str(), "2 * a");
+}
+
+TEST(Simplify, FoldsLiterals) {
+  ExprPtr E = Expr::call(OpKind::Mul, {Expr::lit(2), Expr::lit(3),
+                                       Expr::scalar("a")});
+  EXPECT_EQ(simplifyExpr(E)->str(), "6 * a");
+}
+
+TEST(Simplify, DropsMulIdentity) {
+  ExprPtr E = Expr::call(OpKind::Mul, {Expr::lit(1), Expr::scalar("a")});
+  EXPECT_EQ(simplifyExpr(E)->str(), "a");
+}
+
+TEST(Simplify, AnnihilatorKillsMul) {
+  ExprPtr E = Expr::call(OpKind::Mul, {Expr::lit(0), Expr::scalar("a"),
+                                       Expr::scalar("b")});
+  EXPECT_EQ(simplifyExpr(E)->str(), "0");
+}
+
+TEST(Simplify, AddIdentity) {
+  ExprPtr E = Expr::call(OpKind::Add, {Expr::lit(0), Expr::scalar("a")});
+  EXPECT_EQ(simplifyExpr(E)->str(), "a");
+}
+
+TEST(Simplify, MinWithInfinityIdentity) {
+  ExprPtr E = Expr::call(
+      OpKind::Min,
+      {Expr::lit(std::numeric_limits<double>::infinity()),
+       Expr::scalar("a")});
+  EXPECT_EQ(simplifyExpr(E)->str(), "a");
+}
+
+TEST(Simplify, AllLiteralCollapse) {
+  ExprPtr E = Expr::call(OpKind::Add, {Expr::lit(2), Expr::lit(5)});
+  EXPECT_EQ(simplifyExpr(E)->literalValue(), 7.0);
+}
+
+TEST(Simplify, LeavesNonCommutativeAlone) {
+  ExprPtr E = Expr::call(OpKind::Sub, {Expr::scalar("a"), Expr::lit(0)});
+  EXPECT_EQ(simplifyExpr(E)->str(), "a - 0");
+}

@@ -1,0 +1,97 @@
+//===- tests/support_test.cpp ---------------------------------*- C++ -*-===//
+
+#include "support/Counters.h"
+#include "support/Random.h"
+#include "support/StringUtils.h"
+
+#include <gtest/gtest.h>
+
+using namespace systec;
+
+TEST(StringUtils, JoinEmpty) { EXPECT_EQ(join({}, ", "), ""); }
+
+TEST(StringUtils, JoinSingle) { EXPECT_EQ(join({"a"}, ", "), "a"); }
+
+TEST(StringUtils, JoinMany) {
+  EXPECT_EQ(join({"i", "j", "k"}, ", "), "i, j, k");
+}
+
+TEST(StringUtils, JoinAnyInts) {
+  EXPECT_EQ(joinAny(std::vector<int>{1, 2, 3}, "-"), "1-2-3");
+}
+
+TEST(StringUtils, FormatDoubleInteger) {
+  EXPECT_EQ(formatDouble(2.0), "2");
+  EXPECT_EQ(formatDouble(-17.0), "-17");
+  EXPECT_EQ(formatDouble(0.0), "0");
+}
+
+TEST(StringUtils, FormatDoubleFraction) {
+  EXPECT_EQ(formatDouble(0.5), "0.5");
+}
+
+TEST(StringUtils, FormatDoubleInfinity) {
+  EXPECT_EQ(formatDouble(std::numeric_limits<double>::infinity()), "inf");
+  EXPECT_EQ(formatDouble(-std::numeric_limits<double>::infinity()), "-inf");
+}
+
+TEST(StringUtils, Trim) {
+  EXPECT_EQ(trim("  a b  "), "a b");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+}
+
+TEST(StringUtils, SplitAndTrim) {
+  std::vector<std::string> Out = splitAndTrim(" a, b ,c ", ',');
+  ASSERT_EQ(Out.size(), 3u);
+  EXPECT_EQ(Out[0], "a");
+  EXPECT_EQ(Out[1], "b");
+  EXPECT_EQ(Out[2], "c");
+}
+
+TEST(StringUtils, SplitKeepsEmptyPieces) {
+  std::vector<std::string> Out = splitAndTrim("a,,b", ',');
+  ASSERT_EQ(Out.size(), 3u);
+  EXPECT_EQ(Out[1], "");
+}
+
+TEST(Random, Deterministic) {
+  Rng A(123), B(123);
+  for (int I = 0; I < 100; ++I)
+    EXPECT_EQ(A.nextIndex(1000), B.nextIndex(1000));
+}
+
+TEST(Random, IndexInRange) {
+  Rng R(7);
+  for (int I = 0; I < 1000; ++I) {
+    int64_t V = R.nextIndex(17);
+    EXPECT_GE(V, 0);
+    EXPECT_LT(V, 17);
+  }
+}
+
+TEST(Random, DoubleInRange) {
+  Rng R(7);
+  for (int I = 0; I < 1000; ++I) {
+    double V = R.nextDouble(2.0, 3.0);
+    EXPECT_GE(V, 2.0);
+    EXPECT_LT(V, 3.0);
+  }
+}
+
+TEST(Counters, ResetClearsAll) {
+  counters().SparseReads = 5;
+  counters().Reductions = 7;
+  counters().reset();
+  EXPECT_EQ(counters().SparseReads, 0u);
+  EXPECT_EQ(counters().Reductions, 0u);
+  EXPECT_EQ(counters().ScalarOps, 0u);
+  EXPECT_EQ(counters().OutputWrites, 0u);
+}
+
+TEST(Counters, EnableDisable) {
+  setCountersEnabled(false);
+  EXPECT_FALSE(countersEnabled());
+  setCountersEnabled(true);
+  EXPECT_TRUE(countersEnabled());
+}

@@ -1,0 +1,337 @@
+//===- tests/symmetry_test.cpp --------------------------------*- C++ -*-===//
+///
+/// Tests for permutations, partitions (Definitions 2.1-2.4), and
+/// equivalence groups / unique symmetry groups (Definitions 4.1-4.2).
+///
+//===----------------------------------------------------------------------===//
+
+#include "symmetry/EquivalenceGroup.h"
+#include "symmetry/Partition.h"
+#include "symmetry/Permutation.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+
+using namespace systec;
+
+namespace {
+
+uint64_t factorial(unsigned N) {
+  uint64_t F = 1;
+  for (unsigned K = 2; K <= N; ++K)
+    F *= K;
+  return F;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Permutation
+//===----------------------------------------------------------------------===//
+
+TEST(Permutation, IdentityApply) {
+  Permutation Id = Permutation::identity(3);
+  std::vector<int> X{7, 8, 9};
+  EXPECT_EQ(Id.apply(X), X);
+  EXPECT_TRUE(Id.isIdentity());
+}
+
+TEST(Permutation, ApplyConvention) {
+  // Paper Figure 5: sigma = (3,1,2) (one-based) maps (i,k,l) to (l,i,k).
+  Permutation Sigma({2, 0, 1});
+  std::vector<std::string> X{"i", "k", "l"};
+  std::vector<std::string> Expect{"l", "i", "k"};
+  EXPECT_EQ(Sigma.apply(X), Expect);
+}
+
+TEST(Permutation, ComposeMatchesSequentialApply) {
+  Permutation A({1, 2, 0}), B({2, 1, 0});
+  std::vector<int> X{10, 20, 30};
+  EXPECT_EQ(A.compose(B).apply(X), A.apply(B.apply(X)));
+}
+
+TEST(Permutation, InverseRoundTrip) {
+  for (const Permutation &P : allPermutations(4)) {
+    std::vector<int> X{1, 2, 3, 4};
+    EXPECT_EQ(P.inverse().apply(P.apply(X)), X);
+    EXPECT_TRUE(P.compose(P.inverse()).isIdentity());
+  }
+}
+
+TEST(Permutation, AllPermutationsCountAndUniqueness) {
+  for (unsigned N = 1; N <= 5; ++N) {
+    std::vector<Permutation> All = allPermutations(N);
+    EXPECT_EQ(All.size(), factorial(N));
+    std::set<std::string> Seen;
+    for (const Permutation &P : All)
+      Seen.insert(P.str());
+    EXPECT_EQ(Seen.size(), All.size());
+  }
+}
+
+TEST(Permutation, AllPermutationsIdentityFirst) {
+  EXPECT_TRUE(allPermutations(4).front().isIdentity());
+}
+
+TEST(Permutation, Str) {
+  EXPECT_EQ(Permutation({2, 0, 1}).str(), "(2,0,1)");
+}
+
+//===----------------------------------------------------------------------===//
+// Partition
+//===----------------------------------------------------------------------===//
+
+TEST(Partition, NoneHasNoSymmetry) {
+  Partition P = Partition::none(3);
+  EXPECT_FALSE(P.hasSymmetry());
+  EXPECT_EQ(P.parts().size(), 3u);
+  EXPECT_EQ(P.symmetryOrder(), 1u);
+}
+
+TEST(Partition, FullIsOnePart) {
+  Partition P = Partition::full(4);
+  EXPECT_TRUE(P.hasSymmetry());
+  EXPECT_TRUE(P.isFull());
+  EXPECT_EQ(P.symmetryOrder(), 24u);
+}
+
+TEST(Partition, ParseExplicitParts) {
+  Partition P = Partition::parse(4, "{0,1}{2,3}");
+  EXPECT_EQ(P.parts().size(), 2u);
+  EXPECT_TRUE(P.samePart(0, 1));
+  EXPECT_TRUE(P.samePart(2, 3));
+  EXPECT_FALSE(P.samePart(1, 2));
+  EXPECT_EQ(P.symmetryOrder(), 4u);
+}
+
+TEST(Partition, ParseFillsSingletons) {
+  Partition P = Partition::parse(4, "{1,3}");
+  EXPECT_TRUE(P.samePart(1, 3));
+  EXPECT_FALSE(P.samePart(0, 2));
+  EXPECT_EQ(P.parts().size(), 3u);
+}
+
+TEST(Partition, PartOf) {
+  Partition P = Partition::parse(3, "{0,2}");
+  EXPECT_EQ(P.partOf(0), P.partOf(2));
+  EXPECT_NE(P.partOf(0), P.partOf(1));
+}
+
+TEST(Partition, CanonicalDefinition) {
+  // Definition 2.3: within a part, coordinates ascend.
+  Partition P = Partition::full(3);
+  EXPECT_TRUE(P.isCanonical({1, 2, 3}));
+  EXPECT_TRUE(P.isCanonical({2, 2, 5}));
+  EXPECT_FALSE(P.isCanonical({3, 2, 5}));
+  EXPECT_FALSE(P.isCanonical({1, 4, 2}));
+}
+
+TEST(Partition, CanonicalPartial) {
+  Partition P = Partition::parse(4, "{0,1}{2,3}");
+  EXPECT_TRUE(P.isCanonical({1, 2, 9, 9}));
+  EXPECT_TRUE(P.isCanonical({1, 2, 9, 3}) == false);
+  // Cross-part ordering is unconstrained.
+  EXPECT_TRUE(P.isCanonical({5, 6, 1, 2}));
+}
+
+TEST(Partition, CanonicalizeSortsWithinParts) {
+  Partition P = Partition::parse(4, "{0,1}{2,3}");
+  std::vector<int64_t> C{4, 1, 7, 2};
+  std::vector<int64_t> Expect{1, 4, 2, 7};
+  EXPECT_EQ(P.canonicalize(C), Expect);
+}
+
+TEST(Partition, CanonicalizeIsCanonical) {
+  Partition P = Partition::full(4);
+  EXPECT_TRUE(P.isCanonical(P.canonicalize({3, 1, 2, 1})));
+}
+
+TEST(Partition, DiagonalDetection) {
+  // Definition 2.4.
+  Partition P = Partition::full(3);
+  EXPECT_TRUE(P.isOnDiagonal({1, 1, 2}));
+  EXPECT_TRUE(P.isOnDiagonal({0, 2, 0}));
+  EXPECT_FALSE(P.isOnDiagonal({0, 1, 2}));
+}
+
+TEST(Partition, DiagonalRespectsParts) {
+  Partition P = Partition::parse(4, "{0,1}");
+  EXPECT_TRUE(P.isOnDiagonal({3, 3, 1, 1}));
+  // Equal coordinates in singleton parts are not a diagonal.
+  EXPECT_FALSE(P.isOnDiagonal({1, 2, 5, 5}));
+}
+
+TEST(Partition, OrbitSizeOffDiagonal) {
+  EXPECT_EQ(Partition::full(3).orbitSize({0, 1, 2}), 6u);
+  EXPECT_EQ(Partition::full(5).orbitSize({0, 1, 2, 3, 4}), 120u);
+}
+
+TEST(Partition, OrbitSizeOnDiagonals) {
+  Partition P = Partition::full(3);
+  EXPECT_EQ(P.orbitSize({1, 1, 2}), 3u);  // 3!/2!
+  EXPECT_EQ(P.orbitSize({2, 2, 2}), 1u);  // 3!/3!
+}
+
+TEST(Partition, OrbitSizePartial) {
+  Partition P = Partition::parse(4, "{0,1}{2,3}");
+  EXPECT_EQ(P.orbitSize({0, 1, 2, 3}), 4u);
+  EXPECT_EQ(P.orbitSize({0, 0, 2, 3}), 2u);
+  EXPECT_EQ(P.orbitSize({0, 0, 3, 3}), 1u);
+}
+
+TEST(Partition, StrFormat) {
+  EXPECT_EQ(Partition::parse(3, "{0,2}").str(), "{0,2}{1}");
+}
+
+//===----------------------------------------------------------------------===//
+// EquivalenceGroup
+//===----------------------------------------------------------------------===//
+
+TEST(EquivalenceGroup, EnumerateCount) {
+  // Compositions of n: 2^(n-1) equivalence groups under the chain.
+  for (unsigned N = 1; N <= 6; ++N)
+    EXPECT_EQ(EquivalenceGroup::enumerate(N).size(), 1u << (N - 1));
+}
+
+TEST(EquivalenceGroup, EnumerateOffDiagonalFirst) {
+  std::vector<EquivalenceGroup> All = EquivalenceGroup::enumerate(3);
+  EXPECT_TRUE(All.front().isOffDiagonal());
+  for (size_t I = 1; I < All.size(); ++I)
+    EXPECT_FALSE(All[I].isOffDiagonal());
+}
+
+TEST(EquivalenceGroup, Mttkrp3Groups) {
+  // Paper Section 4.3: {(i),(k),(l)}, {(i=k),(l)}, {(i),(k=l)},
+  // {(i=k=l)}.
+  std::vector<EquivalenceGroup> All = EquivalenceGroup::enumerate(3);
+  ASSERT_EQ(All.size(), 4u);
+  std::vector<std::string> Names{"i", "k", "l"};
+  std::set<std::string> Strs;
+  for (const EquivalenceGroup &G : All)
+    Strs.insert(G.str(Names));
+  EXPECT_TRUE(Strs.count("{(i),(k),(l)}"));
+  EXPECT_TRUE(Strs.count("{(i=k),(l)}"));
+  EXPECT_TRUE(Strs.count("{(i),(k=l)}"));
+  EXPECT_TRUE(Strs.count("{(i=k=l)}"));
+}
+
+TEST(EquivalenceGroup, UniquePermutationCount) {
+  // |S_P|E| = n! / prod(run!).
+  EXPECT_EQ(EquivalenceGroup({1, 1, 1}).uniquePermutationCount(), 6u);
+  EXPECT_EQ(EquivalenceGroup({2, 1}).uniquePermutationCount(), 3u);
+  EXPECT_EQ(EquivalenceGroup({1, 2}).uniquePermutationCount(), 3u);
+  EXPECT_EQ(EquivalenceGroup({3}).uniquePermutationCount(), 1u);
+  EXPECT_EQ(EquivalenceGroup({2, 2}).uniquePermutationCount(), 6u);
+  EXPECT_EQ(EquivalenceGroup({4}).uniquePermutationCount(), 1u);
+}
+
+TEST(EquivalenceGroup, UniquePermutationsMatchCount) {
+  for (unsigned N = 2; N <= 5; ++N)
+    for (const EquivalenceGroup &G : EquivalenceGroup::enumerate(N))
+      EXPECT_EQ(G.uniquePermutations().size(), G.uniquePermutationCount());
+}
+
+TEST(EquivalenceGroup, UniquePermutationsPreserveRunOrder) {
+  // Same-run elements keep their relative order in the image.
+  EquivalenceGroup G({2, 2});
+  for (const Permutation &P : G.uniquePermutations()) {
+    Permutation Inv = P.inverse();
+    EXPECT_LT(Inv[0], Inv[1]);
+    EXPECT_LT(Inv[2], Inv[3]);
+  }
+}
+
+TEST(EquivalenceGroup, UniquePermutationsAreTransversal) {
+  // Applying run-stabilizer swaps to each representative covers S_n
+  // exactly once: representatives x stabilizer = n!.
+  EquivalenceGroup G({2, 1});
+  std::vector<Permutation> Reps = G.uniquePermutations();
+  std::set<std::string> Covered;
+  for (const Permutation &R : Reps) {
+    Covered.insert(R.str());
+    // Swap the two same-run elements (0 and 1) in the image.
+    std::vector<unsigned> Img(R.image());
+    for (unsigned &V : Img)
+      V = V == 0 ? 1 : (V == 1 ? 0 : V);
+    Covered.insert(Permutation(Img).str());
+  }
+  EXPECT_EQ(Covered.size(), 6u);
+}
+
+TEST(EquivalenceGroup, RunQueries) {
+  EquivalenceGroup G({2, 3});
+  EXPECT_TRUE(G.sameRun(0, 1));
+  EXPECT_TRUE(G.sameRun(2, 4));
+  EXPECT_FALSE(G.sameRun(1, 2));
+  EXPECT_EQ(G.representative(4), 2u);
+  EXPECT_EQ(G.representative(1), 0u);
+  EXPECT_EQ(G.runRange(1).first, 2u);
+  EXPECT_EQ(G.runRange(1).second, 5u);
+}
+
+TEST(EquivalenceGroup, ClassifySorted) {
+  EXPECT_EQ(EquivalenceGroup::classify({1, 2, 3}),
+            EquivalenceGroup({1, 1, 1}));
+  EXPECT_EQ(EquivalenceGroup::classify({2, 2, 3}),
+            EquivalenceGroup({2, 1}));
+  EXPECT_EQ(EquivalenceGroup::classify({4, 4, 4, 4}),
+            EquivalenceGroup({4}));
+}
+
+TEST(EquivalenceGroup, StrWithNames) {
+  EXPECT_EQ(EquivalenceGroup({2, 1}).str({"i", "k", "l"}), "{(i=k),(l)}");
+}
+
+/// Property sweep: the sum over equivalence groups of
+/// |S_P|E| * (number of coordinate tuples in that group within the
+/// canonical triangle) equals the full iteration space size.
+class TriangleCoverage : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(TriangleCoverage, GroupsPartitionCanonicalTriangle) {
+  const unsigned N = GetParam();
+  const int64_t Dim = 5;
+  // Count canonical tuples per equivalence group.
+  std::map<std::string, uint64_t> GroupCount;
+  std::vector<int64_t> C(N, 0);
+  uint64_t Canonical = 0;
+  std::function<void(unsigned, int64_t)> Walk = [&](unsigned D,
+                                                    int64_t Lo) {
+    if (D == N) {
+      ++Canonical;
+      std::vector<unsigned> Runs;
+      unsigned Len = 1;
+      for (unsigned I = 1; I < N; ++I) {
+        if (C[I] == C[I - 1])
+          ++Len;
+        else {
+          Runs.push_back(Len);
+          Len = 1;
+        }
+      }
+      Runs.push_back(Len);
+      ++GroupCount[EquivalenceGroup(Runs).str(
+          std::vector<std::string>(N, "x"))];
+      return;
+    }
+    for (C[D] = Lo; C[D] < Dim; ++C[D])
+      Walk(D + 1, C[D]);
+  };
+  Walk(0, 0);
+
+  // Total tuples reconstructed = sum over groups of count * |S_P|E|.
+  uint64_t Reconstructed = 0;
+  for (const EquivalenceGroup &G : EquivalenceGroup::enumerate(N)) {
+    auto It = GroupCount.find(G.str(std::vector<std::string>(N, "x")));
+    uint64_t Cnt = It == GroupCount.end() ? 0 : It->second;
+    Reconstructed += Cnt * G.uniquePermutationCount();
+  }
+  uint64_t Full = 1;
+  for (unsigned I = 0; I < N; ++I)
+    Full *= Dim;
+  EXPECT_EQ(Reconstructed, Full);
+}
+
+INSTANTIATE_TEST_SUITE_P(Orders, TriangleCoverage,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u));

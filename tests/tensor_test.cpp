@@ -1,0 +1,366 @@
+//===- tests/tensor_test.cpp ----------------------------------*- C++ -*-===//
+///
+/// Tests for COO staging and the fibertree level formats (Dense,
+/// Sparse, RunLength, Banded), including property sweeps that build the
+/// same random tensor in every format and compare element-wise.
+///
+//===----------------------------------------------------------------------===//
+
+#include "support/Random.h"
+#include "tensor/Tensor.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace systec;
+
+//===----------------------------------------------------------------------===//
+// Coo
+//===----------------------------------------------------------------------===//
+
+TEST(Coo, AddAndQuery) {
+  Coo C({4, 5});
+  C.add({1, 2}, 3.0);
+  C.add({0, 4}, 1.5);
+  EXPECT_EQ(C.size(), 2u);
+  EXPECT_EQ(C.coord(0, 0), 1);
+  EXPECT_EQ(C.coord(0, 1), 2);
+  EXPECT_EQ(C.value(1), 1.5);
+}
+
+TEST(Coo, SortOrderIsColumnMajor) {
+  Coo C({4, 4});
+  C.add({3, 0}, 1);
+  C.add({0, 2}, 2);
+  C.add({1, 0}, 3);
+  C.sortAndCombine();
+  // Sorted by last mode first: (1,0), (3,0), (0,2).
+  EXPECT_EQ(C.coord(0, 0), 1);
+  EXPECT_EQ(C.coord(1, 0), 3);
+  EXPECT_EQ(C.coord(2, 1), 2);
+}
+
+TEST(Coo, CombineDuplicatesWithAdd) {
+  Coo C({3, 3});
+  C.add({1, 1}, 2.0);
+  C.add({1, 1}, 3.0);
+  C.sortAndCombine(OpKind::Add);
+  EXPECT_EQ(C.size(), 1u);
+  EXPECT_EQ(C.value(0), 5.0);
+}
+
+TEST(Coo, CombineDuplicatesWithMin) {
+  Coo C({3, 3});
+  C.add({1, 1}, 2.0);
+  C.add({1, 1}, 3.0);
+  C.sortAndCombine(OpKind::Min);
+  EXPECT_EQ(C.value(0), 2.0);
+}
+
+TEST(Coo, Transposed) {
+  Coo C({2, 3});
+  C.add({1, 2}, 7.0);
+  Coo T = C.transposed({1, 0});
+  EXPECT_EQ(T.dims()[0], 3);
+  EXPECT_EQ(T.dims()[1], 2);
+  EXPECT_EQ(T.coord(0, 0), 2);
+  EXPECT_EQ(T.coord(0, 1), 1);
+}
+
+TEST(Coo, Append) {
+  Coo A({3}), B({3});
+  A.add({0}, 1);
+  B.add({2}, 2);
+  A.append(B);
+  EXPECT_EQ(A.size(), 2u);
+}
+
+//===----------------------------------------------------------------------===//
+// Dense tensors
+//===----------------------------------------------------------------------===//
+
+TEST(TensorDense, ZerosAndRef) {
+  Tensor T = Tensor::dense({3, 4});
+  EXPECT_EQ(T.storedCount(), 12u);
+  T.denseRef({2, 3}) = 5.0;
+  EXPECT_EQ(T.at({2, 3}), 5.0);
+  EXPECT_EQ(T.at({0, 0}), 0.0);
+}
+
+TEST(TensorDense, ColumnMajorLayout) {
+  // Mode 0 is contiguous (Fortran order), like Finch.
+  Tensor T = Tensor::dense({2, 2});
+  T.denseRef({1, 0}) = 1.0;
+  EXPECT_EQ(T.vals()[1], 1.0);
+  T.denseRef({0, 1}) = 2.0;
+  EXPECT_EQ(T.vals()[2], 2.0);
+}
+
+TEST(TensorDense, FillValue) {
+  Tensor T = Tensor::dense({2}, 9.0);
+  EXPECT_EQ(T.at({1}), 9.0);
+}
+
+//===----------------------------------------------------------------------===//
+// Sparse formats
+//===----------------------------------------------------------------------===//
+
+TEST(TensorSparse, CscBuild) {
+  // A[i,j] in Dense(Sparse(Element)): top level j.
+  Coo C({4, 3});
+  C.add({2, 0}, 1.0);
+  C.add({0, 1}, 2.0);
+  C.add({3, 1}, 3.0);
+  Tensor T = Tensor::fromCoo(std::move(C), TensorFormat::csf(2));
+  EXPECT_EQ(T.storedCount(), 3u);
+  const Level &Rows = T.level(1);
+  // Column pointers over 3 columns.
+  ASSERT_EQ(T.level(0).Kind, LevelKind::Dense);
+  ASSERT_EQ(Rows.Kind, LevelKind::Sparse);
+  EXPECT_EQ(Rows.Ptr[0], 0);
+  EXPECT_EQ(Rows.Ptr[1], 1);
+  EXPECT_EQ(Rows.Ptr[2], 3);
+  EXPECT_EQ(Rows.Ptr[3], 3);
+  EXPECT_EQ(T.at({2, 0}), 1.0);
+  EXPECT_EQ(T.at({0, 1}), 2.0);
+  EXPECT_EQ(T.at({1, 1}), 0.0);
+}
+
+TEST(TensorSparse, Csf3Build) {
+  Coo C({3, 3, 3});
+  C.add({0, 1, 2}, 1.0);
+  C.add({1, 1, 2}, 2.0);
+  C.add({0, 0, 1}, 3.0);
+  Tensor T = Tensor::fromCoo(std::move(C), TensorFormat::csf(3));
+  EXPECT_EQ(T.at({0, 1, 2}), 1.0);
+  EXPECT_EQ(T.at({1, 1, 2}), 2.0);
+  EXPECT_EQ(T.at({0, 0, 1}), 3.0);
+  EXPECT_EQ(T.at({2, 2, 2}), 0.0);
+  EXPECT_EQ(T.storedCount(), 3u);
+}
+
+TEST(TensorSparse, FillPropagates) {
+  Coo C({3, 3});
+  C.add({0, 0}, 5.0);
+  double Inf = std::numeric_limits<double>::infinity();
+  Tensor T = Tensor::fromCoo(std::move(C), TensorFormat::csf(2), Inf);
+  EXPECT_EQ(T.at({1, 1}), Inf);
+  EXPECT_EQ(T.at({0, 0}), 5.0);
+}
+
+TEST(TensorSparse, LocateOnLevels) {
+  Coo C({4, 4});
+  C.add({1, 2}, 1.0);
+  C.add({3, 2}, 2.0);
+  Tensor T = Tensor::fromCoo(std::move(C), TensorFormat::csf(2));
+  // Level 0 dense: position = coordinate.
+  EXPECT_EQ(T.locate(0, 0, 2), 2);
+  // Level 1 sparse under column 2.
+  int64_t P1 = T.locate(1, 2, 1);
+  ASSERT_GE(P1, 0);
+  EXPECT_EQ(T.val(P1), 1.0);
+  EXPECT_EQ(T.locate(1, 2, 0), -1);
+}
+
+TEST(TensorSparse, ForEachVisitsInOrder) {
+  Coo C({3, 3});
+  C.add({2, 1}, 1.0);
+  C.add({0, 0}, 2.0);
+  C.add({1, 1}, 3.0);
+  Tensor T = Tensor::fromCoo(std::move(C), TensorFormat::csf(2));
+  std::vector<double> Vals;
+  T.forEach([&Vals](const std::vector<int64_t> &, double V) {
+    Vals.push_back(V);
+  });
+  std::vector<double> Expect{2.0, 3.0, 1.0}; // column-major order
+  EXPECT_EQ(Vals, Expect);
+}
+
+TEST(TensorSparse, RoundTripThroughCoo) {
+  Rng R(5);
+  Coo C({10, 10});
+  std::set<std::pair<int64_t, int64_t>> Seen;
+  for (int K = 0; K < 30; ++K) {
+    int64_t I = R.nextIndex(10), J = R.nextIndex(10);
+    if (Seen.insert({I, J}).second)
+      C.add({I, J}, R.nextDouble());
+  }
+  Tensor T = Tensor::fromCoo(C, TensorFormat::csf(2));
+  Tensor U = Tensor::fromCoo(T.toCoo(), TensorFormat::csf(2));
+  EXPECT_EQ(Tensor::maxAbsDiff(T, U), 0.0);
+}
+
+TEST(TensorSparse, Transpose) {
+  Coo C({3, 4});
+  C.add({2, 3}, 7.0);
+  C.add({0, 1}, 1.0);
+  Tensor T = Tensor::fromCoo(std::move(C), TensorFormat::csf(2));
+  Tensor U = T.transposed({1, 0}, TensorFormat::csf(2));
+  EXPECT_EQ(U.dim(0), 4);
+  EXPECT_EQ(U.dim(1), 3);
+  EXPECT_EQ(U.at({3, 2}), 7.0);
+  EXPECT_EQ(U.at({1, 0}), 1.0);
+}
+
+TEST(TensorSparse, SplitDiagonal) {
+  Coo C({3, 3});
+  C.add({0, 0}, 1.0);
+  C.add({1, 2}, 2.0);
+  C.add({2, 1}, 2.0);
+  C.add({2, 2}, 3.0);
+  Tensor T = Tensor::fromCoo(std::move(C), TensorFormat::csf(2));
+  auto [Off, Diag] = T.splitDiagonal(Partition::full(2));
+  EXPECT_EQ(Off.storedCount(), 2u);
+  EXPECT_EQ(Diag.storedCount(), 2u);
+  EXPECT_EQ(Diag.at({0, 0}), 1.0);
+  EXPECT_EQ(Off.at({0, 0}), 0.0);
+  EXPECT_EQ(Off.at({1, 2}), 2.0);
+}
+
+TEST(TensorSparse, SplitDiagonalPartial) {
+  // Only equalities within a part count as diagonal.
+  Coo C({3, 3, 3});
+  C.add({1, 1, 2}, 1.0); // modes 0,1 equal
+  C.add({1, 2, 2}, 2.0); // modes 1,2 equal (different parts)
+  Tensor T = Tensor::fromCoo(std::move(C), TensorFormat::csf(3));
+  auto [Off, Diag] = T.splitDiagonal(Partition::parse(3, "{0,1}"));
+  EXPECT_EQ(Diag.storedCount(), 1u);
+  EXPECT_EQ(Off.storedCount(), 1u);
+  EXPECT_EQ(Diag.at({1, 1, 2}), 1.0);
+}
+
+//===----------------------------------------------------------------------===//
+// Structured formats
+//===----------------------------------------------------------------------===//
+
+TEST(TensorRle, RunsCompress) {
+  // Vector 0 0 5 5 5 0: three runs.
+  Coo C({6});
+  C.add({2}, 5.0);
+  C.add({3}, 5.0);
+  C.add({4}, 5.0);
+  TensorFormat F;
+  F.Levels = {LevelKind::RunLength};
+  Tensor T = Tensor::fromCoo(std::move(C), F);
+  EXPECT_EQ(T.storedCount(), 3u); // [0,2) fill, [2,5) 5s, [5,6) fill
+  EXPECT_EQ(T.at({0}), 0.0);
+  EXPECT_EQ(T.at({3}), 5.0);
+  EXPECT_EQ(T.at({5}), 0.0);
+}
+
+TEST(TensorRle, MatrixRleRows) {
+  // Dense(RunLength): each column stored as runs.
+  Coo C({4, 2});
+  for (int64_t I = 0; I < 4; ++I)
+    C.add({I, 0}, 2.0);
+  C.add({1, 1}, 3.0);
+  TensorFormat F;
+  F.Levels = {LevelKind::Dense, LevelKind::RunLength};
+  Tensor T = Tensor::fromCoo(std::move(C), F);
+  // Column 0 is one run; column 1 is three.
+  EXPECT_EQ(T.storedCount(), 4u);
+  EXPECT_EQ(T.at({2, 0}), 2.0);
+  EXPECT_EQ(T.at({1, 1}), 3.0);
+  EXPECT_EQ(T.at({2, 1}), 0.0);
+}
+
+TEST(TensorRle, ForEachExpandsRuns) {
+  Coo C({5});
+  C.add({1}, 4.0);
+  C.add({2}, 4.0);
+  TensorFormat F;
+  F.Levels = {LevelKind::RunLength};
+  Tensor T = Tensor::fromCoo(std::move(C), F);
+  int Count = 0;
+  T.forEach([&Count](const std::vector<int64_t> &, double) { ++Count; });
+  EXPECT_EQ(Count, 5); // RLE covers the full extent
+}
+
+TEST(TensorBanded, BandStorage) {
+  // Tridiagonal 5x5: banded rows under dense columns.
+  Coo C({5, 5});
+  for (int64_t I = 0; I < 5; ++I)
+    for (int64_t J = std::max<int64_t>(0, I - 1);
+         J <= std::min<int64_t>(4, I + 1); ++J)
+      C.add({I, J}, 1.0 + I + J);
+  TensorFormat F;
+  F.Levels = {LevelKind::Dense, LevelKind::Banded};
+  Tensor T = Tensor::fromCoo(std::move(C), F);
+  EXPECT_EQ(T.at({2, 3}), 6.0);
+  EXPECT_EQ(T.at({0, 4}), 0.0); // outside the band
+  EXPECT_EQ(T.level(1).Lo[2], 1);
+  EXPECT_EQ(T.level(1).Hi[2], 4);
+}
+
+TEST(TensorBanded, EmptyColumns) {
+  Coo C({4, 4});
+  C.add({1, 2}, 5.0);
+  TensorFormat F;
+  F.Levels = {LevelKind::Dense, LevelKind::Banded};
+  Tensor T = Tensor::fromCoo(std::move(C), F);
+  EXPECT_EQ(T.at({0, 0}), 0.0);
+  EXPECT_EQ(T.at({1, 2}), 5.0);
+}
+
+//===----------------------------------------------------------------------===//
+// Cross-format property sweep
+//===----------------------------------------------------------------------===//
+
+struct FormatCase {
+  const char *Name;
+  std::vector<LevelKind> Levels;
+};
+
+class FormatEquivalence : public ::testing::TestWithParam<FormatCase> {};
+
+TEST_P(FormatEquivalence, MatchesDenseReference) {
+  Rng R(11);
+  const int64_t N = 12;
+  Coo C({N, N});
+  Tensor Ref = Tensor::dense({N, N});
+  std::set<std::pair<int64_t, int64_t>> Seen;
+  for (int K = 0; K < 40; ++K) {
+    int64_t I = R.nextIndex(N), J = R.nextIndex(N);
+    if (!Seen.insert({I, J}).second)
+      continue;
+    double V = R.nextDouble();
+    C.add({I, J}, V);
+    Ref.denseRef({I, J}) = V;
+  }
+  TensorFormat F;
+  F.Levels = GetParam().Levels;
+  Tensor T = Tensor::fromCoo(std::move(C), F);
+  for (int64_t I = 0; I < N; ++I)
+    for (int64_t J = 0; J < N; ++J)
+      EXPECT_EQ(T.at({I, J}), Ref.at({I, J}))
+          << GetParam().Name << " at (" << I << "," << J << ")";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFormats, FormatEquivalence,
+    ::testing::Values(
+        FormatCase{"DenseDense", {LevelKind::Dense, LevelKind::Dense}},
+        FormatCase{"Csc", {LevelKind::Dense, LevelKind::Sparse}},
+        FormatCase{"Dcsc", {LevelKind::Sparse, LevelKind::Sparse}},
+        FormatCase{"SparseDense", {LevelKind::Sparse, LevelKind::Dense}},
+        FormatCase{"DenseRle", {LevelKind::Dense, LevelKind::RunLength}},
+        FormatCase{"DenseBanded", {LevelKind::Dense, LevelKind::Banded}},
+        FormatCase{"SparseBanded", {LevelKind::Sparse, LevelKind::Banded}}),
+    [](const ::testing::TestParamInfo<FormatCase> &Info) {
+      return Info.param.Name;
+    });
+
+TEST(TensorMisc, MaxAbsDiffSeesBothSides) {
+  Coo A({3}), B({3});
+  A.add({0}, 1.0);
+  B.add({2}, 4.0);
+  Tensor TA = Tensor::fromCoo(std::move(A), TensorFormat::csf(1));
+  Tensor TB = Tensor::fromCoo(std::move(B), TensorFormat::csf(1));
+  EXPECT_EQ(Tensor::maxAbsDiff(TA, TB), 4.0);
+}
+
+TEST(TensorMisc, Summary) {
+  Tensor T = Tensor::dense({2, 3});
+  EXPECT_EQ(T.summary(), "2-d 2x3, 6 stored, Dense(Dense(Element(0.0)))");
+}

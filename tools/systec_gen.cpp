@@ -1,0 +1,40 @@
+//===- tools/systec_gen.cpp - Build-time kernel generation ----*- C++ -*-===//
+///
+/// \file
+/// Emits the compiler's C++ output for the SSYMV kernels into a source
+/// file that is compiled into the benchmark build. This is the
+/// ahead-of-time analogue of the original SySTeC emitting Finch IR that
+/// Julia JIT-compiles: the benchmarks then time real machine code
+/// produced from the compiler's output (see bench_ssymv's
+/// naive_gen/systec_gen columns). Aliases (splits/transposes) are
+/// parameters so data preparation stays outside the timed kernel.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Codegen.h"
+#include "core/Compiler.h"
+#include "kernels/Kernels.h"
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+using namespace systec;
+
+int main(int Argc, char **Argv) {
+  if (Argc < 2) {
+    std::fprintf(stderr, "usage: systec_gen <output-dir>\n");
+    return 1;
+  }
+  CompileResult R = compileEinsum(makeSsymv());
+  std::string Path = std::string(Argv[1]) + "/gen_ssymv.cpp";
+  std::ofstream Out(Path);
+  if (!Out) {
+    std::fprintf(stderr, "cannot write %s\n", Path.c_str());
+    return 1;
+  }
+  Out << emitCpp(R.Naive, /*InlinePreparation=*/false) << "\n"
+      << emitCpp(R.Optimized, /*InlinePreparation=*/false) << "\n";
+  std::printf("wrote %s\n", Path.c_str());
+  return 0;
+}
