@@ -27,8 +27,10 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <functional>
 #include <map>
 #include <memory>
@@ -158,6 +160,60 @@ inline void printSpeedups(const CaptureReporter &Rep,
   if (NGeo)
     std::printf("%-28s geometric-mean speedup (systec vs naive): %.2f\n",
                 "", std::exp(Geo / NGeo));
+}
+
+//===----------------------------------------------------------------------===//
+// Machine-readable results
+//===----------------------------------------------------------------------===//
+
+/// One benchmark measurement for the perf-trajectory log.
+struct BenchRecord {
+  std::string Kernel;   ///< e.g. "ssymv"
+  std::string Workload; ///< matrix / config label
+  std::string Impl;     ///< "naive", "systec", "taco", ...
+  unsigned Threads = 1;
+  std::string Schedule = "none";
+  double Millis = -1;
+  double GFlops = 0; ///< 0 when the flop count is unknown
+};
+
+inline std::string jsonEscape(const std::string &S) {
+  std::string Out;
+  for (char C : S)
+    if (C == '"' || C == '\\')
+      (Out += '\\') += C;
+    else
+      Out += C;
+  return Out;
+}
+
+/// Writes records as a JSON array to \p Path (e.g. "BENCH_ssymv.json")
+/// so CI can track kernel / threads / schedule / GFLOP-s over time.
+inline void writeBenchJson(const std::string &Path,
+                           const std::vector<BenchRecord> &Records) {
+  std::ofstream Out(Path);
+  if (!Out) {
+    std::fprintf(stderr, "cannot write %s\n", Path.c_str());
+    return;
+  }
+  Out << "[\n";
+  for (size_t I = 0; I < Records.size(); ++I) {
+    const BenchRecord &R = Records[I];
+    char Buf[512];
+    std::snprintf(Buf, sizeof(Buf),
+                  "  {\"kernel\": \"%s\", \"workload\": \"%s\", "
+                  "\"impl\": \"%s\", \"threads\": %u, "
+                  "\"schedule\": \"%s\", \"ms\": %.6f, "
+                  "\"gflops\": %.6f}%s\n",
+                  jsonEscape(R.Kernel).c_str(),
+                  jsonEscape(R.Workload).c_str(),
+                  jsonEscape(R.Impl).c_str(), R.Threads,
+                  jsonEscape(R.Schedule).c_str(), R.Millis, R.GFlops,
+                  I + 1 < Records.size() ? "," : "");
+    Out << Buf;
+  }
+  Out << "]\n";
+  std::printf("wrote %s (%zu records)\n", Path.c_str(), Records.size());
 }
 
 /// Heap-allocated workload state kept alive for the benchmark run.

@@ -103,5 +103,16 @@ int main(int argc, char **argv) {
   if (N)
     std::printf("  geometric mean:  %.2fx (paper: 1.45x average)\n",
                 std::exp(Geo / N));
+  // Machine-readable trajectory log (single-threaded reference rows;
+  // bench_threads records the thread-scaling rows).
+  std::vector<BenchRecord> Records;
+  for (const Row &RowEntry : Rows)
+    for (const auto &[Impl, BenchName] : RowEntry.Entries) {
+      double Ms = Rep.millis(BenchName);
+      if (Ms > 0)
+        Records.push_back(
+            BenchRecord{"ssymv", RowEntry.Label, Impl, 1, "none", Ms, 0});
+    }
+  writeBenchJson("BENCH_ssymv.json", Records);
   return 0;
 }

@@ -150,10 +150,10 @@ int main() {
       Exec.prepare();
       counters().reset();
       Exec.run();
-      return counters();
+      return counters().snapshot();
     };
-    ExecCounters N = Measure(C.Naive);
-    ExecCounters O = Measure(C.Optimized);
+    CounterSnapshot N = Measure(C.Naive);
+    CounterSnapshot O = Measure(C.Optimized);
     std::printf("  redundant reads:      %llu -> %llu (optimized)\n",
                 static_cast<unsigned long long>(N.SparseReads),
                 static_cast<unsigned long long>(O.SparseReads));

@@ -1,0 +1,78 @@
+//===- examples/parallel_scaling.cpp - Parallel runtime demo --*- C++ -*-===//
+///
+/// \file
+/// Demonstrates the parallel execution runtime: compiles SSYMV, shows
+/// the parallelism analysis decision (the `// parallel` markers in the
+/// generated C++), then runs the optimized kernel across thread counts
+/// and schedule policies and reports timings and result agreement.
+///
+/// Build and run:
+///   cmake -B build && cmake --build build --target example_parallel_scaling
+///   ./build/example_parallel_scaling [dimension]
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Codegen.h"
+#include "core/Compiler.h"
+#include "data/Generators.h"
+#include "kernels/Kernels.h"
+#include "runtime/Executor.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+
+using namespace systec;
+
+int main(int Argc, char **Argv) {
+  const int64_t N = Argc > 1 ? std::atoll(Argv[1]) : 20000;
+  Rng R(42);
+  Tensor A = generateSymmetricTensor(2, N, 8 * N, R, TensorFormat::csf(2));
+  Tensor X = generateDenseVector(N, R);
+
+  CompileResult C = compileEinsum(makeSsymv());
+  std::printf("=== generated kernel (note the // parallel markers) ===\n%s\n",
+              emitCpp(C.Optimized).c_str());
+
+  Tensor Ref;
+  double BaseMs = 0;
+  std::printf("=== thread scaling on a %lld-dim symmetric matrix ===\n",
+              static_cast<long long>(N));
+  std::printf("%-8s %-10s %12s %10s %12s\n", "threads", "schedule", "ms",
+              "speedup", "maxAbsDiff");
+  for (unsigned Threads : {1u, 2u, 4u, 8u}) {
+    for (SchedulePolicy P : {SchedulePolicy::Static,
+                             SchedulePolicy::TriangleBalanced}) {
+      if (Threads == 1 && P != SchedulePolicy::Static)
+        continue; // one lane: schedule is irrelevant
+      Tensor Y = Tensor::dense({N});
+      ExecOptions O;
+      O.Threads = Threads;
+      O.Schedule = P;
+      Executor E(C.Optimized, O);
+      E.bind("A", &A).bind("x", &X).bind("y", &Y);
+      E.prepare();
+      // Warm once (materializes splits, allocates accumulators).
+      E.runBody();
+      Y.setAllValues(0.0);
+      auto T0 = std::chrono::steady_clock::now();
+      E.run();
+      double Ms = std::chrono::duration<double, std::milli>(
+                      std::chrono::steady_clock::now() - T0)
+                      .count();
+      if (Threads == 1) {
+        BaseMs = Ms;
+        Ref = Y;
+      }
+      std::printf("%-8u %-10s %12.3f %10.2f %12.3g\n", Threads,
+                  schedulePolicyName(P), Ms, BaseMs / Ms,
+                  Tensor::maxAbsDiff(Ref, Y));
+    }
+  }
+  std::printf("\nReduction privatization keeps every configuration "
+              "within rounding of the sequential result; speedups "
+              "require actual cores (this machine reports %u).\n",
+              std::thread::hardware_concurrency());
+  return 0;
+}

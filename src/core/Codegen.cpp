@@ -279,10 +279,24 @@ private:
     unreachable("unknown statement kind");
   }
 
+  /// Marker comment showing the ParallelAnalysis decision in golden
+  /// reports; the AOT output itself stays sequential C++ (the engine's
+  /// thread pool is the parallel path).
+  std::string parallelMarker(const StmtPtr &S) {
+    const ParallelAnnotation &P = S->parallelInfo();
+    if (!P.IsParallel)
+      return "";
+    if (P.TriangleDepth != 0)
+      return "  // parallel (triangle-balanced, depth " +
+             std::to_string(P.TriangleDepth) + ")";
+    return "  // parallel";
+  }
+
   void emitLoop(const StmtPtr &S, std::ostringstream &OS,
                 unsigned Indent) {
     const std::string &Var = S->loopIndex();
     std::string Pad(2 * Indent, ' ');
+    const std::string ParMark = parallelMarker(S);
     BoundVars.insert(Var);
 
     // Peel single-conjunction bounds exactly like the executor.
@@ -371,7 +385,7 @@ private:
 
     if (WalkKey.empty()) {
       OS << Pad << "for (int64_t " << Var << " = " << Lo << "; " << Var
-         << " <= " << Hi << "; ++" << Var << ") {\n";
+         << " <= " << Hi << "; ++" << Var << ") {" << ParMark << "\n";
       Scopes.push_back({});
       emitStmt(Body, OS, Indent + 1);
       Scopes.pop_back();
@@ -387,7 +401,7 @@ private:
           WalkLevel == 0 ? std::string("0") : PosVar[WalkKey];
       std::string P = "p_" + Tensor + std::to_string(WalkLevel);
       OS << Pad << "for (int64_t " << Var << " = " << Lo << "; " << Var
-         << " <= " << Hi << "; ++" << Var << ") {\n";
+         << " <= " << Hi << "; ++" << Var << ") {" << ParMark << "\n";
       OS << Pad << "  const int64_t " << P << " = " << Parent << " * "
          << Tensor << ".dim(" << Mode << ") + " << Var << ";\n";
       unsigned OldDriven = Driven.count(WalkKey) ? Driven[WalkKey] : 0;
@@ -411,7 +425,7 @@ private:
       std::string Q = "q_" + Tensor + std::to_string(WalkLevel);
       OS << Pad << "for (int64_t " << Q << " = " << Lev << ".Ptr["
          << Parent << "]; " << Q << " < " << Lev << ".Ptr[" << Parent
-         << " + 1]; ++" << Q << ") {\n";
+         << " + 1]; ++" << Q << ") {" << ParMark << "\n";
       OS << Pad << "  const int64_t " << Var << " = " << Lev << ".Crd["
          << Q << "];\n";
       OS << Pad << "  if (" << Var << " > " << Hi

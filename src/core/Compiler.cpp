@@ -44,7 +44,8 @@ CompileResult compileEinsum(const Einsum &E,
   R.Analysis = analyzeSymmetry(E);
   R.Sym = symmetrize(E, R.Analysis);
   runPasses(R.Sym, Options);
-  R.Naive = lowerNaive(E);
+  R.Naive = lowerNaive(E, /*Concordize=*/true, /*Workspace=*/true,
+                       Options.Parallelize);
   R.Optimized = lowerSymmetric(R.Sym);
   return R;
 }

@@ -2,6 +2,7 @@
 
 #include "core/Lower.h"
 
+#include "parallel/ParallelAnalysis.h"
 #include "support/Error.h"
 #include "support/StringUtils.h"
 
@@ -270,7 +271,8 @@ void concordizeKernel(Kernel &K) {
   K.Body = FixStmt(K.Body);
 }
 
-Kernel lowerNaive(const Einsum &E, bool Concordize, bool Workspace) {
+Kernel lowerNaive(const Einsum &E, bool Concordize, bool Workspace,
+                  bool Parallelize) {
   Kernel K;
   K.Name = E.Name + "_naive";
   K.Decls = E.Decls;
@@ -305,6 +307,10 @@ Kernel lowerNaive(const Einsum &E, bool Concordize, bool Workspace) {
   }
   if (Concordize)
     concordizeKernel(K);
+  // Annotate after concordization: the alias rewrite rebuilds loop
+  // nodes and would drop earlier annotations.
+  if (Parallelize)
+    K.Body = annotateParallelLoops(K.Body);
   return K;
 }
 
@@ -366,6 +372,8 @@ Kernel lowerSymmetric(const SymKernel &SK) {
         Stmt::replicate(K.OutputName, SK.Analysis.OutputSymmetry);
   if (SK.Concordize)
     concordizeKernel(K);
+  if (SK.Parallelize)
+    K.Body = annotateParallelLoops(K.Body);
   return K;
 }
 

@@ -25,9 +25,10 @@ namespace systec {
 
 /// Lowers the einsum without symmetry exploitation. \p Concordize
 /// transposes inputs to iterate in loop order (on by default so the
-/// baseline is fair).
+/// baseline is fair). \p Parallelize runs the parallelism analysis and
+/// annotates distributable loops.
 Kernel lowerNaive(const Einsum &E, bool Concordize = true,
-                  bool Workspace = true);
+                  bool Workspace = true, bool Parallelize = true);
 
 /// Lowers a symmetrized and optimized kernel.
 Kernel lowerSymmetric(const SymKernel &SK);

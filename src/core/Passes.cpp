@@ -424,6 +424,7 @@ void runPasses(SymKernel &SK, const PipelineOptions &Options) {
   SK.SplitDiagonal = Options.DiagonalSplit;
   SK.Concordize = Options.Concordize;
   SK.UseWorkspaces = Options.Workspace;
+  SK.Parallelize = Options.Parallelize;
 }
 
 } // namespace systec

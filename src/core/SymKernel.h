@@ -78,6 +78,10 @@ struct SymKernel {
   /// in loop order.
   bool Concordize = false;
 
+  /// Parallelism analysis (runtime extension): annotate loops the
+  /// parallel executor may distribute across threads.
+  bool Parallelize = false;
+
   std::string str() const;
 };
 

@@ -1,0 +1,130 @@
+//===- parallel/ThreadPool.cpp --------------------------------*- C++ -*-===//
+
+#include "parallel/ThreadPool.h"
+
+#include <algorithm>
+#include <cassert>
+#include <memory>
+
+namespace systec {
+
+namespace {
+/// Set while a thread is executing pool tasks; nested parallelFor calls
+/// from such a thread run inline instead of deadlocking on the batch
+/// they are part of.
+thread_local bool InPoolTask = false;
+} // namespace
+
+ThreadPool::ThreadPool(unsigned WorkerCount) {
+  Workers.reserve(WorkerCount);
+  for (unsigned W = 0; W < WorkerCount; ++W)
+    Workers.emplace_back([this] { workerLoop(); });
+  NumWorkers.store(WorkerCount, std::memory_order_release);
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    Stopping = true;
+  }
+  WakeCv.notify_all();
+  for (std::thread &T : Workers)
+    T.join();
+}
+
+void ThreadPool::workerLoop() {
+  uint64_t SeenGeneration = 0;
+  while (true) {
+    std::shared_ptr<Batch> B;
+    {
+      std::unique_lock<std::mutex> Lock(Mu);
+      WakeCv.wait(Lock, [&] {
+        return Stopping || (Generation != SeenGeneration && Cur);
+      });
+      if (Stopping)
+        return;
+      SeenGeneration = Generation;
+      B = Cur;
+    }
+    InPoolTask = true;
+    unsigned Finished = 0;
+    for (unsigned T = B->Next.fetch_add(1, std::memory_order_relaxed);
+         T < B->Tasks;
+         T = B->Next.fetch_add(1, std::memory_order_relaxed)) {
+      (*B->Fn)(T);
+      ++Finished;
+    }
+    InPoolTask = false;
+    if (Finished) {
+      std::lock_guard<std::mutex> Lock(Mu);
+      Pending -= Finished;
+      if (Pending == 0)
+        DoneCv.notify_all();
+    }
+  }
+}
+
+void ThreadPool::parallelFor(unsigned Tasks,
+                             const std::function<void(unsigned)> &Fn) {
+  if (Tasks == 0)
+    return;
+  if (Tasks == 1 || workerCount() == 0 || InPoolTask) {
+    // Inline: trivial batch, no workers, or nested call from a task.
+    for (unsigned T = 0; T < Tasks; ++T)
+      Fn(T);
+    return;
+  }
+  std::lock_guard<std::mutex> SubmitLock(SubmitMu);
+  auto B = std::make_shared<Batch>();
+  B->Fn = &Fn;
+  B->Tasks = Tasks;
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    assert(Pending == 0 && "overlapping parallelFor batches");
+    Cur = B;
+    Pending = Tasks;
+    ++Generation;
+  }
+  WakeCv.notify_all();
+
+  // The caller participates too.
+  InPoolTask = true;
+  unsigned Finished = 0;
+  for (unsigned T = B->Next.fetch_add(1, std::memory_order_relaxed);
+       T < Tasks; T = B->Next.fetch_add(1, std::memory_order_relaxed)) {
+    Fn(T);
+    ++Finished;
+  }
+  InPoolTask = false;
+
+  std::unique_lock<std::mutex> Lock(Mu);
+  Pending -= Finished;
+  if (Pending == 0)
+    DoneCv.notify_all();
+  DoneCv.wait(Lock, [&] { return Pending == 0; });
+  Cur.reset();
+}
+
+void ThreadPool::ensureWorkers(unsigned Want) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  while (Workers.size() < Want)
+    Workers.emplace_back([this] { workerLoop(); });
+  NumWorkers.store(static_cast<unsigned>(Workers.size()),
+                   std::memory_order_release);
+}
+
+ThreadPool &ThreadPool::global() {
+  // Leaked on purpose: worker threads may outlive static destruction
+  // order, and the pool is idle at exit anyway.
+  static ThreadPool *Pool = [] {
+    unsigned HW = std::thread::hardware_concurrency();
+    return new ThreadPool(HW > 1 ? HW - 1 : 0);
+  }();
+  return *Pool;
+}
+
+void ThreadPool::ensureGlobalThreads(unsigned Threads) {
+  global().ensureWorkers(Threads > 0 ? Threads - 1 : 0);
+}
+
+} // namespace systec

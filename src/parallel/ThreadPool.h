@@ -1,0 +1,99 @@
+//===- parallel/ThreadPool.h - Persistent worker pool ---------*- C++ -*-===//
+///
+/// \file
+/// A persistent pool of worker threads shared by every Executor in the
+/// process. Work is submitted as a batch of identically-shaped tasks
+/// (parallelFor); workers and the calling thread claim task indices
+/// from a shared atomic counter, which gives dynamic load balancing
+/// ("stealing" from the common queue) without per-task allocation.
+///
+/// Determinism contract: task *indices* fully determine the work and
+/// any privatized accumulator a task uses. Which OS thread executes a
+/// task is scheduling-dependent and intentionally carries no semantic
+/// weight, so results are reproducible for a fixed task decomposition
+/// even under dynamic scheduling.
+///
+/// parallelFor is not reentrant: a call from inside a worker task runs
+/// the nested batch inline on the calling thread (nested kernel
+/// parallelism is statically disabled by the plan compiler; this is the
+/// runtime backstop).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SYSTEC_PARALLEL_THREADPOOL_H
+#define SYSTEC_PARALLEL_THREADPOOL_H
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace systec {
+
+class ThreadPool {
+public:
+  /// Creates \p Workers background threads (0 is valid: every batch
+  /// then runs inline on the caller).
+  explicit ThreadPool(unsigned Workers);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool &) = delete;
+  ThreadPool &operator=(const ThreadPool &) = delete;
+
+  unsigned workerCount() const {
+    return NumWorkers.load(std::memory_order_acquire);
+  }
+
+  /// Grows the pool to at least \p Want workers (never shrinks). Safe
+  /// to call between batches; the singleton is never replaced, so
+  /// references held by compiled plans stay valid.
+  void ensureWorkers(unsigned Want);
+
+  /// Runs Fn(0), ..., Fn(Tasks-1) across the workers and the calling
+  /// thread; returns when every task has finished. Task order is
+  /// unspecified; each index runs exactly once. Concurrent calls from
+  /// different threads serialize on a submission lock.
+  void parallelFor(unsigned Tasks, const std::function<void(unsigned)> &Fn);
+
+  /// The process-wide pool, created on first use with
+  /// hardware_concurrency() - 1 workers.
+  static ThreadPool &global();
+
+  /// Grows the global pool so batches can use \p Threads participants
+  /// (Threads - 1 workers plus the caller). Never shrinks.
+  static void ensureGlobalThreads(unsigned Threads);
+
+private:
+  /// One submitted batch. The claim counter lives here, not in the
+  /// pool, so a worker that wakes late drains an exhausted counter from
+  /// the batch it saw instead of misinterpreting a newer batch's state.
+  struct Batch {
+    const std::function<void(unsigned)> *Fn = nullptr;
+    unsigned Tasks = 0;
+    std::atomic<unsigned> Next{0};
+  };
+
+  void workerLoop();
+
+  std::vector<std::thread> Workers; ///< guarded by Mu
+  /// Mirror of Workers.size() readable without Mu (parallelFor checks
+  /// it while ensureWorkers may be appending threads).
+  std::atomic<unsigned> NumWorkers{0};
+
+  std::mutex SubmitMu; ///< serializes whole batches across callers
+  mutable std::mutex Mu;
+  std::condition_variable WakeCv;  ///< workers wait for a new batch
+  std::condition_variable DoneCv;  ///< caller waits for batch completion
+  uint64_t Generation = 0;         ///< bumped per batch
+  bool Stopping = false;
+  std::shared_ptr<Batch> Cur;      ///< batch being executed, if any
+  unsigned Pending = 0; ///< unfinished tasks of Cur (guarded by Mu)
+};
+
+} // namespace systec
+
+#endif // SYSTEC_PARALLEL_THREADPOOL_H

@@ -2,6 +2,8 @@
 
 #include "runtime/Executor.h"
 
+#include "parallel/ParallelAnalysis.h"
+#include "parallel/ThreadPool.h"
 #include "support/Counters.h"
 #include "support/Error.h"
 
@@ -26,6 +28,10 @@ struct ExecCtx {
   std::vector<int64_t> IndexVal;
   std::vector<double> ScalarVal;
   std::vector<AccessState> Accesses;
+  /// Per output id, the value-array base assignments write through.
+  /// The main context points at the bound tensors; task contexts of a
+  /// parallel loop repoint privatized outputs at per-task accumulators.
+  std::vector<double *> OutPtr;
 };
 
 /// A compiled comparison between two index slots.
@@ -184,7 +190,7 @@ public:
   unsigned Mult = 1;
   bool ScalarTarget = false;
   unsigned ScalarSlot = 0;
-  Tensor *T = nullptr;
+  unsigned OutId = 0; ///< index into ExecCtx::OutPtr (tensor targets)
   std::vector<std::pair<unsigned, int64_t>> SlotStride;
 
   void exec(ExecCtx &C) override {
@@ -210,8 +216,8 @@ public:
         int64_t Pos = 0;
         for (const auto &[Slot, Stride] : SlotStride)
           Pos += C.IndexVal[Slot] * Stride;
-        double Cur = T->val(Pos);
-        T->setVal(Pos, Reduce ? evalOp(*Reduce, Cur, V) : V);
+        double &Dst = C.OutPtr[OutId][Pos];
+        Dst = Reduce ? evalOp(*Reduce, Dst, V) : V;
       }
       if (countersEnabled()) {
         ++counters().Reductions;
@@ -250,6 +256,40 @@ public:
   std::vector<std::pair<unsigned, int64_t>> LoTerms, HiTerms;
   PlanPtr Body;
 
+  /// One privatized output: tasks accumulate into per-task buffers that
+  /// merge into the shared array, in task order, after the loop.
+  struct PrivTensor {
+    unsigned OutId;
+    size_t Elems;
+    OpKind Op;
+    double Identity;
+  };
+  struct PrivScalar {
+    unsigned Slot;
+    OpKind Op;
+    double Identity;
+  };
+
+  /// Parallel execution state (populated by the plan compiler for the
+  /// activated loop of each nest).
+  struct ParPlan {
+    bool Enabled = false;
+    SchedulePolicy Policy = SchedulePolicy::Static;
+    int TriDepth = 0;
+    unsigned Threads = 1;
+    ThreadPool *Pool = nullptr;
+    std::vector<PrivTensor> PrivTensors;
+    std::vector<PrivScalar> PrivScalars;
+    /// Accumulators, reused across runs and kept identity-filled
+    /// between them (the merge resets as it reads):
+    /// [task * PrivTensors.size() + p].
+    std::vector<std::vector<double>> Buffers;
+    /// Task contexts, reused so inner parallel loops (one dispatch per
+    /// outer iteration) do not reallocate per execution.
+    std::vector<ExecCtx> TaskCtx;
+  };
+  ParPlan Par;
+
   void exec(ExecCtx &C) override {
     int64_t Lo = 0, Hi = Extent - 1;
     for (const auto &[S, D] : LoTerms)
@@ -258,7 +298,93 @@ public:
       Hi = std::min(Hi, C.IndexVal[S] + D);
     if (Lo > Hi)
       return;
+    if (Par.Enabled)
+      execParallel(C, Lo, Hi);
+    else
+      execRange(C, Lo, Hi);
+  }
 
+  std::vector<ChunkRange> makeChunks(int64_t Lo, int64_t Hi) const {
+    switch (Par.Policy) {
+    case SchedulePolicy::Static:
+      return staticBlocks(Lo, Hi, Par.Threads);
+    case SchedulePolicy::Dynamic:
+      return dynamicChunks(Lo, Hi, Par.Threads);
+    case SchedulePolicy::TriangleBalanced:
+      return triangleBalanced(Lo, Hi, Par.Threads, Par.TriDepth);
+    case SchedulePolicy::Auto:
+      break; // resolved at plan compilation
+    }
+    return staticBlocks(Lo, Hi, Par.Threads);
+  }
+
+  void execParallel(ExecCtx &C, int64_t Lo, int64_t Hi) {
+    std::vector<ChunkRange> Chunks = makeChunks(Lo, Hi);
+    if (Chunks.size() <= 1) {
+      execRange(C, Lo, Hi);
+      return;
+    }
+    const unsigned NT = static_cast<unsigned>(Chunks.size());
+    const size_t NPriv = Par.PrivTensors.size();
+
+    // Task contexts start from the parent state; privatized scalars
+    // reset to the merge identity so partial results compose exactly.
+    // Contexts and buffers persist across executions (vector copy
+    // assignment reuses capacity; buffers stay identity-filled).
+    if (Par.TaskCtx.size() < NT)
+      Par.TaskCtx.resize(NT);
+    for (unsigned T = 0; T < NT; ++T)
+      Par.TaskCtx[T] = C;
+    for (unsigned T = 0; T < NT; ++T)
+      for (const PrivScalar &S : Par.PrivScalars)
+        Par.TaskCtx[T].ScalarVal[S.Slot] = S.Identity;
+    if (Par.Buffers.size() < size_t(NT) * NPriv)
+      Par.Buffers.resize(size_t(NT) * NPriv);
+
+    Par.Pool->parallelFor(NT, [&](unsigned T) {
+      ExecCtx &TC = Par.TaskCtx[T];
+      // First-use accumulator fill runs inside the task so the
+      // identity fill of large buffers is itself parallel.
+      for (size_t P = 0; P < NPriv; ++P) {
+        const PrivTensor &PT = Par.PrivTensors[P];
+        std::vector<double> &B = Par.Buffers[size_t(T) * NPriv + P];
+        if (B.size() != PT.Elems)
+          B.assign(PT.Elems, PT.Identity);
+        TC.OutPtr[PT.OutId] = B.data();
+      }
+      execRange(TC, Chunks[T].Lo, Chunks[T].Hi);
+    });
+
+    // Merge in task order: the decomposition (not the thread schedule)
+    // determines the floating-point result. Accumulators reset to the
+    // identity in the same sweep, restoring the between-runs invariant
+    // without a separate fill pass.
+    for (const PrivScalar &S : Par.PrivScalars)
+      for (unsigned T = 0; T < NT; ++T)
+        C.ScalarVal[S.Slot] = evalOp(S.Op, C.ScalarVal[S.Slot],
+                                     Par.TaskCtx[T].ScalarVal[S.Slot]);
+    for (size_t P = 0; P < NPriv; ++P) {
+      const PrivTensor &PT = Par.PrivTensors[P];
+      double *Dst = C.OutPtr[PT.OutId];
+      std::vector<ChunkRange> Slabs =
+          staticBlocks(0, static_cast<int64_t>(PT.Elems) - 1,
+                       Par.Threads);
+      Par.Pool->parallelFor(
+          static_cast<unsigned>(Slabs.size()), [&](unsigned SI) {
+            for (int64_t I = Slabs[SI].Lo; I <= Slabs[SI].Hi; ++I) {
+              double Acc = Dst[I];
+              for (unsigned T = 0; T < NT; ++T) {
+                double *Buf = Par.Buffers[size_t(T) * NPriv + P].data();
+                Acc = evalOp(PT.Op, Acc, Buf[I]);
+                Buf[I] = PT.Identity;
+              }
+              Dst[I] = Acc;
+            }
+          });
+    }
+  }
+
+  void execRange(ExecCtx &C, int64_t Lo, int64_t Hi) {
     if (Walkers.empty()) {
       for (int64_t V = Lo; V <= Hi; ++V) {
         C.IndexVal[Slot] = V;
@@ -369,6 +495,9 @@ public:
     E.Ctx->IndexVal.assign(IndexSlots.size(), 0);
     E.Ctx->ScalarVal.assign(ScalarSlots.size(), 0.0);
     E.Ctx->Accesses = AccessStates;
+    E.Ctx->OutPtr.resize(OutTensors.size());
+    for (size_t Id = 0; Id < OutTensors.size(); ++Id)
+      E.Ctx->OutPtr[Id] = OutTensors[Id]->vals().data();
   }
 
 private:
@@ -380,6 +509,9 @@ private:
   std::vector<AccessState> AccessStates;
   std::vector<unsigned> Driven; // per access id, along current DFS path
   std::set<std::string> BoundVars;
+  std::map<Tensor *, unsigned> OutIds; // written tensors -> OutPtr slot
+  std::vector<Tensor *> OutTensors;
+  bool InParallel = false; // compiling inside an activated parallel loop
 
   unsigned indexSlot(const std::string &Name) {
     auto [It, New] = IndexSlots.insert({Name, IndexSlots.size()});
@@ -390,6 +522,13 @@ private:
   unsigned scalarSlot(const std::string &Name) {
     auto [It, New] = ScalarSlots.insert({Name, ScalarSlots.size()});
     (void)New;
+    return It->second;
+  }
+
+  unsigned outId(Tensor *T) {
+    auto [It, New] = OutIds.insert({T, OutIds.size()});
+    if (New)
+      OutTensors.push_back(T);
     return It->second;
   }
 
@@ -600,7 +739,7 @@ private:
         if (!T->format().isAllDense())
           fatalError("output tensor " + Lhs->tensorName() +
                      " must be dense for writes");
-        As->T = T;
+        As->OutId = outId(T);
         As->SlotStride = denseStrides(T, Lhs->indices());
       }
       return As;
@@ -643,6 +782,48 @@ private:
     fatalError("condition references indices that are never bound");
   }
 
+  /// Activates parallel execution for \p S if it is the outermost
+  /// annotated loop of its nest and the privatization footprint fits
+  /// the budget. Returns whether the loop was activated (the body then
+  /// compiles with nested parallelism suppressed).
+  bool setUpParallel(const StmtPtr &S, PlanLoop &Loop) {
+    if (InParallel || E.Options.Threads <= 1 ||
+        !S->parallelInfo().IsParallel)
+      return false;
+    LoopParallelism LP = analyzeLoopParallelism(S);
+    if (!LP.Safe)
+      return false;
+    SchedulePolicy Policy = E.Options.Schedule;
+    if (Policy == SchedulePolicy::Auto)
+      Policy = LP.TriangleDepth != 0 ? SchedulePolicy::TriangleBalanced
+                                     : SchedulePolicy::Static;
+    const unsigned TaskCount = Policy == SchedulePolicy::Dynamic
+                                   ? E.Options.Threads * 4
+                                   : E.Options.Threads;
+    size_t PrivElems = 0;
+    std::vector<PlanLoop::PrivTensor> PrivT;
+    for (const auto &[Name, Op] : LP.TensorMergeOps) {
+      Tensor *T = tensorFor(Name);
+      PrivT.push_back(PlanLoop::PrivTensor{
+          outId(T), T->vals().size(), Op, opInfo(Op).Identity});
+      PrivElems += T->vals().size();
+    }
+    if (PrivElems * TaskCount > E.Options.PrivatizationBudget)
+      return false; // too much accumulator memory; try an inner loop
+    std::vector<PlanLoop::PrivScalar> PrivS;
+    for (const auto &[Name, Op] : LP.ScalarMergeOps)
+      PrivS.push_back(PlanLoop::PrivScalar{scalarSlot(Name), Op,
+                                           opInfo(Op).Identity});
+    Loop.Par.Enabled = true;
+    Loop.Par.Policy = Policy;
+    Loop.Par.TriDepth = LP.TriangleDepth;
+    Loop.Par.Threads = E.Options.Threads;
+    Loop.Par.Pool = &ThreadPool::global();
+    Loop.Par.PrivTensors = std::move(PrivT);
+    Loop.Par.PrivScalars = std::move(PrivS);
+    return true;
+  }
+
   PlanPtr compileLoop(const StmtPtr &S) {
     const std::string &Var = S->loopIndex();
     auto Loop = std::make_unique<PlanLoop>();
@@ -652,6 +833,9 @@ private:
       fatalError("loop index " + Var + " has no known extent");
     Loop->Extent = ExtIt->second;
     BoundVars.insert(Var);
+    const bool Activated = setUpParallel(S, *Loop);
+    if (Activated)
+      InParallel = true;
 
     // Peel liftable bound atoms off leading single-conjunction Ifs
     // (looking through single-statement blocks).
@@ -734,6 +918,8 @@ private:
 
     Loop->Body = compile(Body);
 
+    if (Activated)
+      InParallel = false;
     for (unsigned Id : WalkerIds)
       --Driven[Id];
     BoundVars.erase(Var);
@@ -774,6 +960,8 @@ Tensor *Executor::lookup(const std::string &Name) const {
 
 void Executor::prepare() {
   assert(!Prepared && "prepare called twice");
+  if (Options.Threads > 1)
+    ThreadPool::ensureGlobalThreads(Options.Threads);
   // Materialize diagonal splits (both halves from one pass per source).
   std::map<std::string, std::pair<Tensor *, Tensor *>> SplitCache;
   for (const SplitRequest &Req : K.Splits) {

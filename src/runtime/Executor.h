@@ -21,8 +21,10 @@
 #define SYSTEC_RUNTIME_EXECUTOR_H
 
 #include "ir/Kernel.h"
+#include "parallel/Schedule.h"
 #include "tensor/Tensor.h"
 
+#include <cstddef>
 #include <map>
 #include <memory>
 #include <string>
@@ -43,6 +45,22 @@ struct ExecOptions {
   /// Lift comparisons into loop bounds; disabling evaluates them as
   /// residual predicates.
   bool EnableBoundLifting = true;
+  /// Parallel lanes for loops the parallelism analysis marked safe.
+  /// 1 keeps the plan fully sequential. N > 1 decomposes each parallel
+  /// loop into tasks run on the shared thread pool; outputs not indexed
+  /// by the loop variable get per-task privatized accumulators merged
+  /// in task order, so results are reproducible for a fixed (Threads,
+  /// Schedule) pair.
+  unsigned Threads = 1;
+  /// Chunking policy for parallel loops (see parallel/Schedule.h).
+  /// Auto resolves to triangle-balanced for loops the analysis marked
+  /// triangular and static blocks otherwise.
+  SchedulePolicy Schedule = SchedulePolicy::Auto;
+  /// Ceiling on privatized accumulator storage, in elements summed
+  /// over all tasks of one loop. A loop whose privatization would
+  /// exceed this is left sequential at that level; an inner annotated
+  /// loop (typically with disjoint writes) runs parallel instead.
+  size_t PrivatizationBudget = size_t(1) << 24;
 };
 
 /// Compiles and runs one Kernel over bound tensors.

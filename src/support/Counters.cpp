@@ -5,12 +5,18 @@
 namespace systec {
 
 namespace {
-bool CountersOn = true;
+// Atomic so worker threads can poll the gate race-free while the main
+// thread toggles it around timed regions.
+std::atomic<bool> CountersOn{true};
 ExecCounters GlobalCounters;
 } // namespace
 
-bool countersEnabled() { return CountersOn; }
-void setCountersEnabled(bool Enabled) { CountersOn = Enabled; }
+bool countersEnabled() {
+  return CountersOn.load(std::memory_order_relaxed);
+}
+void setCountersEnabled(bool Enabled) {
+  CountersOn.store(Enabled, std::memory_order_relaxed);
+}
 ExecCounters &counters() { return GlobalCounters; }
 
 } // namespace systec

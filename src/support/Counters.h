@@ -6,27 +6,54 @@
 /// Counting is compiled in unconditionally but gated by a cheap flag so
 /// benchmark timings can disable it.
 ///
+/// The fields are atomics so the counts stay exact when the parallel
+/// runtime executes plan nodes from several worker threads at once
+/// (relaxed ordering would suffice semantically, but the convenience
+/// operators ++/+= keep call sites identical to the scalar days and
+/// ablation checks compare totals only after the kernel returns).
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef SYSTEC_SUPPORT_COUNTERS_H
 #define SYSTEC_SUPPORT_COUNTERS_H
 
+#include <atomic>
 #include <cstdint>
 
 namespace systec {
 
+/// A plain-value copy of the counters (atomics are not copyable).
+struct CounterSnapshot {
+  uint64_t SparseReads = 0;
+  uint64_t Reductions = 0;
+  uint64_t ScalarOps = 0;
+  uint64_t OutputWrites = 0;
+};
+
 /// Aggregate counters for one kernel execution.
 struct ExecCounters {
   /// Nonzero elements read from sparse/structured input tensors.
-  uint64_t SparseReads = 0;
+  std::atomic<uint64_t> SparseReads{0};
   /// Scalar reductions performed into outputs or workspaces.
-  uint64_t Reductions = 0;
+  std::atomic<uint64_t> Reductions{0};
   /// Elementwise scalar operations (multiplies/adds inside expressions).
-  uint64_t ScalarOps = 0;
+  std::atomic<uint64_t> ScalarOps{0};
   /// Writes to output tensors (including replication copies).
-  uint64_t OutputWrites = 0;
+  std::atomic<uint64_t> OutputWrites{0};
 
-  void reset() { *this = ExecCounters(); }
+  void reset() {
+    SparseReads.store(0, std::memory_order_relaxed);
+    Reductions.store(0, std::memory_order_relaxed);
+    ScalarOps.store(0, std::memory_order_relaxed);
+    OutputWrites.store(0, std::memory_order_relaxed);
+  }
+
+  CounterSnapshot snapshot() const {
+    return CounterSnapshot{SparseReads.load(std::memory_order_relaxed),
+                           Reductions.load(std::memory_order_relaxed),
+                           ScalarOps.load(std::memory_order_relaxed),
+                           OutputWrites.load(std::memory_order_relaxed)};
+  }
 };
 
 /// Whether the runtime updates counters. Defaults to on; benchmarks turn

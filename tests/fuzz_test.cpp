@@ -108,16 +108,33 @@ FuzzCase makeCase(uint64_t Seed) {
   return F;
 }
 
-Tensor run(const Kernel &K, FuzzCase &F) {
+Tensor run(const Kernel &K, FuzzCase &F,
+           const ExecOptions &O = ExecOptions()) {
   Tensor Out = Tensor::dense(F.OutDims, 0.0);
   Out.setAllValues(F.OutInit);
-  Executor E(K);
+  Executor E(K, O);
   for (auto &[Name, T] : F.Inputs)
     E.bind(Name, &T);
   E.bind("O", &Out);
   E.prepare();
   E.run();
   return Out;
+}
+
+/// Seed-derived parallel execution options: random thread count and
+/// schedule policy (the parallel-runtime fuzz pass).
+ExecOptions parallelOptions(uint64_t Seed) {
+  Rng R(Seed ^ 0x9E3779B97F4A7C15ull);
+  ExecOptions O;
+  const unsigned Threads[] = {2, 3, 4, 8};
+  O.Threads = Threads[R.nextIndex(4)];
+  const SchedulePolicy Policies[] = {
+      SchedulePolicy::Auto, SchedulePolicy::Static, SchedulePolicy::Dynamic,
+      SchedulePolicy::TriangleBalanced};
+  O.Schedule = Policies[R.nextIndex(4)];
+  if (R.nextBool(0.25))
+    O.PrivatizationBudget = 64; // exercise the inner-loop fallback
+  return O;
 }
 
 } // namespace
@@ -137,6 +154,16 @@ TEST_P(EinsumFuzz, CompiledKernelsMatchOracle) {
   Tensor Opt = run(R.Optimized, F);
   EXPECT_LT(Tensor::maxAbsDiff(Naive, Ref), 1e-8) << "naive";
   EXPECT_LT(Tensor::maxAbsDiff(Opt, Ref), 1e-8) << "optimized";
+  // Parallel runtime fuzz: a random thread count and schedule must
+  // reproduce the oracle too (merge order may differ from sequential
+  // by rounding only).
+  ExecOptions Par = parallelOptions(GetParam());
+  SCOPED_TRACE(std::string("threads ") + std::to_string(Par.Threads) +
+               " schedule " + schedulePolicyName(Par.Schedule));
+  Tensor NaivePar = run(R.Naive, F, Par);
+  Tensor OptPar = run(R.Optimized, F, Par);
+  EXPECT_LT(Tensor::maxAbsDiff(NaivePar, Ref), 1e-8) << "naive-parallel";
+  EXPECT_LT(Tensor::maxAbsDiff(OptPar, Ref), 1e-8) << "optimized-parallel";
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, EinsumFuzz,
