@@ -1,0 +1,145 @@
+//===- bench/bench_microkernels.cpp - Specialization speedup --*- C++ -*-===//
+///
+/// \file
+/// Single-threaded ablation of the runtime specialization layer: each
+/// paper kernel's *optimized* plan is timed with the micro-kernel
+/// engines disabled (the generic interpreter) and enabled (fused loops
+/// over raw level arrays), at Threads = 1 so the ratio isolates
+/// dispatch cost from parallel scaling. Results land in
+/// BENCH_microkernels.json; the ≥2x targets on ssymv/ssyrk at n = 2000
+/// are the acceptance line for the fused engines (ttm/mttkrp fuse
+/// deeper nests and gain more).
+///
+/// Note: correctness/parity of the two engines is asserted by
+/// tests/perf_smoke.cpp and the fuzzer, not here; this binary only
+/// times.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include "core/Compiler.h"
+#include "kernels/Kernels.h"
+
+using namespace systec;
+using namespace systec::bench;
+
+namespace {
+
+struct MicroCase {
+  std::string Name;
+  Einsum E;
+  std::map<std::string, Tensor> Inputs;
+  std::vector<int64_t> OutDims;
+  std::string OutName;
+  std::string Workload;
+};
+
+std::vector<MicroCase> makeCases(Rng &R) {
+  const int64_t N = 2000;   // acceptance size for ssymv / ssyrk
+  const int64_t Dim3 = 80;  // 3-d workloads
+  const int64_t Rank = 32;
+  std::vector<MicroCase> Cases;
+  {
+    MicroCase C{"ssymv", makeSsymv(), {}, {N}, "y", "n2000_nnz16n"};
+    C.Inputs.emplace("A", generateSymmetricTensor(2, N, 16 * N, R,
+                                                  TensorFormat::csf(2)));
+    C.Inputs.emplace("x", generateDenseVector(N, R));
+    Cases.push_back(std::move(C));
+  }
+  {
+    MicroCase C{"syprd", makeSyprd(), {}, {1}, "y", "n2000_nnz16n"};
+    C.Inputs.emplace("A", generateSymmetricTensor(2, N, 16 * N, R,
+                                                  TensorFormat::csf(2)));
+    C.Inputs.emplace("x", generateDenseVector(N, R));
+    Cases.push_back(std::move(C));
+  }
+  {
+    // Denser columns than ssymv: ssyrk's inner work grows with
+    // nnz-per-column squared, which is where the fused triangle kernel
+    // pays off (at very low densities both engines are bound by the
+    // scattered writes into the dense C).
+    MicroCase C{"ssyrk", makeSsyrk(), {}, {N, N}, "C", "n2000_nnz96n"};
+    C.Inputs.emplace("A", generateSymmetricTensor(2, N, 96 * N, R,
+                                                  TensorFormat::csf(2)));
+    Cases.push_back(std::move(C));
+  }
+  {
+    MicroCase C{"ttm", makeTtm(), {}, {Rank, Dim3, Dim3}, "C", "d80_r32"};
+    C.Inputs.emplace("A", generateSymmetricTensor(3, Dim3, 20000, R,
+                                                  TensorFormat::csf(3)));
+    C.Inputs.emplace("B", generateDenseMatrix(Dim3, Rank, R));
+    Cases.push_back(std::move(C));
+  }
+  {
+    MicroCase C{"mttkrp3", makeMttkrp(3), {}, {Dim3, Rank}, "C", "d80_r32"};
+    C.Inputs.emplace("A", generateSymmetricTensor(3, Dim3, 20000, R,
+                                                  TensorFormat::csf(3)));
+    C.Inputs.emplace("B", generateDenseMatrix(Dim3, Rank, R));
+    Cases.push_back(std::move(C));
+  }
+  return Cases;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  benchmark::Initialize(&argc, argv);
+  Rng R(20260801);
+  std::vector<MicroCase> Cases = makeCases(R);
+  std::vector<std::unique_ptr<Holder>> Holders;
+
+  for (MicroCase &C : Cases) {
+    CompileResult Compiled = compileEinsum(C.E);
+    auto H = std::make_unique<Holder>();
+    H->Tensors.emplace("out", Tensor::dense(C.OutDims));
+    Tensor *Out = &H->tensor("out");
+    for (const char *Impl : {"interp", "fused"}) {
+      ExecOptions O;
+      O.Threads = 1;
+      O.EnableMicroKernels = Impl == std::string("fused");
+      H->Executors.push_back(
+          std::make_unique<Executor>(Compiled.Optimized, O));
+      Executor &E = *H->Executors.back();
+      for (auto &[Name, T] : C.Inputs)
+        E.bind(Name, &T);
+      E.bind(C.OutName, Out);
+      E.prepare();
+      registerRun("microkernels/" + C.Name + "/" + Impl,
+                  [Out] { Out->setAllValues(0.0); },
+                  [&E] { E.runBody(); });
+    }
+    const MicroKernelStats &S = H->Executors.back()->microKernelStats();
+    std::printf("%-8s specialized=%llu (innermost %llu), generic=%llu\n",
+                C.Name.c_str(),
+                static_cast<unsigned long long>(S.SpecializedLoops),
+                static_cast<unsigned long long>(S.InnermostFused),
+                static_cast<unsigned long long>(S.GenericLoops));
+    Holders.push_back(std::move(H));
+  }
+
+  CaptureReporter Rep;
+  benchmark::RunSpecifiedBenchmarks(&Rep);
+
+  std::printf("\n=== Micro-kernel speedup (interpreted plan vs fused, "
+              "Threads=1) ===\n");
+  std::printf("%-10s %12s %12s %10s %10s\n", "kernel", "interp(ms)",
+              "fused(ms)", "speedup", "target");
+  std::vector<BenchRecord> Records;
+  for (const MicroCase &C : Cases) {
+    double TI = Rep.millis("microkernels/" + C.Name + "/interp");
+    double TF = Rep.millis("microkernels/" + C.Name + "/fused");
+    const bool HasTarget = C.Name == "ssymv" || C.Name == "ssyrk";
+    if (TI > 0 && TF > 0)
+      std::printf("%-10s %12.3f %12.3f %9.2fx %10s\n", C.Name.c_str(),
+                  TI, TF, TI / TF, HasTarget ? ">=2.00x" : "-");
+    for (const char *Impl : {"interp", "fused"}) {
+      double Ms = Rep.millis("microkernels/" + C.Name + "/" + Impl);
+      if (Ms > 0)
+        Records.push_back(
+            BenchRecord{C.Name, C.Workload, Impl, 1, "none", Ms, 0});
+    }
+  }
+  writeBenchJson("BENCH_microkernels.json", Records);
+  return 0;
+}

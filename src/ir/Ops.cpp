@@ -23,24 +23,6 @@ const OpInfo &opInfo(OpKind Op) {
   return Infos[static_cast<int>(Op)];
 }
 
-double evalOp(OpKind Op, double A, double B) {
-  switch (Op) {
-  case OpKind::Add:
-    return A + B;
-  case OpKind::Mul:
-    return A * B;
-  case OpKind::Sub:
-    return A - B;
-  case OpKind::Div:
-    return A / B;
-  case OpKind::Min:
-    return std::min(A, B);
-  case OpKind::Max:
-    return std::max(A, B);
-  }
-  unreachable("unknown operator kind");
-}
-
 bool isReductionOp(OpKind Op) {
   const OpInfo &Info = opInfo(Op);
   return Info.Commutative && Info.Associative;

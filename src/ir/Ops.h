@@ -15,6 +15,9 @@
 #ifndef SYSTEC_IR_OPS_H
 #define SYSTEC_IR_OPS_H
 
+#include "support/Error.h"
+
+#include <algorithm>
 #include <optional>
 #include <string>
 
@@ -44,8 +47,27 @@ struct OpInfo {
 /// Metadata lookup for \p Op.
 const OpInfo &opInfo(OpKind Op);
 
-/// Evaluates the binary operator.
-double evalOp(OpKind Op, double A, double B);
+/// Evaluates the binary operator. Inline: this is the innermost
+/// arithmetic of both the plan interpreter and the fused micro-kernel
+/// engines, and keeping one definition guarantees the two paths share
+/// operand order and NaN/tie behavior bit for bit.
+inline double evalOp(OpKind Op, double A, double B) {
+  switch (Op) {
+  case OpKind::Add:
+    return A + B;
+  case OpKind::Mul:
+    return A * B;
+  case OpKind::Sub:
+    return A - B;
+  case OpKind::Div:
+    return A / B;
+  case OpKind::Min:
+    return std::min(A, B);
+  case OpKind::Max:
+    return std::max(A, B);
+  }
+  unreachable("unknown operator kind");
+}
 
 /// True if \p Op may be used as a reduction operator (associative and
 /// commutative with an identity).

@@ -4,6 +4,8 @@
 
 #include "parallel/ParallelAnalysis.h"
 #include "parallel/ThreadPool.h"
+#include "runtime/MicroKernels.h"
+#include "runtime/Plan.h"
 #include "support/Counters.h"
 #include "support/Error.h"
 
@@ -12,465 +14,6 @@
 #include <set>
 
 namespace systec {
-namespace detail {
-
-/// Runtime state of one distinct tensor access: the fibertree position
-/// at which each level was entered. Pos[L] is the parent position for
-/// level L; Pos[order] is the value position.
-struct AccessState {
-  Tensor *T = nullptr;
-  std::vector<std::string> Indices;
-  std::vector<int64_t> Pos;
-  bool SparseFormat = false;
-};
-
-struct ExecCtx {
-  std::vector<int64_t> IndexVal;
-  std::vector<double> ScalarVal;
-  std::vector<AccessState> Accesses;
-  /// Per output id, the value-array base assignments write through.
-  /// The main context points at the bound tensors; task contexts of a
-  /// parallel loop repoint privatized outputs at per-task accumulators.
-  std::vector<double *> OutPtr;
-};
-
-/// A compiled comparison between two index slots.
-struct CAtom {
-  CmpKind Kind;
-  unsigned A, B;
-
-  bool eval(const ExecCtx &C) const {
-    return evalCmp(Kind, C.IndexVal[A], C.IndexVal[B]);
-  }
-};
-
-/// A compiled DNF condition.
-struct CCond {
-  std::vector<std::vector<CAtom>> Disjuncts;
-
-  bool eval(const ExecCtx &C) const {
-    for (const std::vector<CAtom> &D : Disjuncts) {
-      bool Ok = true;
-      for (const CAtom &A : D)
-        if (!A.eval(C)) {
-          Ok = false;
-          break;
-        }
-      if (Ok)
-        return true;
-    }
-    return false;
-  }
-};
-
-//===----------------------------------------------------------------------===//
-// Expression VM
-//===----------------------------------------------------------------------===//
-
-enum class VKind { Lit, Scalar, Walked, DenseLoad, SparseLoad, Op, Lut };
-
-struct VInstr {
-  VKind Kind;
-  double Lit = 0;
-  unsigned Id = 0; // scalar slot or access id
-  OpKind Op = OpKind::Add;
-  unsigned NArgs = 0;
-  Tensor *T = nullptr;
-  std::vector<std::pair<unsigned, int64_t>> SlotStride; // DenseLoad
-  std::vector<unsigned> CoordSlots;                     // SparseLoad
-  std::vector<CAtom> LutBits;
-  std::vector<double> LutTable;
-};
-
-struct VProgram {
-  std::vector<VInstr> Code;
-  mutable std::vector<int64_t> Scratch;
-
-  double eval(ExecCtx &C) const {
-    double St[32];
-    int Top = -1;
-    for (const VInstr &I : Code) {
-      switch (I.Kind) {
-      case VKind::Lit:
-        St[++Top] = I.Lit;
-        break;
-      case VKind::Scalar:
-        St[++Top] = C.ScalarVal[I.Id];
-        break;
-      case VKind::Walked: {
-        const AccessState &A = C.Accesses[I.Id];
-        St[++Top] = A.T->val(A.Pos[A.T->order()]);
-        break;
-      }
-      case VKind::DenseLoad: {
-        int64_t Pos = 0;
-        for (const auto &[Slot, Stride] : I.SlotStride)
-          Pos += C.IndexVal[Slot] * Stride;
-        St[++Top] = I.T->val(Pos);
-        break;
-      }
-      case VKind::SparseLoad: {
-        // Reuse a scratch buffer; random access walks the levels.
-        Scratch.resize(I.CoordSlots.size());
-        for (size_t M = 0; M < Scratch.size(); ++M)
-          Scratch[M] = C.IndexVal[I.CoordSlots[M]];
-        if (countersEnabled())
-          ++counters().SparseReads;
-        St[++Top] = I.T->at(Scratch);
-        break;
-      }
-      case VKind::Op: {
-        double Acc = St[Top - static_cast<int>(I.NArgs) + 1];
-        for (unsigned K = 1; K < I.NArgs; ++K)
-          Acc = evalOp(I.Op, Acc, St[Top - static_cast<int>(I.NArgs) + 1 +
-                                     static_cast<int>(K)]);
-        Top -= static_cast<int>(I.NArgs);
-        St[++Top] = Acc;
-        if (countersEnabled())
-          counters().ScalarOps += I.NArgs - 1;
-        break;
-      }
-      case VKind::Lut: {
-        unsigned Mask = 0;
-        for (size_t B = 0; B < I.LutBits.size(); ++B)
-          if (I.LutBits[B].eval(C))
-            Mask |= 1u << B;
-        St[++Top] = I.LutTable[Mask];
-        break;
-      }
-      }
-    }
-    assert(Top == 0 && "VM stack imbalance");
-    return St[0];
-  }
-};
-
-//===----------------------------------------------------------------------===//
-// Plan nodes
-//===----------------------------------------------------------------------===//
-
-class PlanNode {
-public:
-  virtual ~PlanNode() = default;
-  virtual void exec(ExecCtx &C) = 0;
-};
-
-using PlanPtr = std::unique_ptr<PlanNode>;
-
-class PlanSeq final : public PlanNode {
-public:
-  std::vector<PlanPtr> Children;
-  void exec(ExecCtx &C) override {
-    for (PlanPtr &Child : Children)
-      Child->exec(C);
-  }
-};
-
-class PlanIf final : public PlanNode {
-public:
-  CCond Cond;
-  PlanPtr Body;
-  void exec(ExecCtx &C) override {
-    if (Cond.eval(C))
-      Body->exec(C);
-  }
-};
-
-class PlanDef final : public PlanNode {
-public:
-  unsigned Slot = 0;
-  VProgram Init;
-  void exec(ExecCtx &C) override { C.ScalarVal[Slot] = Init.eval(C); }
-};
-
-class PlanAssign final : public PlanNode {
-public:
-  VProgram Rhs;
-  std::optional<OpKind> Reduce;
-  unsigned Mult = 1;
-  bool ScalarTarget = false;
-  unsigned ScalarSlot = 0;
-  unsigned OutId = 0; ///< index into ExecCtx::OutPtr (tensor targets)
-  std::vector<std::pair<unsigned, int64_t>> SlotStride;
-
-  void exec(ExecCtx &C) override {
-    double V = Rhs.eval(C);
-    if (Mult > 1) {
-      if (Reduce && opInfo(*Reduce).Idempotent) {
-        // Duplicate updates collapse under idempotent reductions.
-      } else if (!Reduce || *Reduce == OpKind::Add) {
-        V *= Mult;
-      } else {
-        // Rare general case: apply the reduction Mult times below.
-      }
-    }
-    unsigned Times = 1;
-    if (Mult > 1 && Reduce && !opInfo(*Reduce).Idempotent &&
-        *Reduce != OpKind::Add)
-      Times = Mult;
-    for (unsigned Rep = 0; Rep < Times; ++Rep) {
-      if (ScalarTarget) {
-        double &Dst = C.ScalarVal[ScalarSlot];
-        Dst = Reduce ? evalOp(*Reduce, Dst, V) : V;
-      } else {
-        int64_t Pos = 0;
-        for (const auto &[Slot, Stride] : SlotStride)
-          Pos += C.IndexVal[Slot] * Stride;
-        double &Dst = C.OutPtr[OutId][Pos];
-        Dst = Reduce ? evalOp(*Reduce, Dst, V) : V;
-      }
-      if (countersEnabled()) {
-        ++counters().Reductions;
-        if (!ScalarTarget)
-          ++counters().OutputWrites;
-      }
-    }
-  }
-};
-
-class PlanReplicate final : public PlanNode {
-public:
-  Tensor *T = nullptr;
-  Partition Sym;
-
-  void exec(ExecCtx &C) override {
-    uint64_t Copies = replicateSymmetric(*T, Sym);
-    if (countersEnabled())
-      counters().OutputWrites += Copies;
-  }
-};
-
-class PlanLoop final : public PlanNode {
-public:
-  unsigned Slot = 0;
-  int64_t Extent = 0;
-
-  struct WalkerRef {
-    unsigned AccessId;
-    unsigned Level;
-    bool Bottom;
-  };
-  std::vector<WalkerRef> Walkers;
-  // Bounds: lo = max(0, IndexVal[slot]+delta...), hi analogous
-  // (inclusive).
-  std::vector<std::pair<unsigned, int64_t>> LoTerms, HiTerms;
-  PlanPtr Body;
-
-  /// One privatized output: tasks accumulate into per-task buffers that
-  /// merge into the shared array, in task order, after the loop.
-  struct PrivTensor {
-    unsigned OutId;
-    size_t Elems;
-    OpKind Op;
-    double Identity;
-  };
-  struct PrivScalar {
-    unsigned Slot;
-    OpKind Op;
-    double Identity;
-  };
-
-  /// Parallel execution state (populated by the plan compiler for the
-  /// activated loop of each nest).
-  struct ParPlan {
-    bool Enabled = false;
-    SchedulePolicy Policy = SchedulePolicy::Static;
-    int TriDepth = 0;
-    unsigned Threads = 1;
-    ThreadPool *Pool = nullptr;
-    std::vector<PrivTensor> PrivTensors;
-    std::vector<PrivScalar> PrivScalars;
-    /// Accumulators, reused across runs and kept identity-filled
-    /// between them (the merge resets as it reads):
-    /// [task * PrivTensors.size() + p].
-    std::vector<std::vector<double>> Buffers;
-    /// Task contexts, reused so inner parallel loops (one dispatch per
-    /// outer iteration) do not reallocate per execution.
-    std::vector<ExecCtx> TaskCtx;
-  };
-  ParPlan Par;
-
-  void exec(ExecCtx &C) override {
-    int64_t Lo = 0, Hi = Extent - 1;
-    for (const auto &[S, D] : LoTerms)
-      Lo = std::max(Lo, C.IndexVal[S] + D);
-    for (const auto &[S, D] : HiTerms)
-      Hi = std::min(Hi, C.IndexVal[S] + D);
-    if (Lo > Hi)
-      return;
-    if (Par.Enabled)
-      execParallel(C, Lo, Hi);
-    else
-      execRange(C, Lo, Hi);
-  }
-
-  std::vector<ChunkRange> makeChunks(int64_t Lo, int64_t Hi) const {
-    switch (Par.Policy) {
-    case SchedulePolicy::Static:
-      return staticBlocks(Lo, Hi, Par.Threads);
-    case SchedulePolicy::Dynamic:
-      return dynamicChunks(Lo, Hi, Par.Threads);
-    case SchedulePolicy::TriangleBalanced:
-      return triangleBalanced(Lo, Hi, Par.Threads, Par.TriDepth);
-    case SchedulePolicy::Auto:
-      break; // resolved at plan compilation
-    }
-    return staticBlocks(Lo, Hi, Par.Threads);
-  }
-
-  void execParallel(ExecCtx &C, int64_t Lo, int64_t Hi) {
-    std::vector<ChunkRange> Chunks = makeChunks(Lo, Hi);
-    if (Chunks.size() <= 1) {
-      execRange(C, Lo, Hi);
-      return;
-    }
-    const unsigned NT = static_cast<unsigned>(Chunks.size());
-    const size_t NPriv = Par.PrivTensors.size();
-
-    // Task contexts start from the parent state; privatized scalars
-    // reset to the merge identity so partial results compose exactly.
-    // Contexts and buffers persist across executions (vector copy
-    // assignment reuses capacity; buffers stay identity-filled).
-    if (Par.TaskCtx.size() < NT)
-      Par.TaskCtx.resize(NT);
-    for (unsigned T = 0; T < NT; ++T)
-      Par.TaskCtx[T] = C;
-    for (unsigned T = 0; T < NT; ++T)
-      for (const PrivScalar &S : Par.PrivScalars)
-        Par.TaskCtx[T].ScalarVal[S.Slot] = S.Identity;
-    if (Par.Buffers.size() < size_t(NT) * NPriv)
-      Par.Buffers.resize(size_t(NT) * NPriv);
-
-    Par.Pool->parallelFor(NT, [&](unsigned T) {
-      ExecCtx &TC = Par.TaskCtx[T];
-      // First-use accumulator fill runs inside the task so the
-      // identity fill of large buffers is itself parallel.
-      for (size_t P = 0; P < NPriv; ++P) {
-        const PrivTensor &PT = Par.PrivTensors[P];
-        std::vector<double> &B = Par.Buffers[size_t(T) * NPriv + P];
-        if (B.size() != PT.Elems)
-          B.assign(PT.Elems, PT.Identity);
-        TC.OutPtr[PT.OutId] = B.data();
-      }
-      execRange(TC, Chunks[T].Lo, Chunks[T].Hi);
-    });
-
-    // Merge in task order: the decomposition (not the thread schedule)
-    // determines the floating-point result. Accumulators reset to the
-    // identity in the same sweep, restoring the between-runs invariant
-    // without a separate fill pass.
-    for (const PrivScalar &S : Par.PrivScalars)
-      for (unsigned T = 0; T < NT; ++T)
-        C.ScalarVal[S.Slot] = evalOp(S.Op, C.ScalarVal[S.Slot],
-                                     Par.TaskCtx[T].ScalarVal[S.Slot]);
-    for (size_t P = 0; P < NPriv; ++P) {
-      const PrivTensor &PT = Par.PrivTensors[P];
-      double *Dst = C.OutPtr[PT.OutId];
-      std::vector<ChunkRange> Slabs =
-          staticBlocks(0, static_cast<int64_t>(PT.Elems) - 1,
-                       Par.Threads);
-      Par.Pool->parallelFor(
-          static_cast<unsigned>(Slabs.size()), [&](unsigned SI) {
-            for (int64_t I = Slabs[SI].Lo; I <= Slabs[SI].Hi; ++I) {
-              double Acc = Dst[I];
-              for (unsigned T = 0; T < NT; ++T) {
-                double *Buf = Par.Buffers[size_t(T) * NPriv + P].data();
-                Acc = evalOp(PT.Op, Acc, Buf[I]);
-                Buf[I] = PT.Identity;
-              }
-              Dst[I] = Acc;
-            }
-          });
-    }
-  }
-
-  void execRange(ExecCtx &C, int64_t Lo, int64_t Hi) {
-    if (Walkers.empty()) {
-      for (int64_t V = Lo; V <= Hi; ++V) {
-        C.IndexVal[Slot] = V;
-        Body->exec(C);
-      }
-      return;
-    }
-
-    // The first walker drives iteration; the others must agree on each
-    // candidate coordinate (intersection).
-    const WalkerRef &W = Walkers[0];
-    AccessState &A = C.Accesses[W.AccessId];
-    const Level &Lev = A.T->level(W.Level);
-    const int64_t Parent = A.Pos[W.Level];
-
-    auto Step = [&](int64_t Coord, int64_t Child) {
-      A.Pos[W.Level + 1] = Child;
-      if (countersEnabled() && W.Bottom && A.SparseFormat)
-        ++counters().SparseReads;
-      for (size_t K = 1; K < Walkers.size(); ++K) {
-        const WalkerRef &O = Walkers[K];
-        AccessState &OA = C.Accesses[O.AccessId];
-        const int64_t OParent = OA.Pos[O.Level];
-        if (OA.T == A.T && O.Level == W.Level && OParent == Parent) {
-          OA.Pos[O.Level + 1] = Child;
-        } else {
-          int64_t OChild = OA.T->locate(O.Level, OParent, Coord);
-          if (OChild < 0)
-            return; // missing in intersection
-          OA.Pos[O.Level + 1] = OChild;
-        }
-        if (countersEnabled() && O.Bottom && OA.SparseFormat)
-          ++counters().SparseReads;
-      }
-      C.IndexVal[Slot] = Coord;
-      Body->exec(C);
-    };
-
-    switch (Lev.Kind) {
-    case LevelKind::Dense: {
-      for (int64_t V = Lo; V <= Hi; ++V)
-        Step(V, Parent * Lev.Dim + V);
-      return;
-    }
-    case LevelKind::Sparse: {
-      int64_t B = Lev.Ptr[Parent], E = Lev.Ptr[Parent + 1];
-      if (Lo > 0)
-        B = std::lower_bound(Lev.Crd.begin() + B, Lev.Crd.begin() + E, Lo) -
-            Lev.Crd.begin();
-      for (int64_t KPos = B; KPos < E; ++KPos) {
-        int64_t Coord = Lev.Crd[KPos];
-        if (Coord > Hi)
-          break;
-        Step(Coord, KPos);
-      }
-      return;
-    }
-    case LevelKind::RunLength: {
-      int64_t Start = 0;
-      for (int64_t KPos = Lev.Ptr[Parent]; KPos < Lev.Ptr[Parent + 1];
-           ++KPos) {
-        int64_t End = Lev.RunEnd[KPos];
-        for (int64_t V = std::max(Start, Lo); V < End; ++V) {
-          if (V > Hi)
-            return;
-          Step(V, KPos);
-        }
-        Start = End;
-        if (Start > Hi)
-          return;
-      }
-      return;
-    }
-    case LevelKind::Banded: {
-      int64_t B = std::max(Lo, Lev.Lo[Parent]);
-      int64_t E = std::min(Hi, Lev.Hi[Parent] - 1);
-      for (int64_t V = B; V <= E; ++V)
-        Step(V, Lev.Off[Parent] + (V - Lev.Lo[Parent]));
-      return;
-    }
-    }
-    unreachable("unknown level kind");
-  }
-};
-
-} // namespace detail
 
 using namespace detail;
 
@@ -498,6 +41,11 @@ public:
     E.Ctx->OutPtr.resize(OutTensors.size());
     for (size_t Id = 0; Id < OutTensors.size(); ++Id)
       E.Ctx->OutPtr[Id] = OutTensors[Id]->vals().data();
+    E.MKStats = Stats;
+    if (countersEnabled()) {
+      counters().LoopsSpecialized += Stats.SpecializedLoops;
+      counters().LoopsGeneric += Stats.GenericLoops;
+    }
   }
 
 private:
@@ -512,6 +60,7 @@ private:
   std::map<Tensor *, unsigned> OutIds; // written tensors -> OutPtr slot
   std::vector<Tensor *> OutTensors;
   bool InParallel = false; // compiling inside an activated parallel loop
+  MicroKernelStats Stats;
 
   unsigned indexSlot(const std::string &Name) {
     auto [It, New] = IndexSlots.insert({Name, IndexSlots.size()});
@@ -551,6 +100,8 @@ private:
     S.Indices = Access->indices();
     S.Pos.assign(S.T->order() + 1, 0);
     S.SparseFormat = !S.T->format().isAllDense();
+    S.LocParent.assign(S.T->order(), -1);
+    S.LocIdx.assign(S.T->order(), 0);
     AccessStates.push_back(std::move(S));
     Driven.push_back(0);
     return Id;
@@ -601,6 +152,7 @@ private:
   VProgram compileExpr(const ExprPtr &Ex) {
     VProgram P;
     emitExpr(Ex, P);
+    P.finalize();
     return P;
   }
 
@@ -634,8 +186,13 @@ private:
       } else {
         I.Kind = VKind::SparseLoad;
         I.T = S.T;
-        for (const std::string &Idx : Ex->indices())
-          I.CoordSlots.push_back(indexSlot(Idx));
+        I.Id = Id;
+        // Per level (top first), the slot providing that level's
+        // coordinate, so the locator descends without a scratch
+        // buffer.
+        for (unsigned L = 0; L < S.T->order(); ++L)
+          I.LevelSlots.push_back(
+              indexSlot(Ex->indices()[S.T->modeOfLevel(L)]));
       }
       P.Code.push_back(std::move(I));
       return;
@@ -728,6 +285,7 @@ private:
           Mul.NArgs = 2;
           As->Rhs.Code.push_back(std::move(Mul));
           As->Mult = 1;
+          As->Rhs.finalize();
         }
       }
       const ExprPtr &Lhs = S->lhs();
@@ -750,6 +308,7 @@ private:
       if (!Rep->T->format().isAllDense())
         fatalError("replicate requires a dense output");
       Rep->Sym = S->outputSymmetry();
+      Rep->Threads = E.Options.Threads;
       return Rep;
     }
     }
@@ -889,9 +448,24 @@ private:
     }
 
     // Register walkers: sparse accesses in the subtree whose next
-    // undriven level is this loop's index.
+    // undriven level is this loop's index. A walker on a
+    // coordinate-skipping level (anything but Dense) visits only stored
+    // coordinates, which is sound only if its absence at a coordinate
+    // annihilates *every* assignment in the subtree — grouped symmetric
+    // kernels over two sparse operands produce bodies where each
+    // statement reads a different access of the second tensor, and
+    // those accesses must fall back to SparseLoad. Dense-level walkers
+    // skip nothing and are always sound.
     std::vector<unsigned> WalkerIds;
     if (E.Options.EnableSparseWalk) {
+      std::vector<std::set<std::string>> AssignRefs =
+          collectAssignRefs(Body);
+      auto AnnihilatesAll = [&](const std::string &Key) {
+        for (const std::set<std::string> &Refs : AssignRefs)
+          if (!Refs.count(Key))
+            return false;
+        return true;
+      };
       std::vector<ExprPtr> Accesses;
       collectSubtreeAccesses(Body, Accesses);
       std::set<std::string> Seen;
@@ -905,6 +479,9 @@ private:
         unsigned D = Driven[Id];
         if (D < St.T->order() &&
             St.Indices[St.T->modeOfLevel(D)] == Var) {
+          if (St.T->level(D).Kind != LevelKind::Dense &&
+              !AnnihilatesAll(A->str()))
+            continue; // evaluated by SparseLoad instead
           PlanLoop::WalkerRef W;
           W.AccessId = Id;
           W.Level = D;
@@ -917,6 +494,17 @@ private:
     }
 
     Loop->Body = compile(Body);
+
+    // The PlanSpecializer pass: inner loops were specialized by the
+    // recursive compile above, so matching proceeds bottom-up and a
+    // nest can absorb its already-fused children.
+    if (E.Options.EnableMicroKernels && specializeLoop(*Loop, AccessStates)) {
+      ++Stats.SpecializedLoops;
+      if (Loop->Fused->Innermost)
+        ++Stats.InnermostFused;
+    } else {
+      ++Stats.GenericLoops;
+    }
 
     if (Activated)
       InParallel = false;
@@ -934,6 +522,62 @@ private:
         Expr::collectAccesses(Node->rhs(), Out);
       }
     });
+  }
+
+  /// Accesses an expression's value depends on, transitively through
+  /// scalar temporaries in \p DefRefs.
+  static void exprRefs(
+      const ExprPtr &Ex,
+      const std::map<std::string, std::set<std::string>> &DefRefs,
+      std::set<std::string> &Out) {
+    switch (Ex->kind()) {
+    case ExprKind::Access:
+      Out.insert(Ex->str());
+      return;
+    case ExprKind::Scalar: {
+      auto It = DefRefs.find(Ex->scalarName());
+      if (It != DefRefs.end())
+        Out.insert(It->second.begin(), It->second.end());
+      return;
+    }
+    case ExprKind::Call:
+      for (const ExprPtr &A : Ex->args())
+        exprRefs(A, DefRefs, Out);
+      return;
+    case ExprKind::Literal:
+    case ExprKind::Lut:
+      return;
+    }
+  }
+
+  /// Per assignment in \p S (program order), the set of access keys its
+  /// value transitively depends on, following scalar defs inside the
+  /// subtree. A scalar defined on several paths keeps the intersection:
+  /// an access only annihilates a use if it backs every possible
+  /// definition.
+  std::vector<std::set<std::string>>
+  collectAssignRefs(const StmtPtr &S) {
+    std::map<std::string, std::set<std::string>> DefRefs;
+    std::vector<std::set<std::string>> Out;
+    Stmt::walk(S, [&](const StmtPtr &Node) {
+      if (Node->kind() == StmtKind::DefScalar) {
+        std::set<std::string> Refs;
+        exprRefs(Node->rhs(), DefRefs, Refs);
+        auto [It, New] = DefRefs.insert({Node->scalarName(), Refs});
+        if (!New) {
+          std::set<std::string> Inter;
+          for (const std::string &R : Refs)
+            if (It->second.count(R))
+              Inter.insert(R);
+          It->second = std::move(Inter);
+        }
+      } else if (Node->kind() == StmtKind::Assign) {
+        std::set<std::string> Refs;
+        exprRefs(Node->rhs(), DefRefs, Refs);
+        Out.push_back(std::move(Refs));
+      }
+    });
+    return Out;
   }
 };
 
@@ -1000,6 +644,24 @@ void Executor::prepare() {
   Prepared = true;
 }
 
+namespace {
+
+/// Flushes a context's accumulated counter deltas into the global
+/// atomics (once per run; see Plan.h for the discipline).
+void flushCounters(detail::ExecCtx &C) {
+  if (C.Local.SparseReads)
+    counters().SparseReads += C.Local.SparseReads;
+  if (C.Local.Reductions)
+    counters().Reductions += C.Local.Reductions;
+  if (C.Local.ScalarOps)
+    counters().ScalarOps += C.Local.ScalarOps;
+  if (C.Local.OutputWrites)
+    counters().OutputWrites += C.Local.OutputWrites;
+  C.Local = CounterSnapshot{};
+}
+
+} // namespace
+
 void Executor::run() {
   runBody();
   runEpilogue();
@@ -1007,13 +669,18 @@ void Executor::run() {
 
 void Executor::runBody() {
   assert(Prepared && "prepare() must run before run()");
+  Ctx->CountersOn = countersEnabled();
   BodyPlan->exec(*Ctx);
+  flushCounters(*Ctx);
 }
 
 void Executor::runEpilogue() {
   assert(Prepared && "prepare() must run before run()");
-  if (EpiloguePlan)
-    EpiloguePlan->exec(*Ctx);
+  if (!EpiloguePlan)
+    return;
+  Ctx->CountersOn = countersEnabled();
+  EpiloguePlan->exec(*Ctx);
+  flushCounters(*Ctx);
 }
 
 } // namespace systec

@@ -61,6 +61,19 @@ struct ExecOptions {
   /// exceed this is left sequential at that level; an inner annotated
   /// loop (typically with disjoint writes) runs parallel instead.
   size_t PrivatizationBudget = size_t(1) << 24;
+  /// Run the plan-specialization pass (runtime/MicroKernels.h): loop
+  /// subtrees matching a known shape execute as fused loops over raw
+  /// level arrays instead of the interpreted plan. Disabling is the
+  /// ablation switch; outputs and counters are identical either way.
+  bool EnableMicroKernels = true;
+};
+
+/// Result of the plan-specialization pass for one prepared executor
+/// (surfaced by bench_ablation and the perf_smoke test).
+struct MicroKernelStats {
+  uint64_t SpecializedLoops = 0; ///< loops running fused micro-kernels
+  uint64_t InnermostFused = 0;   ///< of which leaf (tight-engine) loops
+  uint64_t GenericLoops = 0;     ///< loops left to the interpreter
 };
 
 /// Compiles and runs one Kernel over bound tensors.
@@ -97,6 +110,10 @@ public:
   /// The tensor bound (or materialized) under \p Name; null if unknown.
   Tensor *lookup(const std::string &Name) const;
 
+  /// Specialization outcome of prepare(): how many plan loops run as
+  /// fused micro-kernels vs. the generic interpreter.
+  const MicroKernelStats &microKernelStats() const { return MKStats; }
+
 private:
   friend class PlanCompiler;
 
@@ -108,6 +125,7 @@ private:
   std::unique_ptr<detail::PlanNode> BodyPlan;
   std::unique_ptr<detail::PlanNode> EpiloguePlan;
   std::unique_ptr<detail::ExecCtx> Ctx;
+  MicroKernelStats MKStats;
   bool Prepared = false;
 };
 

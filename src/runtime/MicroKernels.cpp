@@ -1,0 +1,882 @@
+//===- runtime/MicroKernels.cpp - Fused plan micro-kernels ----*- C++ -*-===//
+///
+/// The PlanSpecializer matcher and the fused execution engines. See
+/// MicroKernels.h for the contract: bit-identical values and exact
+/// counter parity with the interpreted path, which stays as fallback
+/// and oracle.
+///
+//===----------------------------------------------------------------------===//
+
+#include "runtime/MicroKernels.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+#include <optional>
+#include <set>
+
+namespace systec {
+namespace detail {
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Condition helpers
+//===----------------------------------------------------------------------===//
+
+bool atomEq(const CAtom &X, const CAtom &Y) {
+  return X.Kind == Y.Kind && X.A == Y.A && X.B == Y.B;
+}
+
+bool condEq(const CCond &X, const CCond &Y) {
+  if (X.Disjuncts.size() != Y.Disjuncts.size())
+    return false;
+  for (size_t D = 0; D < X.Disjuncts.size(); ++D) {
+    if (X.Disjuncts[D].size() != Y.Disjuncts[D].size())
+      return false;
+    for (size_t A = 0; A < X.Disjuncts[D].size(); ++A)
+      if (!atomEq(X.Disjuncts[D][A], Y.Disjuncts[D][A]))
+        return false;
+  }
+  return true;
+}
+
+/// Conjunction of two DNF conditions (cross product of disjuncts).
+CCond condAnd(const CCond &X, const CCond &Y) {
+  if (X.Disjuncts.empty())
+    return Y;
+  if (Y.Disjuncts.empty())
+    return X;
+  CCond Out;
+  for (const std::vector<CAtom> &DX : X.Disjuncts)
+    for (const std::vector<CAtom> &DY : Y.Disjuncts) {
+      std::vector<CAtom> D = DX;
+      D.insert(D.end(), DY.begin(), DY.end());
+      Out.Disjuncts.push_back(std::move(D));
+    }
+  return Out;
+}
+
+bool condMentions(const CCond &C, unsigned Slot) {
+  for (const std::vector<CAtom> &D : C.Disjuncts)
+    for (const CAtom &A : D)
+      if (A.A == Slot || A.B == Slot)
+        return true;
+  return false;
+}
+
+//===----------------------------------------------------------------------===//
+// Matcher
+//===----------------------------------------------------------------------===//
+
+struct MatchState {
+  const PlanLoop &L;
+  const std::vector<AccessState> &Accesses;
+  MKDriver D;
+  bool Nest = false;
+  /// Innermost mode only: scalar slots written by items of this loop.
+  /// Reads of a written slot must substitute a preceding single-factor
+  /// def under a compatible guard; anything else rejects the loop
+  /// (bind-time reads would otherwise observe stale values).
+  std::set<unsigned> Written;
+  std::map<unsigned, std::pair<MKOperand, std::optional<CCond>>> DefMap;
+};
+
+bool buildDriver(MatchState &M) {
+  const auto &Ws = M.L.Walkers;
+  MKDriver &D = M.D;
+  if (Ws.empty()) {
+    D.K = MKDriver::Kind::Range;
+    return true;
+  }
+  if (Ws.size() > 2)
+    return false;
+  const AccessState &A = M.Accesses[Ws[0].AccessId];
+  const Level &Lev = A.T->level(Ws[0].Level);
+  switch (Lev.Kind) {
+  case LevelKind::Sparse:
+    D.K = MKDriver::Kind::SparseWalk;
+    break;
+  case LevelKind::Dense:
+    D.K = MKDriver::Kind::DenseWalk;
+    break;
+  default:
+    return false; // RunLength/Banded walkers stay interpreted
+  }
+  D.AccessId = Ws[0].AccessId;
+  D.Level = Ws[0].Level;
+  D.Bottom = Ws[0].Bottom;
+  D.CountReads = Ws[0].Bottom && A.SparseFormat;
+  D.Ptr = Lev.Ptr.data();
+  D.Crd = Lev.Crd.data();
+  D.Vals = A.T->valsData();
+  D.Dim = Lev.Dim;
+  if (Ws.size() == 2) {
+    const AccessState &B = M.Accesses[Ws[1].AccessId];
+    const Level &CoLev = B.T->level(Ws[1].Level);
+    switch (CoLev.Kind) {
+    case LevelKind::Sparse:
+      D.CoSparse = true;
+      break;
+    case LevelKind::Dense:
+      D.CoSparse = false;
+      break;
+    default:
+      return false;
+    }
+    D.HasCo = true;
+    D.CoSameFiber = B.T == A.T && Ws[1].Level == Ws[0].Level;
+    D.CoAccessId = Ws[1].AccessId;
+    D.CoLevel = Ws[1].Level;
+    D.CoBottom = Ws[1].Bottom;
+    D.CoCountReads = Ws[1].Bottom && B.SparseFormat;
+    D.CoPtr = CoLev.Ptr.data();
+    D.CoCrd = CoLev.Crd.data();
+    D.CoVals = B.T->valsData();
+    D.CoDim = CoLev.Dim;
+  }
+  return true;
+}
+
+/// Classifies one load instruction into an operand, applying the
+/// written-scalar substitution rules for innermost loops.
+std::optional<MKOperand>
+operandFor(const VInstr &I, MatchState &M,
+           const std::optional<CCond> &Guard) {
+  MKOperand Op;
+  switch (I.Kind) {
+  case VKind::Lit:
+    Op.K = MKOperand::Kind::Const;
+    Op.Lit = I.Lit;
+    return Op;
+  case VKind::Scalar: {
+    if (!M.Nest && M.Written.count(I.Id)) {
+      auto It = M.DefMap.find(I.Id);
+      if (It == M.DefMap.end())
+        return std::nullopt;
+      const std::optional<CCond> &DefGuard = It->second.second;
+      const bool Compatible =
+          !DefGuard || (Guard && condEq(*DefGuard, *Guard));
+      if (!Compatible)
+        return std::nullopt;
+      return It->second.first;
+    }
+    Op.K = MKOperand::Kind::Scalar;
+    Op.Slot = I.Id;
+    return Op;
+  }
+  case VKind::Walked: {
+    const MKDriver &D = M.D;
+    if (D.K != MKDriver::Kind::Range && I.Id == D.AccessId)
+      return D.Bottom ? std::optional<MKOperand>(
+                            MKOperand{MKOperand::Kind::Driver})
+                      : std::nullopt;
+    if (D.HasCo && I.Id == D.CoAccessId)
+      return D.CoBottom ? std::optional<MKOperand>(
+                              MKOperand{MKOperand::Kind::Driver2})
+                        : std::nullopt;
+    Op.K = MKOperand::Kind::Walked;
+    Op.Slot = I.Id; // access id, driven by an enclosing loop
+    return Op;
+  }
+  case VKind::DenseLoad: {
+    Op.K = MKOperand::Kind::Dense;
+    Op.Arr = I.T->valsData();
+    for (const auto &[Slot, Stride] : I.SlotStride) {
+      if (Slot == M.L.Slot)
+        Op.VStride += Stride;
+      else
+        Op.BaseTerms.push_back({Slot, Stride});
+    }
+    return Op;
+  }
+  case VKind::SparseLoad:
+  case VKind::Lut:
+  case VKind::Op:
+    return std::nullopt; // Op is handled by the program classifier
+  }
+  return std::nullopt;
+}
+
+/// Classifies a whole program into a factor list folded left-to-right
+/// with a single operator. Accepts flat n-ary ops and left-deep chains
+/// (every non-first operand of an op must be a single factor), which
+/// are exactly the shapes whose fold order equals the factor-list fold.
+bool classifyProgram(const VProgram &P, MatchState &M,
+                     const std::optional<CCond> &Guard,
+                     std::vector<MKOperand> &Factors, OpKind &Combine) {
+  std::vector<std::vector<MKOperand>> Stack;
+  std::optional<OpKind> Op;
+  for (const VInstr &I : P.Code) {
+    if (I.Kind == VKind::Op) {
+      if (Stack.size() < I.NArgs || I.NArgs == 0)
+        return false;
+      if (!Op)
+        Op = I.Op;
+      else if (*Op != I.Op)
+        return false;
+      std::vector<MKOperand> Merged =
+          std::move(Stack[Stack.size() - I.NArgs]);
+      for (size_t K = Stack.size() - I.NArgs + 1; K < Stack.size(); ++K) {
+        if (Stack[K].size() != 1)
+          return false; // right operand of a fold must be a leaf
+        Merged.push_back(std::move(Stack[K][0]));
+      }
+      Stack.resize(Stack.size() - I.NArgs);
+      Stack.push_back(std::move(Merged));
+      continue;
+    }
+    std::optional<MKOperand> O = operandFor(I, M, Guard);
+    if (!O)
+      return false;
+    Stack.push_back({std::move(*O)});
+  }
+  if (Stack.size() != 1)
+    return false;
+  Factors = std::move(Stack[0]);
+  if (Factors.empty() || Factors.size() > MicroKernel::MaxFactors)
+    return false;
+  Combine = Op.value_or(OpKind::Mul);
+  return true;
+}
+
+bool containsLoop(const PlanNode *N) {
+  if (dynamic_cast<const PlanLoop *>(N))
+    return true;
+  if (auto *Seq = dynamic_cast<const PlanSeq *>(N)) {
+    for (const PlanPtr &Child : Seq->Children)
+      if (containsLoop(Child.get()))
+        return true;
+    return false;
+  }
+  if (auto *If = dynamic_cast<const PlanIf *>(N))
+    return containsLoop(If->Body.get());
+  return false;
+}
+
+void attachGuard(MKItem &Item, const std::optional<CCond> &Guard,
+                 const MatchState &M) {
+  if (!Guard)
+    return;
+  Item.HasGuard = true;
+  Item.Guard = *Guard;
+  Item.GuardDynamic = condMentions(*Guard, M.L.Slot);
+}
+
+bool gatherItems(PlanNode *N, std::optional<CCond> Guard, MatchState &M,
+                 std::vector<MKItem> &Out) {
+  if (auto *Seq = dynamic_cast<PlanSeq *>(N)) {
+    for (PlanPtr &Child : Seq->Children)
+      if (!gatherItems(Child.get(), Guard, M, Out))
+        return false;
+    return true;
+  }
+  if (auto *If = dynamic_cast<PlanIf *>(N)) {
+    std::optional<CCond> Inner =
+        Guard ? condAnd(*Guard, If->Cond) : If->Cond;
+    return gatherItems(If->Body.get(), std::move(Inner), M, Out);
+  }
+  if (auto *Def = dynamic_cast<PlanDef *>(N)) {
+    MKItem Item;
+    Item.K = MKItem::Kind::Def;
+    if (!classifyProgram(Def->Init, M, Guard, Item.S.Factors,
+                         Item.S.Combine))
+      return false;
+    Item.S.ScalarDst = true;
+    Item.S.ScalarSlot = Def->Slot;
+    attachGuard(Item, Guard, M);
+    if (!M.Nest) {
+      // A per-element dynamic guard makes the def's value
+      // data-dependent in a way bind-time substitution cannot express;
+      // later reads then reject the loop via the Written check.
+      M.Written.insert(Def->Slot);
+      if (Item.S.Factors.size() == 1 && !Item.GuardDynamic)
+        M.DefMap[Def->Slot] = {Item.S.Factors[0], Guard};
+      else
+        M.DefMap.erase(Def->Slot);
+    }
+    Out.push_back(std::move(Item));
+    return true;
+  }
+  if (auto *As = dynamic_cast<PlanAssign *>(N)) {
+    if (As->Mult > 1)
+      return false; // rare general-multiplicity case stays interpreted
+    MKItem Item;
+    Item.K = MKItem::Kind::Stmt;
+    if (!classifyProgram(As->Rhs, M, Guard, Item.S.Factors,
+                         Item.S.Combine))
+      return false;
+    Item.S.Reduce = As->Reduce;
+    if (As->ScalarTarget) {
+      Item.S.ScalarDst = true;
+      Item.S.ScalarSlot = As->ScalarSlot;
+      if (!M.Nest) {
+        M.Written.insert(As->ScalarSlot);
+        M.DefMap.erase(As->ScalarSlot);
+      }
+    } else {
+      Item.S.OutId = As->OutId;
+      for (const auto &[Slot, Stride] : As->SlotStride) {
+        if (Slot == M.L.Slot)
+          Item.S.DstVStride += Stride;
+        else
+          Item.S.DstBaseTerms.push_back({Slot, Stride});
+      }
+    }
+    attachGuard(Item, Guard, M);
+    Out.push_back(std::move(Item));
+    return true;
+  }
+  if (auto *Loop = dynamic_cast<PlanLoop *>(N)) {
+    MKItem Item;
+    Item.K = MKItem::Kind::Loop;
+    Item.Child = Loop;
+    attachGuard(Item, Guard, M);
+    Out.push_back(std::move(Item));
+    return true;
+  }
+  return false; // PlanReplicate or unknown nodes stay interpreted
+}
+
+} // namespace
+
+bool specializeLoop(PlanLoop &L, const std::vector<AccessState> &Accesses) {
+  MatchState M{L, Accesses, MKDriver{}, false, {}, {}};
+  if (!buildDriver(M))
+    return false;
+  M.Nest = containsLoop(L.Body.get());
+  std::vector<MKItem> Items;
+  if (!gatherItems(L.Body.get(), std::nullopt, M, Items))
+    return false;
+  if (Items.empty() || Items.size() > MicroKernel::MaxItems)
+    return false;
+  // Innermost loops prebind Scalar factors once per execution, so no
+  // surviving Scalar factor may name a slot any item of this loop
+  // writes. Reads *after* a write were resolved during gathering
+  // (substituted or rejected); this final pass catches reads that
+  // precede a later write, where the interpreter would observe the
+  // previous iteration's value (loop-carried scalar dependence).
+  if (!M.Nest)
+    for (const MKItem &I : Items)
+      for (const MKOperand &Op : I.S.Factors)
+        if (Op.K == MKOperand::Kind::Scalar && M.Written.count(Op.Slot))
+          return false;
+  bool HasStmt = false, HasFusedChild = false, HasLoop = false;
+  for (const MKItem &I : Items) {
+    HasStmt |= I.K == MKItem::Kind::Stmt;
+    if (I.K == MKItem::Kind::Loop) {
+      HasLoop = true;
+      HasFusedChild |= I.Child->Fused != nullptr;
+    }
+  }
+  // Only fuse where it pays: a leaf loop must do real assignments, and
+  // a nest must contain at least one already-fused core (otherwise the
+  // generic dispatch is just as good and the specialization counter
+  // would overstate coverage).
+  if (!HasLoop && !HasStmt)
+    return false;
+  if (HasLoop && !HasFusedChild && !HasStmt)
+    return false;
+  auto MK = std::make_unique<MicroKernel>();
+  MK->Slot = L.Slot;
+  MK->Innermost = !HasLoop;
+  MK->D = M.D;
+  MK->Items = std::move(Items);
+  L.Fused = std::move(MK);
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Execution: shared driver iteration
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Per-run driver state (the level arrays themselves are cached in the
+/// MKDriver at specialization; only positions resolve per run).
+struct DriverBind {
+  int64_t Parent = 0;
+  int64_t CoParent = 0;
+  bool Aliased = false;
+};
+
+DriverBind bindDriver(ExecCtx &C, const MKDriver &D) {
+  DriverBind B;
+  if (D.K == MKDriver::Kind::Range)
+    return B;
+  B.Parent = C.Accesses[D.AccessId].Pos[D.Level];
+  if (D.HasCo) {
+    B.CoParent = C.Accesses[D.CoAccessId].Pos[D.CoLevel];
+    // Mirror the interpreter's per-execution aliasing test: the same
+    // fiber walked twice advances in lockstep instead of re-locating.
+    B.Aliased = D.CoSameFiber && B.CoParent == B.Parent;
+  }
+  return B;
+}
+
+/// Iterates the fused loop's elements, invoking Body(v, k1, k2) for
+/// every intersection element, in exactly the interpreter's order.
+/// UpdateState additionally maintains IndexVal and walker positions for
+/// nested consumers. Returns via out-params the number of driver
+/// candidates visited and of body executions (they differ only under a
+/// filtering sparse co-walker).
+template <typename Fn>
+void iterateDriver(ExecCtx &C, const MKDriver &D, unsigned Slot,
+                   const DriverBind &B, int64_t Lo, int64_t Hi,
+                   bool UpdateState, uint64_t &Visited, uint64_t &Matched,
+                   Fn &&Body) {
+  // Co-walker resolution shared by every driver kind. Coordinates
+  // arrive in ascending order, so a sparse co-walker is a forward
+  // finger (two-finger merge) rather than a per-element bisection.
+  int64_t K2 = 0, E2 = 0;
+  if (D.HasCo && !B.Aliased && D.CoSparse) {
+    K2 = D.CoPtr[B.CoParent];
+    E2 = D.CoPtr[B.CoParent + 1];
+  }
+  auto ResolveCo = [&](int64_t V, int64_t K1, int64_t &OutK2) -> bool {
+    if (B.Aliased) {
+      OutK2 = K1;
+      return true;
+    }
+    if (!D.CoSparse) {
+      OutK2 = B.CoParent * D.CoDim + V;
+      return true;
+    }
+    const int64_t *Crd2 = D.CoCrd;
+    while (K2 < E2 && Crd2[K2] < V)
+      ++K2;
+    if (K2 < E2 && Crd2[K2] == V) {
+      OutK2 = K2;
+      return true;
+    }
+    return false;
+  };
+  auto Emit = [&](int64_t V, int64_t K1) {
+    ++Visited;
+    if (UpdateState) {
+      C.IndexVal[Slot] = V;
+      if (D.K != MKDriver::Kind::Range)
+        C.Accesses[D.AccessId].Pos[D.Level + 1] = K1;
+    }
+    int64_t CoPos = 0;
+    if (D.HasCo) {
+      if (!ResolveCo(V, K1, CoPos))
+        return;
+      if (UpdateState)
+        C.Accesses[D.CoAccessId].Pos[D.CoLevel + 1] = CoPos;
+    }
+    ++Matched;
+    Body(V, K1, CoPos);
+  };
+
+  switch (D.K) {
+  case MKDriver::Kind::Range:
+    for (int64_t V = Lo; V <= Hi; ++V) {
+      ++Visited;
+      ++Matched;
+      if (UpdateState)
+        C.IndexVal[Slot] = V;
+      Body(V, 0, 0);
+    }
+    return;
+  case MKDriver::Kind::DenseWalk: {
+    const int64_t Base = B.Parent * D.Dim;
+    for (int64_t V = Lo; V <= Hi; ++V)
+      Emit(V, Base + V);
+    return;
+  }
+  case MKDriver::Kind::SparseWalk: {
+    int64_t K = D.Ptr[B.Parent], E = D.Ptr[B.Parent + 1];
+    const int64_t *Crd = D.Crd;
+    if (Lo > 0)
+      K = std::lower_bound(Crd + K, Crd + E, Lo) - Crd;
+    for (; K < E; ++K) {
+      const int64_t V = Crd[K];
+      if (V > Hi)
+        break;
+      Emit(V, K);
+    }
+    return;
+  }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Execution: operand evaluation (nest items, evaluated fresh)
+//===----------------------------------------------------------------------===//
+
+inline double evalOperand(ExecCtx &C, const MKDriver &D,
+                          const MKOperand &Op, int64_t V, int64_t K1,
+                          int64_t K2) {
+  switch (Op.K) {
+  case MKOperand::Kind::Const:
+    return Op.Lit;
+  case MKOperand::Kind::Scalar:
+    return C.ScalarVal[Op.Slot];
+  case MKOperand::Kind::Walked: {
+    const AccessState &A = C.Accesses[Op.Slot];
+    return A.T->val(A.Pos[A.T->order()]);
+  }
+  case MKOperand::Kind::Dense: {
+    int64_t Pos = Op.VStride * V;
+    for (const auto &[Slot, Stride] : Op.BaseTerms)
+      Pos += C.IndexVal[Slot] * Stride;
+    return Op.Arr[Pos];
+  }
+  case MKOperand::Kind::Driver:
+    return D.Vals[K1];
+  case MKOperand::Kind::Driver2:
+    return D.CoVals[K2];
+  }
+  return 0;
+}
+
+inline double foldFactors(ExecCtx &C, const MKDriver &D, const MKStmt &S,
+                          int64_t V, int64_t K1, int64_t K2) {
+  double Acc = evalOperand(C, D, S.Factors[0], V, K1, K2);
+  for (size_t I = 1; I < S.Factors.size(); ++I)
+    Acc = evalOp(S.Combine, Acc,
+                     evalOperand(C, D, S.Factors[I], V, K1, K2));
+  return Acc;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Execution: nest engine
+//===----------------------------------------------------------------------===//
+
+void MicroKernel::runNest(ExecCtx &C, int64_t Lo, int64_t Hi) {
+  const DriverBind B = bindDriver(C, D);
+  uint64_t Visited = 0, Matched = 0;
+  iterateDriver(
+      C, D, Slot, B, Lo, Hi, /*UpdateState=*/true, Visited, Matched,
+      [&](int64_t V, int64_t K1, int64_t K2) {
+        for (MKItem &Item : Items) {
+          if (Item.HasGuard && !Item.Guard.eval(C))
+            continue;
+          switch (Item.K) {
+          case MKItem::Kind::Def:
+            C.ScalarVal[Item.S.ScalarSlot] =
+                foldFactors(C, D, Item.S, V, K1, K2);
+            if (C.CountersOn)
+              C.Local.ScalarOps += Item.S.Factors.size() - 1;
+            break;
+          case MKItem::Kind::Stmt: {
+            const MKStmt &S = Item.S;
+            const double Val = foldFactors(C, D, S, V, K1, K2);
+            if (S.ScalarDst) {
+              double &Dst = C.ScalarVal[S.ScalarSlot];
+              Dst = S.Reduce ? evalOp(*S.Reduce, Dst, Val) : Val;
+            } else {
+              int64_t Pos = S.DstVStride * V;
+              for (const auto &[TSlot, Stride] : S.DstBaseTerms)
+                Pos += C.IndexVal[TSlot] * Stride;
+              double &Dst = C.OutPtr[S.OutId][Pos];
+              Dst = S.Reduce ? evalOp(*S.Reduce, Dst, Val) : Val;
+            }
+            if (C.CountersOn) {
+              C.Local.ScalarOps += S.Factors.size() - 1;
+              ++C.Local.Reductions;
+              if (!S.ScalarDst)
+                ++C.Local.OutputWrites;
+            }
+            break;
+          }
+          case MKItem::Kind::Loop:
+            Item.Child->exec(C);
+            break;
+          }
+        }
+      });
+  if (C.CountersOn) {
+    if (D.CountReads)
+      C.Local.SparseReads += Visited;
+    if (D.HasCo && D.CoCountReads)
+      C.Local.SparseReads += Matched;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Execution: innermost engine (prebound)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// One prebound value source, loaded branchlessly as
+/// P[SV * v + SK1 * k1 + SK2 * k2]: dense-affine factors set SV,
+/// driver/co factors set SK1/SK2 with P at the value array, and
+/// immediates (literals, bind-time scalar/walked reads) point P at
+/// their own Imm slot with all strides zero. Plain aggregate with no
+/// default initialization: binding runs once per loop execution, often
+/// once per *row* of a nest, so constructing this state must cost
+/// nothing beyond the fields actually written.
+struct BoundVal {
+  const double *P;
+  int64_t SV, SK1, SK2;
+  double Imm;
+};
+
+struct BoundStmt {
+  BoundVal F[MicroKernel::MaxFactors];
+  unsigned NF;
+  /// 0: fast tensor (Mul-fold, Add-reduce), 1: fast scalar accumulate
+  /// (Mul-fold, Add-reduce), 2: def store, 3: general (any ops, guard).
+  uint8_t Kind;
+  OpKind Combine;
+  int8_t Reduce; // -1: overwrite
+  uint8_t Mode;  // 0: def store; 1: scalar dst; 2: tensor dst
+  double *Dst;
+  int64_t DstS;
+  const CCond *Guard; // dynamic guard, evaluated per element
+  uint64_t Execs;
+  unsigned Ops; // ScalarOps contributed per execution
+};
+
+inline double loadBound(const BoundVal &F, int64_t V, int64_t K1,
+                        int64_t K2) {
+  return F.P[F.SV * V + F.SK1 * K1 + F.SK2 * K2];
+}
+
+inline double foldBound(const BoundStmt &S, int64_t V, int64_t K1,
+                        int64_t K2) {
+  double Acc = loadBound(S.F[0], V, K1, K2);
+  switch (S.NF) {
+  case 1:
+    break;
+  case 2:
+    Acc *= loadBound(S.F[1], V, K1, K2);
+    break;
+  case 3:
+    Acc *= loadBound(S.F[1], V, K1, K2);
+    Acc *= loadBound(S.F[2], V, K1, K2);
+    break;
+  default:
+    for (unsigned I = 1; I < S.NF; ++I)
+      Acc *= loadBound(S.F[I], V, K1, K2);
+    break;
+  }
+  return Acc;
+}
+
+inline void execBound(ExecCtx &C, BoundStmt &S, int64_t V, int64_t K1,
+                      int64_t K2) {
+  switch (S.Kind) {
+  case 0: // tensor dst, Mul-fold, Add-reduce (the sparse axpy core)
+    S.Dst[S.DstS * V] += foldBound(S, V, K1, K2);
+    break;
+  case 1: // scalar accumulate, Mul-fold, Add-reduce (the dot core)
+    *S.Dst += foldBound(S, V, K1, K2);
+    break;
+  case 2: // scalar def store
+    *S.Dst = foldBound(S, V, K1, K2);
+    break;
+  default: {
+    if (S.Guard && !S.Guard->eval(C))
+      return;
+    double Acc = loadBound(S.F[0], V, K1, K2);
+    for (unsigned I = 1; I < S.NF; ++I)
+      Acc = evalOp(S.Combine, Acc, loadBound(S.F[I], V, K1, K2));
+    if (S.Mode == 0) {
+      *S.Dst = Acc;
+      ++S.Execs;
+      return;
+    }
+    double &Dst = S.Mode == 1 ? *S.Dst : S.Dst[S.DstS * V];
+    Dst = S.Reduce < 0
+              ? Acc
+              : evalOp(static_cast<OpKind>(S.Reduce), Dst, Acc);
+    ++S.Execs;
+    return;
+  }
+  }
+  ++S.Execs;
+}
+
+} // namespace
+
+void MicroKernel::runInner(ExecCtx &C, int64_t Lo, int64_t Hi) {
+  const DriverBind B = bindDriver(C, D);
+
+  // Bind: resolve invariant guards and operand bases against the
+  // current context. All bind state is on the stack so one MicroKernel
+  // can run from many task contexts concurrently; the array is left
+  // uninitialized and every used field written explicitly, because a
+  // nest re-binds its inner loop once per row.
+  BoundStmt BS[MaxItems];
+  unsigned NS = 0;
+  bool AnyDynamic = false;
+  for (MKItem &Item : Items) {
+    if (Item.HasGuard && !Item.GuardDynamic && !Item.Guard.eval(C))
+      continue; // invariant guard: decided once per loop execution
+    BoundStmt &S = BS[NS];
+    const MKStmt &Src = Item.S;
+    S.NF = static_cast<unsigned>(Src.Factors.size());
+    S.Ops = S.NF - 1;
+    S.Combine = Src.Combine;
+    S.Execs = 0;
+    S.Guard = nullptr;
+    S.DstS = 0;
+    bool MulFold = S.NF == 1 || Src.Combine == OpKind::Mul;
+    for (unsigned I = 0; I < S.NF; ++I) {
+      const MKOperand &Op = Src.Factors[I];
+      BoundVal &F = S.F[I];
+      F.SV = F.SK1 = F.SK2 = 0;
+      switch (Op.K) {
+      case MKOperand::Kind::Const:
+        F.Imm = Op.Lit;
+        F.P = &F.Imm;
+        break;
+      case MKOperand::Kind::Scalar:
+        F.Imm = C.ScalarVal[Op.Slot];
+        F.P = &F.Imm;
+        break;
+      case MKOperand::Kind::Walked: {
+        const AccessState &A = C.Accesses[Op.Slot];
+        F.Imm = A.T->val(A.Pos[A.T->order()]);
+        F.P = &F.Imm;
+        break;
+      }
+      case MKOperand::Kind::Dense: {
+        int64_t Base = 0;
+        for (const auto &[TSlot, Stride] : Op.BaseTerms)
+          Base += C.IndexVal[TSlot] * Stride;
+        F.P = Op.Arr + Base;
+        F.SV = Op.VStride;
+        break;
+      }
+      case MKOperand::Kind::Driver:
+        F.P = D.Vals;
+        F.SK1 = 1;
+        break;
+      case MKOperand::Kind::Driver2:
+        F.P = D.CoVals;
+        F.SK2 = 1;
+        break;
+      }
+    }
+    if (Item.K == MKItem::Kind::Def) {
+      S.Mode = 0;
+      S.Dst = &C.ScalarVal[Src.ScalarSlot];
+      S.Reduce = -1;
+    } else if (Src.ScalarDst) {
+      S.Mode = 1;
+      S.Dst = &C.ScalarVal[Src.ScalarSlot];
+      S.Reduce = Src.Reduce ? static_cast<int8_t>(*Src.Reduce) : -1;
+    } else {
+      S.Mode = 2;
+      int64_t Base = 0;
+      for (const auto &[TSlot, Stride] : Src.DstBaseTerms)
+        Base += C.IndexVal[TSlot] * Stride;
+      S.Dst = C.OutPtr[Src.OutId] + Base;
+      S.DstS = Src.DstVStride;
+      S.Reduce = Src.Reduce ? static_cast<int8_t>(*Src.Reduce) : -1;
+    }
+    if (Item.HasGuard && Item.GuardDynamic) {
+      S.Guard = &Item.Guard;
+      AnyDynamic = true;
+    }
+    // Fast-path selection: the Mul-fold / Add-reduce cores the paper
+    // kernels hit; everything else takes the general switch.
+    const bool AddReduce = S.Reduce == static_cast<int8_t>(OpKind::Add);
+    if (!S.Guard && MulFold && AddReduce && S.Mode == 2)
+      S.Kind = 0;
+    else if (!S.Guard && MulFold && AddReduce && S.Mode == 1)
+      S.Kind = 1;
+    else if (!S.Guard && MulFold && S.Mode == 0)
+      S.Kind = 2;
+    else
+      S.Kind = 3;
+    ++NS;
+  }
+
+  uint64_t Visited = 0, Matched = 0;
+
+  // Dedicated loops for the single-statement sparse axpy / dot shapes
+  // (driver value times one coordinate-indexed or invariant factor —
+  // ssyrk's triangle kernel and plain SpMV rows). Same fold and
+  // iteration order as the generic path below, just with the per-stmt
+  // dispatch peeled away.
+  if (NS == 1 && !AnyDynamic && D.K == MKDriver::Kind::SparseWalk &&
+      !D.HasCo && BS[0].NF == 2 && (BS[0].Kind == 0 || BS[0].Kind == 1)) {
+    const BoundVal &F0 = BS[0].F[0], &F1 = BS[0].F[1];
+    if (F0.SV == 0 && F0.SK1 == 1 && F0.SK2 == 0 && F1.SK1 == 0 &&
+        F1.SK2 == 0) {
+      const double *DV = D.Vals, *P1 = F1.P;
+      const int64_t S1 = F1.SV;
+      const int64_t *Crd = D.Crd;
+      int64_t K = D.Ptr[B.Parent], E = D.Ptr[B.Parent + 1];
+      if (Lo > 0)
+        K = std::lower_bound(Crd + K, Crd + E, Lo) - Crd;
+      uint64_t N = 0;
+      if (BS[0].Kind == 0) {
+        double *Dst = BS[0].Dst;
+        const int64_t DS = BS[0].DstS;
+        for (; K < E; ++K) {
+          const int64_t V = Crd[K];
+          if (V > Hi)
+            break;
+          Dst[DS * V] += DV[K] * P1[S1 * V];
+          ++N;
+        }
+      } else {
+        double Acc = *BS[0].Dst;
+        for (; K < E; ++K) {
+          const int64_t V = Crd[K];
+          if (V > Hi)
+            break;
+          Acc += DV[K] * P1[S1 * V];
+          ++N;
+        }
+        *BS[0].Dst = Acc;
+      }
+      Visited = Matched = N;
+      BS[0].Execs = N;
+      if (C.CountersOn) {
+        if (D.CountReads)
+          C.Local.SparseReads += Visited;
+        C.Local.ScalarOps += N;
+        C.Local.Reductions += N;
+        if (BS[0].Kind == 0)
+          C.Local.OutputWrites += N;
+      }
+      return;
+    }
+  }
+
+  iterateDriver(C, D, Slot, B, Lo, Hi, /*UpdateState=*/false, Visited,
+                Matched, [&](int64_t V, int64_t K1, int64_t K2) {
+                  if (AnyDynamic)
+                    C.IndexVal[Slot] = V;
+                  for (unsigned I = 0; I < NS; ++I)
+                    execBound(C, BS[I], V, K1, K2);
+                });
+
+  // Flush counter deltas once per loop execution (the whole point: no
+  // per-element flag checks or atomic traffic in the loops above).
+  if (C.CountersOn) {
+    if (D.CountReads)
+      C.Local.SparseReads += Visited;
+    if (D.HasCo && D.CoCountReads)
+      C.Local.SparseReads += Matched;
+    for (unsigned I = 0; I < NS; ++I) {
+      const BoundStmt &S = BS[I];
+      C.Local.ScalarOps += S.Execs * S.Ops;
+      if (S.Mode != 0) {
+        C.Local.Reductions += S.Execs;
+        if (S.Mode == 2)
+          C.Local.OutputWrites += S.Execs;
+      }
+    }
+  }
+}
+
+void MicroKernel::run(ExecCtx &C, int64_t Lo, int64_t Hi) {
+  if (Innermost)
+    runInner(C, Lo, Hi);
+  else
+    runNest(C, Lo, Hi);
+}
+
+} // namespace detail
+} // namespace systec

@@ -1,0 +1,164 @@
+//===- runtime/MicroKernels.h - Fused plan micro-kernels ------*- C++ -*-===//
+///
+/// \file
+/// Runtime specialization layer for the plan interpreter. The
+/// PlanSpecializer pass (specializeLoop) pattern-matches compiled loop
+/// subtrees — innermost `PlanLoop` + `PlanAssign` bodies and the
+/// dense-over-sparse nests produced by the ssymv/ssyrk/syprd/ttm/mttkrp
+/// lowerings — into fused loop bodies that read `Level::Ptr/Crd` and
+/// `Tensor::vals()` directly instead of dispatching a virtual plan node
+/// and a switch-driven expression VM per element. Covered shapes:
+///
+///  - sparse-row dot / axpy (one sparse walker, invariant cofactors),
+///  - dense axpy / scale-accumulate with strided output (dense range),
+///  - sparse-sparse co-iteration (two-finger merge of two walkers),
+///  - multi-level nest fusion: an outer walker loop whose body is
+///    scalar defs, once-per-iteration assigns, and already-fused (or
+///    generic) child loops, executed without per-iteration virtual
+///    dispatch.
+///
+/// Correctness contract: a fused loop is *bit-identical* to the generic
+/// interpreted path (same factor fold order, same reduction order, same
+/// iteration order) and produces *exactly* the same execution counters
+/// (deltas are accumulated per loop execution and flushed once). The
+/// generic path remains both the fallback — any unmatched shape, level
+/// kind, or operand — and the testing oracle.
+///
+/// Parallel integration: micro-kernels hang off `PlanLoop::Fused` and
+/// are invoked from `PlanLoop::execRange` with a task's `[Lo, Hi]`
+/// coordinate sub-range and the task context's (possibly repointed)
+/// `OutPtr` bases, so privatization and chunk scheduling work
+/// unchanged. All bind-time state lives on the stack: one MicroKernel
+/// may run concurrently from many task contexts.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SYSTEC_RUNTIME_MICROKERNELS_H
+#define SYSTEC_RUNTIME_MICROKERNELS_H
+
+#include "runtime/Plan.h"
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace systec {
+namespace detail {
+
+/// Compile-time description of one value source in a fused statement.
+struct MKOperand {
+  enum class Kind : uint8_t {
+    Const,   ///< literal
+    Scalar,  ///< ScalarVal slot (loop-invariant at its read point)
+    Walked,  ///< fully-driven access: T->val(Pos[order])
+    Dense,   ///< Arr[sum(IndexVal[Slot] * Stride) + VStride * v]
+    Driver,  ///< driving walker's value at the current position
+    Driver2, ///< co-walker's value at its matched position
+  };
+  Kind K = Kind::Const;
+  double Lit = 0;
+  unsigned Slot = 0;           ///< Scalar slot or access id (Walked)
+  const double *Arr = nullptr; ///< Dense: cached valsData() of the
+                               ///< accessed tensor (stable for a live
+                               ///< tensor)
+  std::vector<std::pair<unsigned, int64_t>> BaseTerms; ///< Dense
+  int64_t VStride = 0;                                 ///< Dense
+};
+
+/// One fused statement: Dst Reduce= fold(Combine, Factors...), folded
+/// left-to-right exactly as the expression VM evaluates the original
+/// program (the specializer only accepts programs whose op tree is a
+/// left-deep chain, so the fold order is preserved bit for bit).
+struct MKStmt {
+  OpKind Combine = OpKind::Mul;
+  std::optional<OpKind> Reduce;
+  std::vector<MKOperand> Factors;
+  bool ScalarDst = false;
+  unsigned ScalarSlot = 0;
+  unsigned OutId = 0;
+  std::vector<std::pair<unsigned, int64_t>> DstBaseTerms;
+  int64_t DstVStride = 0;
+};
+
+/// One item of a fused loop body, executed in order per iteration.
+struct MKItem {
+  enum class Kind : uint8_t {
+    Def,  ///< scalar definition (no counter contribution, plain store)
+    Stmt, ///< assignment (counts Reductions / OutputWrites / ScalarOps)
+    Loop, ///< nested plan loop, dispatched once per iteration
+  };
+  Kind K = Kind::Stmt;
+  /// Residual guard (conjunction of the PlanIf conditions wrapping this
+  /// item). Evaluated per iteration; guards that do not mention the
+  /// loop variable are hoisted to bind time in the innermost engine.
+  bool HasGuard = false;
+  CCond Guard;
+  bool GuardDynamic = false; ///< guard mentions the loop variable
+  MKStmt S;                  ///< Def / Stmt payload
+  PlanLoop *Child = nullptr; ///< Loop payload
+};
+
+/// Iteration source of a fused loop.
+struct MKDriver {
+  enum class Kind : uint8_t {
+    Range,      ///< plain coordinate range (no walkers)
+    DenseWalk,  ///< walker over a dense level (position = parent*dim+v)
+    SparseWalk, ///< walker over a sparse level (Ptr/Crd arrays)
+  };
+  Kind K = Kind::Range;
+  unsigned AccessId = 0, Level = 0;
+  bool Bottom = false;
+  bool CountReads = false; ///< bottom level of a sparse-format tensor
+  /// Raw level arrays, cached at specialization (stable for a live
+  /// tensor; only the parent position is resolved per run).
+  const int64_t *Ptr = nullptr, *Crd = nullptr;
+  const double *Vals = nullptr;
+  int64_t Dim = 0;
+
+  /// Optional second walker (intersection). A sparse co-walker filters
+  /// by two-finger merge; a dense co-walker always matches and only
+  /// computes its position. When the co-walker shares the driver's
+  /// tensor and level, parent equality is checked at bind time and the
+  /// positions alias (mirroring the generic interpreter's check).
+  bool HasCo = false;
+  bool CoSparse = false;
+  bool CoSameFiber = false; ///< same tensor and level as the driver
+  unsigned CoAccessId = 0, CoLevel = 0;
+  bool CoBottom = false;
+  bool CoCountReads = false;
+  const int64_t *CoPtr = nullptr, *CoCrd = nullptr;
+  const double *CoVals = nullptr;
+  int64_t CoDim = 0;
+};
+
+/// A fused loop. Attached to PlanLoop::Fused by the specializer and run
+/// from PlanLoop::execRange in place of the generic walker dispatch.
+class MicroKernel {
+public:
+  unsigned Slot = 0;      ///< loop variable slot
+  bool Innermost = false; ///< no Loop items: tight prebound engine
+  MKDriver D;
+  std::vector<MKItem> Items;
+
+  void run(ExecCtx &C, int64_t Lo, int64_t Hi);
+
+  /// Caps enforced by the specializer so the innermost engine can bind
+  /// into fixed-size stack arrays.
+  static constexpr unsigned MaxFactors = 8;
+  static constexpr unsigned MaxItems = 12;
+
+private:
+  void runInner(ExecCtx &C, int64_t Lo, int64_t Hi);
+  void runNest(ExecCtx &C, int64_t Lo, int64_t Hi);
+};
+
+/// The PlanSpecializer pass: attempts to fuse \p L (whose body has
+/// already been compiled, with inner loops specialized bottom-up). On
+/// success installs L.Fused and returns true; on any unmatched shape
+/// leaves L untouched (the interpreted path stays authoritative).
+bool specializeLoop(PlanLoop &L, const std::vector<AccessState> &Accesses);
+
+} // namespace detail
+} // namespace systec
+
+#endif // SYSTEC_RUNTIME_MICROKERNELS_H

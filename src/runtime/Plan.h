@@ -1,0 +1,270 @@
+//===- runtime/Plan.h - Compiled execution plan internals -----*- C++ -*-===//
+///
+/// \file
+/// Internal representation of a compiled execution plan: the expression
+/// VM, the plan-node tree the interpreter walks, and the execution
+/// context shared by the generic interpreter and the fused micro-kernel
+/// layer (runtime/MicroKernels.h). Not part of the public API; included
+/// only by the runtime's own translation units and tests that need to
+/// poke at plan internals.
+///
+/// Counter discipline: plan nodes never touch the process-wide atomic
+/// counters directly. Each ExecCtx carries a plain-integer delta block
+/// (`Local`) guarded by a per-run copy of the counters-enabled flag
+/// (`CountersOn`); the Executor flushes the deltas into the global
+/// atomics once per run, and parallel loops sum task-context deltas in
+/// task order. This keeps the hot loops free of atomic traffic while
+/// preserving exact counter totals.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SYSTEC_RUNTIME_PLAN_H
+#define SYSTEC_RUNTIME_PLAN_H
+
+#include "ir/Cond.h"
+#include "ir/Ops.h"
+#include "parallel/Schedule.h"
+#include "support/Counters.h"
+#include "symmetry/Partition.h"
+#include "tensor/Tensor.h"
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace systec {
+
+class ThreadPool;
+
+namespace detail {
+
+class MicroKernel;
+
+/// Runtime state of one distinct tensor access: the fibertree position
+/// at which each level was entered. Pos[L] is the parent position for
+/// level L; Pos[order] is the value position.
+struct AccessState {
+  Tensor *T = nullptr;
+  std::vector<std::string> Indices;
+  std::vector<int64_t> Pos;
+  bool SparseFormat = false;
+  /// Stateful locator for random accesses (VKind::SparseLoad): per
+  /// level, the parent position the cursor is parked under and the
+  /// index of the last lower_bound result, so lookups in ascending
+  /// iteration order gallop forward instead of re-bisecting the whole
+  /// fiber. Lives in the (per-task-copied) context, never in the shared
+  /// plan, so parallel tasks keep independent cursors.
+  std::vector<int64_t> LocParent, LocIdx;
+};
+
+struct ExecCtx {
+  std::vector<int64_t> IndexVal;
+  std::vector<double> ScalarVal;
+  std::vector<AccessState> Accesses;
+  /// Per output id, the value-array base assignments write through.
+  /// The main context points at the bound tensors; task contexts of a
+  /// parallel loop repoint privatized outputs at per-task accumulators.
+  std::vector<double *> OutPtr;
+  /// Snapshot of countersEnabled() taken once per run (hoists the
+  /// atomic flag load out of every inner loop).
+  bool CountersOn = true;
+  /// Counter deltas accumulated by this context; flushed into the
+  /// global atomics once per run (or summed into the parent context
+  /// after a parallel loop).
+  CounterSnapshot Local;
+};
+
+/// A compiled comparison between two index slots.
+struct CAtom {
+  CmpKind Kind;
+  unsigned A, B;
+
+  bool eval(const ExecCtx &C) const {
+    return evalCmp(Kind, C.IndexVal[A], C.IndexVal[B]);
+  }
+};
+
+/// A compiled DNF condition.
+struct CCond {
+  std::vector<std::vector<CAtom>> Disjuncts;
+
+  bool eval(const ExecCtx &C) const {
+    for (const std::vector<CAtom> &D : Disjuncts) {
+      bool Ok = true;
+      for (const CAtom &A : D)
+        if (!A.eval(C)) {
+          Ok = false;
+          break;
+        }
+      if (Ok)
+        return true;
+    }
+    return false;
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// Expression VM
+//===----------------------------------------------------------------------===//
+
+enum class VKind { Lit, Scalar, Walked, DenseLoad, SparseLoad, Op, Lut };
+
+struct VInstr {
+  VKind Kind;
+  double Lit = 0;
+  unsigned Id = 0; // scalar slot or access id (Walked and SparseLoad)
+  OpKind Op = OpKind::Add;
+  unsigned NArgs = 0;
+  Tensor *T = nullptr;
+  std::vector<std::pair<unsigned, int64_t>> SlotStride; // DenseLoad
+  /// SparseLoad: per level (top first), the index slot providing that
+  /// level's coordinate.
+  std::vector<unsigned> LevelSlots;
+  std::vector<CAtom> LutBits;
+  std::vector<double> LutTable;
+};
+
+struct VProgram {
+  std::vector<VInstr> Code;
+  /// Maximum operand-stack depth, computed when the program is built.
+  /// eval() keeps a fixed-size stack for the common case and falls back
+  /// to a heap buffer for pathologically deep expressions.
+  unsigned MaxDepth = 0;
+
+  /// Recomputes MaxDepth from Code (call after appending instructions).
+  void finalize();
+
+  double eval(ExecCtx &C) const;
+};
+
+//===----------------------------------------------------------------------===//
+// Plan nodes
+//===----------------------------------------------------------------------===//
+
+class PlanNode {
+public:
+  virtual ~PlanNode() = default;
+  virtual void exec(ExecCtx &C) = 0;
+};
+
+using PlanPtr = std::unique_ptr<PlanNode>;
+
+class PlanSeq final : public PlanNode {
+public:
+  std::vector<PlanPtr> Children;
+  void exec(ExecCtx &C) override {
+    for (PlanPtr &Child : Children)
+      Child->exec(C);
+  }
+};
+
+class PlanIf final : public PlanNode {
+public:
+  CCond Cond;
+  PlanPtr Body;
+  void exec(ExecCtx &C) override {
+    if (Cond.eval(C))
+      Body->exec(C);
+  }
+};
+
+class PlanDef final : public PlanNode {
+public:
+  unsigned Slot = 0;
+  VProgram Init;
+  void exec(ExecCtx &C) override { C.ScalarVal[Slot] = Init.eval(C); }
+};
+
+class PlanAssign final : public PlanNode {
+public:
+  VProgram Rhs;
+  std::optional<OpKind> Reduce;
+  unsigned Mult = 1;
+  bool ScalarTarget = false;
+  unsigned ScalarSlot = 0;
+  unsigned OutId = 0; ///< index into ExecCtx::OutPtr (tensor targets)
+  std::vector<std::pair<unsigned, int64_t>> SlotStride;
+
+  void exec(ExecCtx &C) override;
+};
+
+class PlanReplicate final : public PlanNode {
+public:
+  Tensor *T = nullptr;
+  Partition Sym;
+  unsigned Threads = 1;
+
+  void exec(ExecCtx &C) override;
+};
+
+class PlanLoop final : public PlanNode {
+public:
+  PlanLoop();
+  ~PlanLoop() override;
+
+  unsigned Slot = 0;
+  int64_t Extent = 0;
+
+  struct WalkerRef {
+    unsigned AccessId;
+    unsigned Level;
+    bool Bottom;
+  };
+  std::vector<WalkerRef> Walkers;
+  // Bounds: lo = max(0, IndexVal[slot]+delta...), hi analogous
+  // (inclusive).
+  std::vector<std::pair<unsigned, int64_t>> LoTerms, HiTerms;
+  PlanPtr Body;
+
+  /// Fused micro-kernel replacing the generic walker/body dispatch for
+  /// this loop (null when the specializer declined; the interpreted
+  /// path below is then both the implementation and the oracle).
+  std::unique_ptr<MicroKernel> Fused;
+
+  /// One privatized output: tasks accumulate into per-task buffers that
+  /// merge into the shared array, in task order, after the loop.
+  struct PrivTensor {
+    unsigned OutId;
+    size_t Elems;
+    OpKind Op;
+    double Identity;
+  };
+  struct PrivScalar {
+    unsigned Slot;
+    OpKind Op;
+    double Identity;
+  };
+
+  /// Parallel execution state (populated by the plan compiler for the
+  /// activated loop of each nest).
+  struct ParPlan {
+    bool Enabled = false;
+    SchedulePolicy Policy = SchedulePolicy::Static;
+    int TriDepth = 0;
+    unsigned Threads = 1;
+    ThreadPool *Pool = nullptr;
+    std::vector<PrivTensor> PrivTensors;
+    std::vector<PrivScalar> PrivScalars;
+    /// Accumulators, reused across runs and kept identity-filled
+    /// between them (the merge resets as it reads):
+    /// [task * PrivTensors.size() + p].
+    std::vector<std::vector<double>> Buffers;
+    /// Task contexts, reused so inner parallel loops (one dispatch per
+    /// outer iteration) do not reallocate per execution.
+    std::vector<ExecCtx> TaskCtx;
+  };
+  ParPlan Par;
+
+  void exec(ExecCtx &C) override;
+  void execParallel(ExecCtx &C, int64_t Lo, int64_t Hi);
+  void execRange(ExecCtx &C, int64_t Lo, int64_t Hi);
+  std::vector<ChunkRange> makeChunks(int64_t Lo, int64_t Hi) const;
+};
+
+} // namespace detail
+} // namespace systec
+
+#endif // SYSTEC_RUNTIME_PLAN_H

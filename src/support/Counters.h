@@ -22,12 +22,16 @@
 
 namespace systec {
 
-/// A plain-value copy of the counters (atomics are not copyable).
+/// A plain-value copy of the counters (atomics are not copyable). Also
+/// used as the per-context delta block the runtime accumulates into and
+/// flushes once per kernel run (see runtime/Plan.h).
 struct CounterSnapshot {
   uint64_t SparseReads = 0;
   uint64_t Reductions = 0;
   uint64_t ScalarOps = 0;
   uint64_t OutputWrites = 0;
+  uint64_t LoopsSpecialized = 0;
+  uint64_t LoopsGeneric = 0;
 };
 
 /// Aggregate counters for one kernel execution.
@@ -40,19 +44,29 @@ struct ExecCounters {
   std::atomic<uint64_t> ScalarOps{0};
   /// Writes to output tensors (including replication copies).
   std::atomic<uint64_t> OutputWrites{0};
+  /// Plan loops specialized into fused micro-kernels at prepare()
+  /// (vs. left to the generic interpreter) — the ablation metric for
+  /// the runtime specialization layer.
+  std::atomic<uint64_t> LoopsSpecialized{0};
+  std::atomic<uint64_t> LoopsGeneric{0};
 
   void reset() {
     SparseReads.store(0, std::memory_order_relaxed);
     Reductions.store(0, std::memory_order_relaxed);
     ScalarOps.store(0, std::memory_order_relaxed);
     OutputWrites.store(0, std::memory_order_relaxed);
+    LoopsSpecialized.store(0, std::memory_order_relaxed);
+    LoopsGeneric.store(0, std::memory_order_relaxed);
   }
 
   CounterSnapshot snapshot() const {
-    return CounterSnapshot{SparseReads.load(std::memory_order_relaxed),
-                           Reductions.load(std::memory_order_relaxed),
-                           ScalarOps.load(std::memory_order_relaxed),
-                           OutputWrites.load(std::memory_order_relaxed)};
+    return CounterSnapshot{
+        SparseReads.load(std::memory_order_relaxed),
+        Reductions.load(std::memory_order_relaxed),
+        ScalarOps.load(std::memory_order_relaxed),
+        OutputWrites.load(std::memory_order_relaxed),
+        LoopsSpecialized.load(std::memory_order_relaxed),
+        LoopsGeneric.load(std::memory_order_relaxed)};
   }
 };
 

@@ -2,6 +2,8 @@
 
 #include "tensor/Tensor.h"
 
+#include "parallel/Schedule.h"
+#include "parallel/ThreadPool.h"
 #include "support/Error.h"
 #include "support/StringUtils.h"
 
@@ -222,6 +224,38 @@ int64_t Tensor::locate(unsigned L, int64_t Pos, int64_t C) const {
   unreachable("unknown level kind");
 }
 
+int64_t Tensor::locateHinted(unsigned L, int64_t Pos, int64_t C,
+                             int64_t &CachedParent, int64_t &CachedIdx) const {
+  const Level &Lev = Levels[L];
+  assert(Lev.Kind == LevelKind::Sparse && "hinted locate is sparse-only");
+  const int64_t B = Lev.Ptr[Pos], E = Lev.Ptr[Pos + 1];
+  const int64_t *Crd = Lev.Crd.data();
+  int64_t Start = B;
+  if (CachedParent == Pos && CachedIdx >= B && CachedIdx <= E) {
+    if (CachedIdx == E || Crd[CachedIdx] >= C) {
+      // Coordinate moved backward (or repeated): bisect the prefix,
+      // with a fast path for an exact repeat.
+      if (CachedIdx < E && Crd[CachedIdx] == C)
+        return CachedIdx;
+      Start = B;
+    } else {
+      // Ascending lookup: gallop forward from the previous result.
+      int64_t Step = 1, LoB = CachedIdx + 1;
+      while (LoB + Step < E && Crd[LoB + Step] < C)
+        Step <<= 1;
+      int64_t HiB = std::min(LoB + Step, E);
+      int64_t Idx = std::lower_bound(Crd + LoB, Crd + HiB, C) - Crd;
+      CachedParent = Pos;
+      CachedIdx = Idx;
+      return (Idx < E && Crd[Idx] == C) ? Idx : -1;
+    }
+  }
+  int64_t Idx = std::lower_bound(Crd + Start, Crd + E, C) - Crd;
+  CachedParent = Pos;
+  CachedIdx = Idx;
+  return (Idx < E && Crd[Idx] == C) ? Idx : -1;
+}
+
 double Tensor::at(const std::vector<int64_t> &Coords) const {
   assert(Coords.size() == order() && "coordinate arity mismatch");
   int64_t Pos = 0;
@@ -327,9 +361,15 @@ double Tensor::maxAbsDiff(const Tensor &A, const Tensor &B) {
   return Max;
 }
 
-uint64_t replicateSymmetric(Tensor &T, const Partition &Sym) {
-  assert(T.format().isAllDense() && "replication needs a dense tensor");
-  assert(Sym.order() == T.order() && "partition order mismatch");
+namespace {
+
+/// Replicates the canonical triangle into every non-canonical
+/// coordinate whose outer-mode value lies in [Lo, Hi]. Returns the
+/// number of copies. Writes touch only non-canonical coordinates and
+/// reads touch only canonical ones, so disjoint outer ranges never
+/// conflict.
+uint64_t replicateRange(Tensor &T, const Partition &Sym, int64_t Lo,
+                        int64_t Hi) {
   const unsigned N = T.order();
   uint64_t Copies = 0;
   std::vector<int64_t> Coords(N, 0);
@@ -344,7 +384,35 @@ uint64_t replicateSymmetric(Tensor &T, const Partition &Sym) {
     for (Coords[M] = 0; Coords[M] < T.dim(M); ++Coords[M])
       Walk(M + 1);
   };
-  Walk(0);
+  for (Coords[0] = Lo; Coords[0] <= Hi; ++Coords[0])
+    Walk(1);
+  return Copies;
+}
+
+} // namespace
+
+uint64_t replicateSymmetric(Tensor &T, const Partition &Sym,
+                            unsigned Threads) {
+  assert(T.format().isAllDense() && "replication needs a dense tensor");
+  assert(Sym.order() == T.order() && "partition order mismatch");
+  if (T.order() == 0)
+    return 0;
+  const int64_t Dim0 = T.dim(0);
+  if (Threads <= 1 || Dim0 < 2)
+    return replicateRange(T, Sym, 0, Dim0 - 1);
+  // Outer-mode chunks run on the shared pool. Each non-canonical
+  // coordinate is written by exactly one chunk and sources are
+  // canonical (never written), so the result is independent of the
+  // decomposition; per-chunk copy counts sum to the same total.
+  std::vector<ChunkRange> Chunks = staticBlocks(0, Dim0 - 1, Threads);
+  std::vector<uint64_t> Counts(Chunks.size(), 0);
+  ThreadPool::global().parallelFor(
+      static_cast<unsigned>(Chunks.size()), [&](unsigned I) {
+        Counts[I] = replicateRange(T, Sym, Chunks[I].Lo, Chunks[I].Hi);
+      });
+  uint64_t Copies = 0;
+  for (uint64_t C : Counts)
+    Copies += C;
   return Copies;
 }
 

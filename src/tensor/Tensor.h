@@ -84,6 +84,12 @@ public:
   const std::vector<double> &vals() const { return Vals; }
   std::vector<double> &vals() { return Vals; }
 
+  /// Raw value-array base for fused micro-kernels. Stable after
+  /// construction: level structure and value count never change for a
+  /// live tensor, only the stored values themselves.
+  const double *valsData() const { return Vals.data(); }
+  double *valsData() { return Vals.data(); }
+
   /// Random access (walks the levels; missing coordinates yield fill).
   double at(const std::vector<int64_t> &Coords) const;
 
@@ -96,6 +102,16 @@ public:
   /// Descends one level: child position of coordinate \p C under parent
   /// position \p Pos, or -1 when the coordinate is not stored.
   int64_t locate(unsigned L, int64_t Pos, int64_t C) const;
+
+  /// locate() for a Sparse level with a movable cursor. \p CachedParent
+  /// and \p CachedIdx persist between calls (initialize to -1/0): when
+  /// the parent position repeats and coordinates arrive in ascending
+  /// order — the common pattern under sorted loop nests — the search
+  /// gallops forward from the previous result instead of bisecting the
+  /// whole fiber. Falls back to a full binary search on any other
+  /// pattern, so results are always identical to locate().
+  int64_t locateHinted(unsigned L, int64_t Pos, int64_t C,
+                       int64_t &CachedParent, int64_t &CachedIdx) const;
 
   /// Iterates stored entries in coordinate order (RunLength levels are
   /// expanded per coordinate).
@@ -125,8 +141,12 @@ public:
   /// Copies the canonical triangle of an all-dense tensor to every
   /// non-canonical coordinate under \p Sym (the replication
   /// post-processing step of paper 4.2.2). Returns the number of
-  /// copies performed.
-  friend uint64_t replicateSymmetric(Tensor &T, const Partition &Sym);
+  /// copies performed. \p Threads > 1 splits the outer mode across the
+  /// shared thread pool; every non-canonical coordinate is written by
+  /// exactly one task and canonical sources are never written, so the
+  /// result is bit-identical for any thread count.
+  friend uint64_t replicateSymmetric(Tensor &T, const Partition &Sym,
+                                     unsigned Threads);
 
 private:
   std::vector<int64_t> Dims; // per access mode
@@ -136,7 +156,8 @@ private:
   std::vector<double> Vals;  // bottom positions
 };
 
-uint64_t replicateSymmetric(Tensor &T, const Partition &Sym);
+uint64_t replicateSymmetric(Tensor &T, const Partition &Sym,
+                            unsigned Threads = 1);
 
 } // namespace systec
 

@@ -13,6 +13,7 @@
 #include "data/Generators.h"
 #include "kernels/Oracle.h"
 #include "runtime/Executor.h"
+#include "support/Counters.h"
 
 #include <gtest/gtest.h>
 
@@ -43,6 +44,11 @@ FuzzCase makeCase(uint64_t Seed) {
 
   FuzzCase F;
   const bool MinPlus = R.nextBool(0.25);
+  // Occasionally make B sparse too, so loops intersecting two sparse
+  // operands (the micro-kernel two-finger merge and the interpreter's
+  // locate fallback) get fuzzed. Only sound under (+,*): a sparse B
+  // needs fill = 0 to annihilate missing coordinates.
+  const bool SparseB = !MinPlus && R.nextBool(0.3);
   const unsigned OrderA = 2 + static_cast<unsigned>(R.nextIndex(2));
 
   // A's indices: distinct names from the pool.
@@ -87,19 +93,29 @@ FuzzCase makeCase(uint64_t Seed) {
   F.E.LoopOrder = Loops;
 
   const double Fill = MinPlus ? Inf : 0.0;
+  const unsigned NB = static_cast<unsigned>(BIdx.size());
+  // The symmetric generator needs at least two modes; order-1 B stays
+  // dense.
+  const bool UseSparseB = SparseB && NB >= 2;
   F.E.declare("A", TensorFormat::csf(OrderA), Fill);
   F.E.setSymmetry("A", Partition::full(OrderA));
-  F.E.declare("B", TensorFormat::dense(
-                       static_cast<unsigned>(BIdx.size())));
+  F.E.declare("B", UseSparseB ? TensorFormat::csf(NB)
+                              : TensorFormat::dense(NB));
 
   F.Inputs.emplace("A", generateSymmetricTensor(OrderA, Dim, 3 * Dim, R,
                                                 TensorFormat::csf(OrderA),
                                                 Fill));
-  std::vector<int64_t> BDims(BIdx.size(), Dim);
-  Tensor B = Tensor::dense(BDims);
-  for (double &V : B.vals())
-    V = R.nextDouble();
-  F.Inputs.emplace("B", std::move(B));
+  if (UseSparseB) {
+    F.Inputs.emplace("B",
+                     generateSymmetricTensor(NB, Dim, 2 * Dim, R,
+                                             TensorFormat::csf(NB)));
+  } else {
+    std::vector<int64_t> BDims(BIdx.size(), Dim);
+    Tensor B = Tensor::dense(BDims);
+    for (double &V : B.vals())
+      V = R.nextDouble();
+    F.Inputs.emplace("B", std::move(B));
+  }
 
   F.OutDims.assign(std::max<size_t>(OutIdx.size(), 1), Dim);
   if (OutIdx.empty())
@@ -121,8 +137,9 @@ Tensor run(const Kernel &K, FuzzCase &F,
   return Out;
 }
 
-/// Seed-derived parallel execution options: random thread count and
-/// schedule policy (the parallel-runtime fuzz pass).
+/// Seed-derived parallel execution options: random thread count,
+/// schedule policy, and micro-kernel toggle (the parallel-runtime and
+/// specialization-layer fuzz pass).
 ExecOptions parallelOptions(uint64_t Seed) {
   Rng R(Seed ^ 0x9E3779B97F4A7C15ull);
   ExecOptions O;
@@ -134,7 +151,18 @@ ExecOptions parallelOptions(uint64_t Seed) {
   O.Schedule = Policies[R.nextIndex(4)];
   if (R.nextBool(0.25))
     O.PrivatizationBudget = 64; // exercise the inner-loop fallback
+  O.EnableMicroKernels = R.nextBool(0.5);
   return O;
+}
+
+/// Runs \p K with counters on and snapshots them.
+Tensor runCounted(const Kernel &K, FuzzCase &F, const ExecOptions &O,
+                  CounterSnapshot &Snap) {
+  counters().reset();
+  setCountersEnabled(true);
+  Tensor Out = run(K, F, O);
+  Snap = counters().snapshot();
+  return Out;
 }
 
 } // namespace
@@ -159,11 +187,37 @@ TEST_P(EinsumFuzz, CompiledKernelsMatchOracle) {
   // by rounding only).
   ExecOptions Par = parallelOptions(GetParam());
   SCOPED_TRACE(std::string("threads ") + std::to_string(Par.Threads) +
-               " schedule " + schedulePolicyName(Par.Schedule));
+               " schedule " + schedulePolicyName(Par.Schedule) +
+               (Par.EnableMicroKernels ? " fused" : " interp"));
   Tensor NaivePar = run(R.Naive, F, Par);
   Tensor OptPar = run(R.Optimized, F, Par);
   EXPECT_LT(Tensor::maxAbsDiff(NaivePar, Ref), 1e-8) << "naive-parallel";
   EXPECT_LT(Tensor::maxAbsDiff(OptPar, Ref), 1e-8) << "optimized-parallel";
+}
+
+TEST_P(EinsumFuzz, MicroKernelsBitIdenticalToInterpreter) {
+  // The specialization-layer oracle: with micro-kernels on vs. off, the
+  // same plan must produce bit-identical outputs and exactly equal
+  // execution counters on both compiled kernels.
+  FuzzCase F = makeCase(GetParam());
+  SCOPED_TRACE(F.E.str() + "  loops: " + joinAny(F.E.LoopOrder, ","));
+  CompileResult R = compileEinsum(F.E);
+  ExecOptions Interp, Fused;
+  Interp.EnableMicroKernels = false;
+  Fused.EnableMicroKernels = true;
+  for (const Kernel *K : {&R.Naive, &R.Optimized}) {
+    SCOPED_TRACE(K == &R.Naive ? "naive" : "optimized");
+    CounterSnapshot SI, SF;
+    Tensor OutI = runCounted(*K, F, Interp, SI);
+    Tensor OutF = runCounted(*K, F, Fused, SF);
+    ASSERT_EQ(OutI.vals().size(), OutF.vals().size());
+    for (size_t I = 0; I < OutI.vals().size(); ++I)
+      EXPECT_EQ(OutI.vals()[I], OutF.vals()[I]) << "element " << I;
+    EXPECT_EQ(SI.SparseReads, SF.SparseReads);
+    EXPECT_EQ(SI.Reductions, SF.Reductions);
+    EXPECT_EQ(SI.ScalarOps, SF.ScalarOps);
+    EXPECT_EQ(SI.OutputWrites, SF.OutputWrites);
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, EinsumFuzz,

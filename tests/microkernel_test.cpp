@@ -1,0 +1,426 @@
+//===- tests/microkernel_test.cpp -----------------------------*- C++ -*-===//
+///
+/// Unit tests for the runtime specialization layer
+/// (runtime/MicroKernels.h): each fused shape — sparse axpy/dot, dense
+/// scale-accumulate, sparse-sparse two-finger merge, nest fusion — is
+/// checked bit-identical to the generic interpreted path with exact
+/// counter parity, including empty rows, non-zero fill (min-plus),
+/// multiplicity handling, and the deliberate fallbacks. Also covers the
+/// expression-VM deep-stack fix and the stateful SparseLoad locator.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Compiler.h"
+#include "data/Generators.h"
+#include "ir/Kernel.h"
+#include "kernels/Kernels.h"
+#include "runtime/Executor.h"
+#include "support/Counters.h"
+#include "support/Random.h"
+#include "tensor/Tensor.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+#include <limits>
+#include <optional>
+
+using namespace systec;
+
+namespace {
+
+constexpr double Inf = std::numeric_limits<double>::infinity();
+
+/// A CSC matrix with an empty column and an empty row:
+///   [ 1 0 0 2 ]
+///   [ 0 0 0 0 ]
+///   [ 3 0 4 0 ]
+///   [ 0 0 5 6 ]
+Tensor gappyCsc(double Fill = 0.0) {
+  Coo C({4, 4});
+  C.add({0, 0}, 1);
+  C.add({2, 0}, 3);
+  C.add({2, 2}, 4);
+  C.add({3, 2}, 5);
+  C.add({0, 3}, 2);
+  C.add({3, 3}, 6);
+  return Tensor::fromCoo(std::move(C), TensorFormat::csf(2), Fill);
+}
+
+Tensor denseVec(std::vector<double> V) {
+  Tensor T = Tensor::dense({static_cast<int64_t>(V.size())});
+  T.vals() = std::move(V);
+  return T;
+}
+
+void expectBitIdentical(const Tensor &A, const Tensor &B,
+                        const char *What) {
+  ASSERT_EQ(A.vals().size(), B.vals().size()) << What;
+  for (size_t I = 0; I < A.vals().size(); ++I)
+    EXPECT_EQ(A.vals()[I], B.vals()[I]) << What << " element " << I;
+}
+
+void expectCountersEqual(const CounterSnapshot &G,
+                         const CounterSnapshot &F, const char *What) {
+  EXPECT_EQ(G.SparseReads, F.SparseReads) << What;
+  EXPECT_EQ(G.Reductions, F.Reductions) << What;
+  EXPECT_EQ(G.ScalarOps, F.ScalarOps) << What;
+  EXPECT_EQ(G.OutputWrites, F.OutputWrites) << What;
+}
+
+/// Runs \p K twice — micro-kernels off and on — over the same bindings
+/// produced by \p Bind, asserting bit-identical outputs and exact
+/// counter parity. Returns the fused executor's specialization stats.
+MicroKernelStats
+compareEngines(const Kernel &K,
+               const std::function<void(Executor &, Tensor &)> &Bind,
+               Tensor OutTemplate, const char *What) {
+  MicroKernelStats Stats;
+  Tensor OutGeneric = OutTemplate, OutFused = std::move(OutTemplate);
+  CounterSnapshot SnapGeneric, SnapFused;
+  for (bool Fused : {false, true}) {
+    ExecOptions O;
+    O.EnableMicroKernels = Fused;
+    Executor E(K, O);
+    Tensor &Out = Fused ? OutFused : OutGeneric;
+    Bind(E, Out);
+    E.prepare();
+    counters().reset();
+    setCountersEnabled(true);
+    E.run();
+    (Fused ? SnapFused : SnapGeneric) = counters().snapshot();
+    if (Fused)
+      Stats = E.microKernelStats();
+  }
+  expectBitIdentical(OutGeneric, OutFused, What);
+  expectCountersEqual(SnapGeneric, SnapFused, What);
+  return Stats;
+}
+
+Kernel spmvKernel(std::optional<OpKind> Reduce = OpKind::Add,
+                  OpKind Combine = OpKind::Mul) {
+  Kernel K;
+  K.Name = "spmv";
+  K.LoopOrder = {"j", "i"};
+  K.OutputName = "y";
+  K.Body = Stmt::loops(
+      {"j", "i"},
+      Stmt::assign(Expr::access("y", {"i"}), Reduce,
+                   Expr::call(Combine, {Expr::access("A", {"i", "j"}),
+                                        Expr::access("x", {"j"})})));
+  return K;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Fused shapes vs. the generic oracle
+//===----------------------------------------------------------------------===//
+
+TEST(MicroKernels, SparseAxpyBitIdentical) {
+  Tensor A = gappyCsc();
+  Tensor X = denseVec({1.5, -2, 0.25, 3});
+  MicroKernelStats S = compareEngines(
+      spmvKernel(),
+      [&](Executor &E, Tensor &Out) {
+        E.bind("A", &A).bind("x", &X).bind("y", &Out);
+      },
+      Tensor::dense({4}), "sparse axpy");
+  EXPECT_GT(S.SpecializedLoops, 0u);
+  EXPECT_GT(S.InnermostFused, 0u);
+  EXPECT_EQ(S.GenericLoops, 0u);
+}
+
+TEST(MicroKernels, SparseDotScalarWorkspace) {
+  // w = sum_i A[i,j] * x[i] accumulated into a scalar workspace, then
+  // y[j] += w: the ssymv-style def / inner-loop / tail-assign nest.
+  Kernel K;
+  K.Name = "dot";
+  K.LoopOrder = {"j", "i"};
+  K.OutputName = "y";
+  K.Body = Stmt::loop(
+      "j",
+      Stmt::block(
+          {Stmt::defScalar("w", Expr::lit(0.0)),
+           Stmt::loop("i", Stmt::assign(Expr::scalar("w"), OpKind::Add,
+                                        Expr::call(OpKind::Mul,
+                                                   {Expr::access("A", {"i", "j"}),
+                                                    Expr::access("x", {"i"})}))),
+           Stmt::assign(Expr::access("y", {"j"}), OpKind::Add,
+                        Expr::scalar("w"))}));
+  Tensor A = gappyCsc();
+  Tensor X = denseVec({1, 2, 3, 4});
+  MicroKernelStats S = compareEngines(
+      K,
+      [&](Executor &E, Tensor &Out) {
+        E.bind("A", &A).bind("x", &X).bind("y", &Out);
+      },
+      Tensor::dense({4}), "sparse dot");
+  EXPECT_EQ(S.SpecializedLoops, 2u); // fused nest over fused inner loop
+  EXPECT_EQ(S.InnermostFused, 1u);
+}
+
+TEST(MicroKernels, MinPlusFillRespected) {
+  // Bellman-Ford shape: y[i] min= A[i,j] + d[j] with fill = inf.
+  Tensor A = gappyCsc(Inf);
+  Tensor D = denseVec({0.5, 10, 2, 1});
+  Tensor Out = Tensor::dense({4});
+  Out.setAllValues(Inf);
+  MicroKernelStats S = compareEngines(
+      spmvKernel(OpKind::Min, OpKind::Add),
+      [&](Executor &E, Tensor &O) {
+        E.bind("A", &A).bind("x", &D).bind("y", &O);
+      },
+      std::move(Out), "min-plus");
+  EXPECT_GT(S.SpecializedLoops, 0u);
+}
+
+TEST(MicroKernels, SparseSparseMergeIntersects) {
+  // O[j] += A[i,j] * B[i,j]: both operands sparse, so the inner loop
+  // is a two-walker intersection (two-finger merge in the fused path,
+  // per-element locate in the generic one). Includes empty fibers and
+  // partial overlap.
+  Einsum E = parseEinsum("merge", "O[j] += A[i,j] * B[i,j]");
+  E.LoopOrder = {"j", "i"};
+  E.declare("A", TensorFormat::csf(2));
+  E.declare("B", TensorFormat::csf(2));
+  CompileResult R = compileEinsum(E);
+
+  Tensor A = gappyCsc();
+  Coo BC({4, 4});
+  BC.add({0, 0}, 2);   // overlaps (0,0)
+  BC.add({1, 0}, 7);   // A has no (1,0)
+  BC.add({3, 2}, -1);  // overlaps (3,2)
+  BC.add({1, 1}, 4);   // column empty in A
+  Tensor B = Tensor::fromCoo(std::move(BC), TensorFormat::csf(2));
+
+  MicroKernelStats S = compareEngines(
+      R.Naive,
+      [&](Executor &Ex, Tensor &Out) {
+        Ex.bind("A", &A).bind("B", &B).bind("O", &Out);
+      },
+      Tensor::dense({4}), "sparse-sparse merge");
+  EXPECT_GT(S.SpecializedLoops, 0u);
+  EXPECT_GT(S.InnermostFused, 0u);
+}
+
+TEST(MicroKernels, DenseScaleAccumulateStrided) {
+  // ttm-style innermost dense loop with strided output and several
+  // statements per iteration, via the real ttm pipeline (covers nest
+  // fusion over a dense range driver and invariant guards in the
+  // diagonal kernel).
+  Rng R(11);
+  CompileResult C = compileEinsum(makeTtm());
+  Tensor A = generateSymmetricTensor(3, 12, 150, R, TensorFormat::csf(3));
+  Tensor B = generateDenseMatrix(12, 5, R);
+  MicroKernelStats S = compareEngines(
+      C.Optimized,
+      [&](Executor &E, Tensor &Out) {
+        E.bind("A", &A).bind("B", &B).bind("C", &Out);
+      },
+      Tensor::dense({5, 12, 12}), "ttm scale-accumulate");
+  EXPECT_GT(S.InnermostFused, 0u);
+}
+
+TEST(MicroKernels, MultiplicityFoldsIntoFusedPath) {
+  // Mult=2 with an additive reduction folds into the program (y += 2*e)
+  // and fuses; outputs must match the generic engine exactly.
+  Kernel K;
+  K.Name = "mult2";
+  K.LoopOrder = {"j", "i"};
+  K.OutputName = "y";
+  K.Body = Stmt::loops(
+      {"j", "i"},
+      Stmt::assign(Expr::access("y", {"i"}), OpKind::Add,
+                   Expr::call(OpKind::Mul, {Expr::access("A", {"i", "j"}),
+                                            Expr::access("x", {"j"})}),
+                   /*Multiplicity=*/2));
+  Tensor A = gappyCsc();
+  Tensor X = denseVec({1, 2, 3, 4});
+  MicroKernelStats S = compareEngines(
+      K,
+      [&](Executor &E, Tensor &Out) {
+        E.bind("A", &A).bind("x", &X).bind("y", &Out);
+      },
+      Tensor::dense({4}), "multiplicity 2");
+  EXPECT_GT(S.SpecializedLoops, 0u);
+}
+
+TEST(MicroKernels, GeneralMultiplicityFallsBack) {
+  // Mult=3 under a Mul-reduction cannot fold; the specializer must
+  // leave the loop interpreted and results must still agree.
+  Kernel K;
+  K.Name = "mult3";
+  K.LoopOrder = {"j", "i"};
+  K.OutputName = "y";
+  K.Body = Stmt::loops(
+      {"j", "i"},
+      Stmt::assign(Expr::access("y", {"i"}), OpKind::Mul,
+                   Expr::access("A", {"i", "j"}),
+                   /*Multiplicity=*/3));
+  Tensor A = gappyCsc();
+  Tensor Out = Tensor::dense({4});
+  Out.setAllValues(1.0);
+  MicroKernelStats S = compareEngines(
+      K,
+      [&](Executor &E, Tensor &O) { E.bind("A", &A).bind("y", &O); },
+      std::move(Out), "multiplicity 3 fallback");
+  EXPECT_GT(S.GenericLoops, 0u);
+  EXPECT_EQ(S.InnermostFused, 0u);
+}
+
+TEST(MicroKernels, AblationSwitchReportsStats) {
+  Tensor A = gappyCsc();
+  Tensor X = denseVec({1, 1, 1, 1});
+  Tensor Y = Tensor::dense({4});
+  ExecOptions Off;
+  Off.EnableMicroKernels = false;
+  Executor EOff(spmvKernel(), Off);
+  EOff.bind("A", &A).bind("x", &X).bind("y", &Y);
+  EOff.prepare();
+  EXPECT_EQ(EOff.microKernelStats().SpecializedLoops, 0u);
+  EXPECT_EQ(EOff.microKernelStats().GenericLoops, 2u);
+
+  counters().reset();
+  Executor EOn(spmvKernel());
+  EOn.bind("A", &A).bind("x", &X).bind("y", &Y);
+  EOn.prepare();
+  EXPECT_EQ(EOn.microKernelStats().SpecializedLoops, 2u);
+  EXPECT_EQ(EOn.microKernelStats().GenericLoops, 0u);
+  // The global ablation counters see the same split.
+  EXPECT_EQ(counters().LoopsSpecialized, 2u);
+  EXPECT_EQ(counters().LoopsGeneric, 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Expression VM: deep stacks and the stateful locator
+//===----------------------------------------------------------------------===//
+
+TEST(ExpressionVm, DeepExpressionUsesHeapStack) {
+  // A 40-factor product needs a 40-deep operand stack — beyond the
+  // VM's fixed buffer (this crashed before the compile-time depth
+  // check). The wide product also exceeds the fused factor cap, so the
+  // interpreted path is what executes.
+  constexpr unsigned Width = 40;
+  std::vector<ExprPtr> Args;
+  for (unsigned I = 0; I < Width; ++I)
+    Args.push_back(Expr::access("b", {"a"}));
+  Kernel K;
+  K.Name = "deep";
+  K.LoopOrder = {"a"};
+  K.OutputName = "y";
+  K.Body = Stmt::loop("a", Stmt::assign(Expr::access("y", {}),
+                                        OpKind::Add,
+                                        Expr::call(OpKind::Mul,
+                                                   std::move(Args))));
+  Tensor B = denseVec({1.0, 2.0, 0.5});
+  Tensor Y = Tensor::dense({1});
+  Executor E(K);
+  E.bind("b", &B).bind("y", &Y);
+  E.prepare();
+  E.run();
+  const double Expected = 1.0 + std::pow(2.0, 40) + std::pow(0.5, 40);
+  EXPECT_DOUBLE_EQ(Y.at({0}), Expected);
+}
+
+TEST(ExpressionVm, LocatorMatchesRandomAccess) {
+  // Non-concordant access A[j,i] under loop order (j, i): the value is
+  // fetched by SparseLoad, which now runs through the galloping
+  // locator. Results and SparseReads must match the walker-free oracle
+  // semantics exactly.
+  Kernel K;
+  K.Name = "locator";
+  K.LoopOrder = {"j", "i"};
+  K.OutputName = "y";
+  K.Body = Stmt::loops(
+      {"j", "i"},
+      Stmt::assign(Expr::access("y", {}), OpKind::Add,
+                   Expr::access("A", {"j", "i"})));
+  Tensor A = gappyCsc();
+  double Sum = 0;
+  A.forEach([&](const std::vector<int64_t> &, double V) { Sum += V; });
+
+  for (bool Walk : {true, false}) {
+    ExecOptions O;
+    O.EnableSparseWalk = Walk;
+    Executor E(K, O);
+    Tensor Y = Tensor::dense({1});
+    E.bind("A", &A).bind("y", &Y);
+    E.prepare();
+    counters().reset();
+    E.run();
+    EXPECT_DOUBLE_EQ(Y.at({0}), Sum) << "walk=" << Walk;
+    EXPECT_GT(counters().SparseReads, 0u);
+  }
+}
+
+TEST(ExpressionVm, LocatorRandomizedAgainstAt) {
+  // Hammer locateHinted against locate on random fibers with mixed
+  // forward/backward/repeat query patterns.
+  Rng R(99);
+  Tensor A = generateSymmetricTensor(2, 64, 600, R, TensorFormat::csf(2));
+  int64_t Parent = -1, Idx = 0;
+  for (int Q = 0; Q < 4000; ++Q) {
+    int64_t P = R.nextIndex(64);
+    int64_t C = R.nextIndex(64);
+    // Bias toward ascending queries under a sticky parent, the pattern
+    // the cursor optimizes for.
+    if (Q % 4 != 0 && Parent >= 0)
+      P = Parent;
+    int64_t Want = A.locate(1, P, C);
+    int64_t Got = A.locateHinted(1, P, C, Parent, Idx);
+    EXPECT_EQ(Want, Got) << "parent " << P << " coord " << C;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Paper-kernel nests end to end
+//===----------------------------------------------------------------------===//
+
+TEST(MicroKernels, SsymvPipelineBitIdentical) {
+  // The full ssymv pipeline: diagonal split, workspace def, fused
+  // dense-over-sparse nests, and the replication-free epilogue.
+  Rng R(5);
+  CompileResult C = compileEinsum(makeSsymv());
+  Tensor A = generateSymmetricTensor(2, 30, 120, R, TensorFormat::csf(2));
+  Tensor X = generateDenseVector(30, R);
+  MicroKernelStats S = compareEngines(
+      C.Optimized,
+      [&](Executor &E, Tensor &Out) {
+        E.bind("A", &A).bind("x", &X).bind("y", &Out);
+      },
+      Tensor::dense({30}), "ssymv pipeline");
+  EXPECT_GT(S.SpecializedLoops, 0u);
+  EXPECT_GT(S.InnermostFused, 0u);
+}
+
+TEST(MicroKernels, SsyrkTriangleNestBitIdentical) {
+  // ssyrk's three-deep nest: aliased dense co-walkers at the top,
+  // sparse-over-sparse triangle below, replication epilogue on top.
+  Rng R(6);
+  CompileResult C = compileEinsum(makeSsyrk());
+  Tensor A = generateSymmetricTensor(2, 24, 100, R, TensorFormat::csf(2));
+  MicroKernelStats S = compareEngines(
+      C.Optimized,
+      [&](Executor &E, Tensor &Out) { E.bind("A", &A).bind("C", &Out); },
+      Tensor::dense({24, 24}), "ssyrk nest");
+  EXPECT_GT(S.SpecializedLoops, 0u);
+}
+
+TEST(MicroKernels, MttkrpInlinedDefsBitIdentical) {
+  // mttkrp3's inner loop carries single-load scalar defs that the
+  // specializer substitutes into the fused statements (and its diagonal
+  // kernel guards defs and uses under the same residual conditions).
+  Rng R(8);
+  CompileResult C = compileEinsum(makeMttkrp(3));
+  Tensor A = generateSymmetricTensor(3, 14, 180, R, TensorFormat::csf(3));
+  Tensor B = generateDenseMatrix(14, 6, R);
+  MicroKernelStats S = compareEngines(
+      C.Optimized,
+      [&](Executor &E, Tensor &Out) {
+        E.bind("A", &A).bind("B", &B).bind("C", &Out);
+      },
+      Tensor::dense({14, 6}), "mttkrp3 defs");
+  EXPECT_GT(S.InnermostFused, 0u);
+}

@@ -21,6 +21,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cmath>
 #include <numeric>
 
 using namespace systec;
@@ -523,4 +524,73 @@ TEST(ParallelRuntime, ThreadsOneMatchesAnnotatedPlan) {
   Tensor A = runKernel(R.Optimized, C, O);
   Tensor B = runKernel(R.Optimized, C, ExecOptions());
   EXPECT_EQ(Tensor::maxAbsDiff(A, B), 0.0);
+}
+
+//===----------------------------------------------------------------------===//
+// Parallel replication epilogue
+//===----------------------------------------------------------------------===//
+
+TEST(ParallelRuntime, ReplicateSymmetricDeterministicAcrossThreads) {
+  // The replication epilogue splits the outer mode across the pool.
+  // Writes hit only non-canonical coordinates and reads only canonical
+  // ones, so every thread count must produce bit-identical tensors and
+  // the same copy count.
+  Rng R(31415);
+  for (unsigned Order : {2u, 3u}) {
+    const int64_t Dim = Order == 2 ? 37 : 13;
+    std::vector<int64_t> Dims(Order, Dim);
+    Tensor Base = Tensor::dense(Dims);
+    for (double &V : Base.vals())
+      V = R.nextDouble();
+    Partition Sym = Partition::full(Order);
+
+    Tensor Seq = Base;
+    const uint64_t SeqCopies = replicateSymmetric(Seq, Sym, 1);
+    EXPECT_GT(SeqCopies, 0u);
+    for (unsigned Threads : {2u, 4u, 8u}) {
+      Tensor Par = Base;
+      const uint64_t ParCopies = replicateSymmetric(Par, Sym, Threads);
+      EXPECT_EQ(SeqCopies, ParCopies) << "threads " << Threads;
+      ASSERT_EQ(Seq.vals().size(), Par.vals().size());
+      for (size_t I = 0; I < Seq.vals().size(); ++I)
+        EXPECT_EQ(Seq.vals()[I], Par.vals()[I])
+            << "threads " << Threads << " element " << I;
+    }
+  }
+}
+
+TEST(ParallelRuntime, ReplicateEpilogueThreadedViaExecutor) {
+  // End to end: ssyrk's replication epilogue runs threaded when the
+  // executor is parallel, with the same result and OutputWrites count.
+  // Integer-valued data keeps the body's privatized sums exact, so the
+  // whole run (body + epilogue) is bit-identical across thread counts.
+  Rng R(2718);
+  CompileResult C = compileEinsum(makeSsyrk());
+  Tensor A = generateSymmetricTensor(2, 30, 120, R, TensorFormat::csf(2));
+  for (double &V : A.vals())
+    V = std::floor(V * 8);
+  Tensor Seq = Tensor::dense({30, 30});
+  CounterSnapshot SeqSnap, ParSnap;
+  {
+    Executor E(C.Optimized);
+    E.bind("A", &A).bind("C", &Seq);
+    E.prepare();
+    counters().reset();
+    E.run();
+    SeqSnap = counters().snapshot();
+  }
+  for (unsigned Threads : {2u, 4u}) {
+    Tensor Par = Tensor::dense({30, 30});
+    ExecOptions O;
+    O.Threads = Threads;
+    Executor E(C.Optimized, O);
+    E.bind("A", &A).bind("C", &Par);
+    E.prepare();
+    counters().reset();
+    E.run();
+    ParSnap = counters().snapshot();
+    EXPECT_EQ(SeqSnap.OutputWrites, ParSnap.OutputWrites)
+        << "threads " << Threads;
+    EXPECT_EQ(Tensor::maxAbsDiff(Seq, Par), 0.0) << "threads " << Threads;
+  }
 }
