@@ -174,8 +174,39 @@ struct BenchRecord {
   unsigned Threads = 1;
   std::string Schedule = "none";
   double Millis = -1;
-  double GFlops = 0; ///< 0 when the flop count is unknown
+  double GFlops = 0;   ///< 0 when the flop count is unknown
+  std::string Options; ///< execOptionsSummary() of the run's
+                       ///< ExecOptions; empty for native baselines
 };
+
+/// The git SHA recorded with every benchmark row, so BENCH_*.json
+/// entries are attributable across PRs. Resolved from the repository
+/// at run time (benchmarks run from the build tree, which lives inside
+/// the checkout); the configure-time SYSTEC_GIT_SHA macro is only the
+/// fallback, since it goes stale when commits land without a
+/// reconfigure.
+inline const std::string &benchGitSha() {
+  static const std::string Sha = []() -> std::string {
+    if (FILE *P = popen("git rev-parse --short HEAD 2>/dev/null", "r")) {
+      char Buf[64] = {0};
+      const bool Got = std::fgets(Buf, sizeof(Buf), P) != nullptr;
+      const bool Clean = pclose(P) == 0;
+      if (Got && Clean) {
+        std::string Out(Buf);
+        while (!Out.empty() && (Out.back() == '\n' || Out.back() == '\r'))
+          Out.pop_back();
+        if (!Out.empty())
+          return Out;
+      }
+    }
+#ifdef SYSTEC_GIT_SHA
+    return SYSTEC_GIT_SHA;
+#else
+    return "unknown";
+#endif
+  }();
+  return Sha;
+}
 
 inline std::string jsonEscape(const std::string &S) {
   std::string Out;
@@ -189,6 +220,9 @@ inline std::string jsonEscape(const std::string &S) {
 
 /// Writes records as a JSON array to \p Path (e.g. "BENCH_ssymv.json")
 /// so CI can track kernel / threads / schedule / GFLOP-s over time.
+/// Every record carries the build's git SHA and the ExecOptions used,
+/// so entries from different PRs (or ablation configs) stay
+/// attributable when the files are concatenated or diffed.
 inline void writeBenchJson(const std::string &Path,
                            const std::vector<BenchRecord> &Records) {
   std::ofstream Out(Path);
@@ -199,16 +233,19 @@ inline void writeBenchJson(const std::string &Path,
   Out << "[\n";
   for (size_t I = 0; I < Records.size(); ++I) {
     const BenchRecord &R = Records[I];
-    char Buf[512];
+    char Buf[768];
     std::snprintf(Buf, sizeof(Buf),
-                  "  {\"kernel\": \"%s\", \"workload\": \"%s\", "
+                  "  {\"git_sha\": \"%s\", \"kernel\": \"%s\", "
+                  "\"workload\": \"%s\", "
                   "\"impl\": \"%s\", \"threads\": %u, "
                   "\"schedule\": \"%s\", \"ms\": %.6f, "
-                  "\"gflops\": %.6f}%s\n",
+                  "\"gflops\": %.6f, \"options\": \"%s\"}%s\n",
+                  jsonEscape(benchGitSha()).c_str(),
                   jsonEscape(R.Kernel).c_str(),
                   jsonEscape(R.Workload).c_str(),
                   jsonEscape(R.Impl).c_str(), R.Threads,
                   jsonEscape(R.Schedule).c_str(), R.Millis, R.GFlops,
+                  jsonEscape(R.Options).c_str(),
                   I + 1 < Records.size() ? "," : "");
     Out << Buf;
   }

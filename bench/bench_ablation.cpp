@@ -72,6 +72,14 @@ std::vector<Variant> variants() {
     V.Exec.EnableMicroKernels = false;
     Out.push_back(V);
   }
+  {
+    // Legacy string-membership walker check instead of the algebraic
+    // annihilation analysis (loses walkers under sparse-topped formats
+    // and workspace flushes; identical on the default CSF kernels).
+    Variant V{"no_walker_algebra", {}, {}};
+    V.Exec.AnnihilationAlgebra = false;
+    Out.push_back(V);
+  }
   return Out;
 }
 
@@ -82,11 +90,15 @@ void printSpecialization(const char *Workload, const char *Variant,
                          const Executor &E) {
   const MicroKernelStats &S = E.microKernelStats();
   std::printf("  specialization %-10s %-16s fused=%llu (innermost %llu) "
-              "generic=%llu\n",
+              "generic=%llu walkers=%llu (recovered %llu, rejected "
+              "%llu)\n",
               Workload, Variant,
               static_cast<unsigned long long>(S.SpecializedLoops),
               static_cast<unsigned long long>(S.InnermostFused),
-              static_cast<unsigned long long>(S.GenericLoops));
+              static_cast<unsigned long long>(S.GenericLoops),
+              static_cast<unsigned long long>(S.WalkersRegistered),
+              static_cast<unsigned long long>(S.WalkersRecovered),
+              static_cast<unsigned long long>(S.WalkersRejected));
 }
 
 } // namespace

@@ -81,6 +81,15 @@ std::vector<MicroCase> makeCases(Rng &R) {
   return Cases;
 }
 
+/// The single source of truth for each impl row's execution options:
+/// used to build the Executor *and* to attribute its BENCH_* record.
+ExecOptions implOptions(bool Fused) {
+  ExecOptions O;
+  O.Threads = 1;
+  O.EnableMicroKernels = Fused;
+  return O;
+}
+
 } // namespace
 
 int main(int argc, char **argv) {
@@ -95,9 +104,7 @@ int main(int argc, char **argv) {
     H->Tensors.emplace("out", Tensor::dense(C.OutDims));
     Tensor *Out = &H->tensor("out");
     for (const char *Impl : {"interp", "fused"}) {
-      ExecOptions O;
-      O.Threads = 1;
-      O.EnableMicroKernels = Impl == std::string("fused");
+      ExecOptions O = implOptions(Impl == std::string("fused"));
       H->Executors.push_back(
           std::make_unique<Executor>(Compiled.Optimized, O));
       Executor &E = *H->Executors.back();
@@ -137,7 +144,9 @@ int main(int argc, char **argv) {
       double Ms = Rep.millis("microkernels/" + C.Name + "/" + Impl);
       if (Ms > 0)
         Records.push_back(
-            BenchRecord{C.Name, C.Workload, Impl, 1, "none", Ms, 0});
+            BenchRecord{C.Name, C.Workload, Impl, 1, "none", Ms, 0,
+                        execOptionsSummary(
+                            implOptions(Impl == std::string("fused")))});
     }
   }
   writeBenchJson("BENCH_microkernels.json", Records);

@@ -106,12 +106,18 @@ int main(int argc, char **argv) {
   // Machine-readable trajectory log (single-threaded reference rows;
   // bench_threads records the thread-scaling rows).
   std::vector<BenchRecord> Records;
+  // The naive/systec rows run through the Executor with its default
+  // options; the *_gen/taco/mkl rows are native code with no
+  // ExecOptions (empty options field).
+  const std::string EngineOpts = execOptionsSummary(ExecOptions());
   for (const Row &RowEntry : Rows)
     for (const auto &[Impl, BenchName] : RowEntry.Entries) {
       double Ms = Rep.millis(BenchName);
+      const bool Engine = Impl == "naive" || Impl == "systec";
       if (Ms > 0)
-        Records.push_back(
-            BenchRecord{"ssymv", RowEntry.Label, Impl, 1, "none", Ms, 0});
+        Records.push_back(BenchRecord{"ssymv", RowEntry.Label, Impl, 1,
+                                      "none", Ms, 0,
+                                      Engine ? EngineOpts : ""});
     }
   writeBenchJson("BENCH_ssymv.json", Records);
   return 0;

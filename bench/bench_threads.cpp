@@ -46,6 +46,15 @@ std::string variantName(const Variant &V) {
          schedulePolicyName(V.Policy);
 }
 
+/// The single source of truth for a variant's execution options: used
+/// to build the Executor *and* to attribute its BENCH_* record.
+ExecOptions variantOptions(const Variant &V) {
+  ExecOptions O;
+  O.Threads = V.Threads;
+  O.Schedule = V.Policy;
+  return O;
+}
+
 } // namespace
 
 int main(int argc, char **argv) {
@@ -96,9 +105,7 @@ int main(int argc, char **argv) {
 
   for (Workload &W : Workloads) {
     for (const Variant &V : variants()) {
-      ExecOptions O;
-      O.Threads = V.Threads;
-      O.Schedule = V.Policy;
+      ExecOptions O = variantOptions(V);
       Executor &E = *W.H->Executors
                          .emplace_back(std::make_unique<Executor>(
                              W.Compiled.Optimized, O))
@@ -141,10 +148,10 @@ int main(int argc, char **argv) {
       double GFlops = W.Flops / (Ms * 1e6);
       std::printf("%-10s %12.3f %12.2f %12.3f\n", variantName(V).c_str(),
                   Ms, T1 / Ms, GFlops);
-      Records.push_back(BenchRecord{W.Kernel, W.Label, "systec",
-                                    V.Threads,
-                                    schedulePolicyName(V.Policy), Ms,
-                                    GFlops});
+      Records.push_back(
+          BenchRecord{W.Kernel, W.Label, "systec", V.Threads,
+                      schedulePolicyName(V.Policy), Ms, GFlops,
+                      execOptionsSummary(variantOptions(V))});
     }
     // The acceptance comparison: triangle-balanced vs static blocks.
     double Tri = Rep.millis(

@@ -62,7 +62,7 @@ Tensor symmetrizeMatrix(const Tensor &A) {
 }
 
 Tensor generateBandedSymmetric(int64_t Dim, int64_t Bandwidth, Rng &R,
-                               const TensorFormat &Format) {
+                               const TensorFormat &Format, double Fill) {
   Coo Entries({Dim, Dim});
   for (int64_t I = 0; I < Dim; ++I) {
     for (int64_t J = I; J < std::min(Dim, I + Bandwidth + 1); ++J) {
@@ -72,7 +72,7 @@ Tensor generateBandedSymmetric(int64_t Dim, int64_t Bandwidth, Rng &R,
         Entries.add({J, I}, V);
     }
   }
-  return Tensor::fromCoo(std::move(Entries), Format);
+  return Tensor::fromCoo(std::move(Entries), Format, Fill);
 }
 
 Tensor generateDenseMatrix(int64_t Rows, int64_t Cols, Rng &R) {

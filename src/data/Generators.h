@@ -41,9 +41,11 @@ Tensor generateSparseMatrix(int64_t Rows, int64_t Cols, int64_t Nnz, Rng &R,
 Tensor symmetrizeMatrix(const Tensor &A);
 
 /// A banded symmetric matrix (structured-tensor workloads): entries
-/// within \p Bandwidth of the diagonal.
+/// within \p Bandwidth of the diagonal. \p Fill is the out-of-band
+/// value (inf for min-plus workloads).
 Tensor generateBandedSymmetric(int64_t Dim, int64_t Bandwidth, Rng &R,
-                               const TensorFormat &Format);
+                               const TensorFormat &Format,
+                               double Fill = 0.0);
 
 /// A dense matrix with uniform [0,1) values.
 Tensor generateDenseMatrix(int64_t Rows, int64_t Cols, Rng &R);

@@ -5,6 +5,7 @@
 #include "support/Error.h"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 
 namespace systec {
@@ -26,6 +27,19 @@ const OpInfo &opInfo(OpKind Op) {
 bool isReductionOp(OpKind Op) {
   const OpInfo &Info = opInfo(Op);
   return Info.Commutative && Info.Associative;
+}
+
+std::optional<double> opAbsorbingResult(OpKind Op, double Operand) {
+  const OpInfo &Info = opInfo(Op);
+  // Annihilators are stated one-sided (op(x, A) == A); only commutative
+  // operators absorb from every operand position.
+  if (Info.Commutative && Info.Annihilator && Operand == *Info.Annihilator)
+    return Operand;
+  // Addition has no finite annihilator, but either infinity absorbs
+  // finite co-operands: this is the (min, +) / (max, +) fill rule.
+  if (Op == OpKind::Add && std::isinf(Operand))
+    return Operand;
+  return std::nullopt;
 }
 
 std::optional<OpKind> parseOp(const std::string &Text) {

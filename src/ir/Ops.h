@@ -73,6 +73,23 @@ inline double evalOp(OpKind Op, double A, double B) {
 /// commutative with an identity).
 bool isReductionOp(OpKind Op);
 
+/// The constant the operator is forced to produce when one operand is
+/// known to equal \p Operand, regardless of the other operands — the
+/// per-operand annihilation fact the algebraic walker analysis
+/// propagates through expression trees. Covers the OpInfo annihilator
+/// of commutative operators (x * 0, min(x, -inf), max(x, inf)) and the
+/// semiring-level absorption of +-inf under addition (x + inf == inf),
+/// which is what makes (min, +) fills skippable. Returns std::nullopt
+/// when the operand forces nothing.
+///
+/// The facts hold at the semiring level the paper reasons at, not in
+/// full IEEE arithmetic: 0 * inf and inf + (-inf) are NaN. The runtime
+/// already leans on the same convention — a sparse walker skips
+/// coordinates assuming fill * x == fill (Executor.h) — so the analysis
+/// assumes co-operands are finite, matching the data model of every
+/// kernel and generator in the repo.
+std::optional<double> opAbsorbingResult(OpKind Op, double Operand);
+
 /// Parses "+", "*", "min", "max", "-", "/". Returns std::nullopt on
 /// unknown text.
 std::optional<OpKind> parseOp(const std::string &Text);

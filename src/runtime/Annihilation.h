@@ -1,0 +1,69 @@
+//===- runtime/Annihilation.h - Walker soundness algebra ------*- C++ -*-===//
+///
+/// \file
+/// The algebraic analysis behind coordinate-skipping walker
+/// registration. A loop driven by a sparse (or banded) access visits
+/// only stored coordinates; skipping coordinate c is sound exactly when
+/// executing the loop body with that access evaluating to its tensor's
+/// fill value would have no observable effect — every assignment in the
+/// subtree must reduce to a no-op.
+///
+/// accessAnnihilatesSubtree() decides this by abstract interpretation
+/// over the statement tree under the hypothesis "access == fill":
+/// constants propagate through scalar definitions (transitively, with
+/// joins at conditional redefinitions and a fixpoint over nested
+/// loops), per-operand annihilation facts from the operator algebra
+/// (ir/Ops.h: x * 0 == 0, x + inf == inf, min(x, -inf) == -inf) absorb
+/// unknown co-operands position by position, and an assignment is a
+/// no-op when its right-hand side folds to the identity of its
+/// reduction operator (identity applied any multiplicity of times stays
+/// a no-op). Scalar definitions are treated as effect-free iteration
+/// temporaries — the contract of the lowering, which defines every
+/// workspace before its reads — while scalar-target reductions must
+/// themselves annihilate, so loop-carried accumulators are handled
+/// soundly.
+///
+/// This subsumes the earlier conservative check,
+/// accessBacksEveryAssignment(), which only tested that the access key
+/// appears in every assignment's transitive operand set: membership
+/// cannot see that a workspace flush (`y[j] += w` where `w` starts at
+/// the reduction identity) is annihilated, so kernels with workspaces
+/// under sparse-topped formats lost every walker; and membership cannot
+/// tell an annihilating fill from a non-annihilating one (min-plus over
+/// a fill-0 operand), which was latently unsound. The membership check
+/// is kept for differential accounting (Executor's WalkersRecovered /
+/// WalkersRejected stats) and as the legacy mode behind
+/// ExecOptions::AnnihilationAlgebra.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SYSTEC_RUNTIME_ANNIHILATION_H
+#define SYSTEC_RUNTIME_ANNIHILATION_H
+
+#include "ir/Stmt.h"
+
+#include <string>
+
+namespace systec {
+
+/// True when executing \p Body with every occurrence of the access
+/// whose printed form is \p AccessKey evaluating to \p Fill is provably
+/// a no-op — the algebraic soundness condition for registering a
+/// coordinate-skipping walker over that access on a loop with body
+/// \p Body.
+bool accessAnnihilatesSubtree(const StmtPtr &Body,
+                              const std::string &AccessKey, double Fill);
+
+/// The legacy string-level "transitive product membership" condition:
+/// every assignment in \p Body transitively references \p AccessKey
+/// (through scalar definitions; conditional redefinitions keep the
+/// intersection). Sound only under the implicit assumption that
+/// membership implies annihilation — true for multiplicative bodies
+/// over fill-0 operands, false in general. Retained for differential
+/// stats and the AnnihilationAlgebra=false ablation mode.
+bool accessBacksEveryAssignment(const StmtPtr &Body,
+                                const std::string &AccessKey);
+
+} // namespace systec
+
+#endif // SYSTEC_RUNTIME_ANNIHILATION_H

@@ -4,6 +4,7 @@
 
 #include "parallel/ParallelAnalysis.h"
 #include "parallel/ThreadPool.h"
+#include "runtime/Annihilation.h"
 #include "runtime/MicroKernels.h"
 #include "runtime/Plan.h"
 #include "support/Counters.h"
@@ -45,6 +46,8 @@ public:
     if (countersEnabled()) {
       counters().LoopsSpecialized += Stats.SpecializedLoops;
       counters().LoopsGeneric += Stats.GenericLoops;
+      counters().WalkersRecovered += Stats.WalkersRecovered;
+      counters().WalkersRejected += Stats.WalkersRejected;
     }
   }
 
@@ -448,24 +451,22 @@ private:
     }
 
     // Register walkers: sparse accesses in the subtree whose next
-    // undriven level is this loop's index. A walker on a
-    // coordinate-skipping level (anything but Dense) visits only stored
-    // coordinates, which is sound only if its absence at a coordinate
-    // annihilates *every* assignment in the subtree — grouped symmetric
-    // kernels over two sparse operands produce bodies where each
-    // statement reads a different access of the second tensor, and
-    // those accesses must fall back to SparseLoad. Dense-level walkers
-    // skip nothing and are always sound.
+    // undriven level is this loop's index. Dense and RunLength levels
+    // cover every coordinate, so walking them skips nothing and needs
+    // no justification. Sparse and Banded levels visit only stored
+    // coordinates, which is sound exactly when the access evaluating to
+    // its fill annihilates every assignment in the subtree — decided by
+    // the algebraic analysis (runtime/Annihilation.h), which propagates
+    // fill/annihilator facts per operator position and transitively
+    // through scalar defs. Grouped symmetric kernels over two sparse
+    // operands still reject the second tensor's mismatched accesses
+    // (each statement reads a different access, so no single absence
+    // annihilates them all); those fall back to SparseLoad. The legacy
+    // membership check runs alongside purely for differential
+    // accounting (WalkersRecovered / WalkersRejected) and as the
+    // AnnihilationAlgebra=false ablation mode.
     std::vector<unsigned> WalkerIds;
     if (E.Options.EnableSparseWalk) {
-      std::vector<std::set<std::string>> AssignRefs =
-          collectAssignRefs(Body);
-      auto AnnihilatesAll = [&](const std::string &Key) {
-        for (const std::set<std::string> &Refs : AssignRefs)
-          if (!Refs.count(Key))
-            return false;
-        return true;
-      };
       std::vector<ExprPtr> Accesses;
       collectSubtreeAccesses(Body, Accesses);
       std::set<std::string> Seen;
@@ -477,19 +478,40 @@ private:
         if (!St.SparseFormat)
           continue;
         unsigned D = Driven[Id];
-        if (D < St.T->order() &&
-            St.Indices[St.T->modeOfLevel(D)] == Var) {
-          if (St.T->level(D).Kind != LevelKind::Dense &&
-              !AnnihilatesAll(A->str()))
+        if (D >= St.T->order() ||
+            St.Indices[St.T->modeOfLevel(D)] != Var)
+          continue;
+        const LevelKind LK = St.T->level(D).Kind;
+        if (LK != LevelKind::Dense) {
+          const bool Member = accessBacksEveryAssignment(Body, A->str());
+          bool Sound;
+          if (!E.Options.AnnihilationAlgebra) {
+            // Legacy behavior, including its conservatism on the
+            // non-skipping RunLength kind.
+            Sound = Member;
+          } else if (LK == LevelKind::RunLength) {
+            Sound = true; // runs tile the extent; nothing is skipped
+            if (!Member)
+              ++Stats.WalkersRecovered;
+          } else {
+            Sound = accessAnnihilatesSubtree(Body, A->str(),
+                                             St.T->fill());
+            if (Sound && !Member)
+              ++Stats.WalkersRecovered;
+            else if (!Sound && Member)
+              ++Stats.WalkersRejected;
+          }
+          if (!Sound)
             continue; // evaluated by SparseLoad instead
-          PlanLoop::WalkerRef W;
-          W.AccessId = Id;
-          W.Level = D;
-          W.Bottom = (D + 1 == St.T->order());
-          Loop->Walkers.push_back(W);
-          WalkerIds.push_back(Id);
-          ++Driven[Id];
         }
+        PlanLoop::WalkerRef W;
+        W.AccessId = Id;
+        W.Level = D;
+        W.Bottom = (D + 1 == St.T->order());
+        Loop->Walkers.push_back(W);
+        WalkerIds.push_back(Id);
+        ++Driven[Id];
+        ++Stats.WalkersRegistered;
       }
     }
 
@@ -502,6 +524,27 @@ private:
       ++Stats.SpecializedLoops;
       if (Loop->Fused->Innermost)
         ++Stats.InnermostFused;
+      switch (Loop->Fused->D.K) {
+      case MKDriver::Kind::Range:
+        ++Stats.FusedRangeDrivers;
+        break;
+      case MKDriver::Kind::DenseWalk:
+        ++Stats.FusedDenseDrivers;
+        break;
+      case MKDriver::Kind::SparseWalk:
+        ++Stats.FusedSparseDrivers;
+        break;
+      case MKDriver::Kind::RunLengthWalk:
+        ++Stats.FusedRunLengthDrivers;
+        break;
+      case MKDriver::Kind::BandedWalk:
+        ++Stats.FusedBandedDrivers;
+        break;
+      }
+      for (const MKItem &Item : Loop->Fused->Items)
+        for (const MKOperand &Op : Item.S.Factors)
+          if (Op.K == MKOperand::Kind::SparseLoad)
+            ++Stats.FusedSparseLoadFactors;
     } else {
       ++Stats.GenericLoops;
     }
@@ -523,67 +566,22 @@ private:
       }
     });
   }
-
-  /// Accesses an expression's value depends on, transitively through
-  /// scalar temporaries in \p DefRefs.
-  static void exprRefs(
-      const ExprPtr &Ex,
-      const std::map<std::string, std::set<std::string>> &DefRefs,
-      std::set<std::string> &Out) {
-    switch (Ex->kind()) {
-    case ExprKind::Access:
-      Out.insert(Ex->str());
-      return;
-    case ExprKind::Scalar: {
-      auto It = DefRefs.find(Ex->scalarName());
-      if (It != DefRefs.end())
-        Out.insert(It->second.begin(), It->second.end());
-      return;
-    }
-    case ExprKind::Call:
-      for (const ExprPtr &A : Ex->args())
-        exprRefs(A, DefRefs, Out);
-      return;
-    case ExprKind::Literal:
-    case ExprKind::Lut:
-      return;
-    }
-  }
-
-  /// Per assignment in \p S (program order), the set of access keys its
-  /// value transitively depends on, following scalar defs inside the
-  /// subtree. A scalar defined on several paths keeps the intersection:
-  /// an access only annihilates a use if it backs every possible
-  /// definition.
-  std::vector<std::set<std::string>>
-  collectAssignRefs(const StmtPtr &S) {
-    std::map<std::string, std::set<std::string>> DefRefs;
-    std::vector<std::set<std::string>> Out;
-    Stmt::walk(S, [&](const StmtPtr &Node) {
-      if (Node->kind() == StmtKind::DefScalar) {
-        std::set<std::string> Refs;
-        exprRefs(Node->rhs(), DefRefs, Refs);
-        auto [It, New] = DefRefs.insert({Node->scalarName(), Refs});
-        if (!New) {
-          std::set<std::string> Inter;
-          for (const std::string &R : Refs)
-            if (It->second.count(R))
-              Inter.insert(R);
-          It->second = std::move(Inter);
-        }
-      } else if (Node->kind() == StmtKind::Assign) {
-        std::set<std::string> Refs;
-        exprRefs(Node->rhs(), DefRefs, Refs);
-        Out.push_back(std::move(Refs));
-      }
-    });
-    return Out;
-  }
 };
 
 //===----------------------------------------------------------------------===//
 // Executor
 //===----------------------------------------------------------------------===//
+
+std::string execOptionsSummary(const ExecOptions &O) {
+  std::string Out = "threads=" + std::to_string(O.Threads);
+  Out += std::string(" schedule=") + schedulePolicyName(O.Schedule);
+  Out += std::string(" microkernels=") + (O.EnableMicroKernels ? "on" : "off");
+  Out += std::string(" walk=") + (O.EnableSparseWalk ? "on" : "off");
+  Out += std::string(" lift=") + (O.EnableBoundLifting ? "on" : "off");
+  Out += std::string(" algebra=") + (O.AnnihilationAlgebra ? "on" : "off");
+  Out += " privbudget=" + std::to_string(O.PrivatizationBudget);
+  return Out;
+}
 
 Executor::Executor(Kernel KIn, ExecOptions OptionsIn)
     : K(std::move(KIn)), Options(OptionsIn) {}

@@ -66,15 +66,51 @@ struct ExecOptions {
   /// level arrays instead of the interpreted plan. Disabling is the
   /// ablation switch; outputs and counters are identical either way.
   bool EnableMicroKernels = true;
+  /// Decide coordinate-skipping walker soundness with the algebraic
+  /// annihilation analysis (runtime/Annihilation.h): fill/annihilator
+  /// facts propagate per operator position and transitively through
+  /// scalar definitions, so walkers are registered exactly when the
+  /// level's fill provably annihilates every assignment it backs.
+  /// Disabling falls back to the legacy string-level membership check —
+  /// strictly for ablation: the legacy check both loses walkers
+  /// (workspace flushes under sparse-topped formats) and accepts
+  /// unsound ones (additive bodies over non-annihilating fills).
+  bool AnnihilationAlgebra = true;
 };
 
 /// Result of the plan-specialization pass for one prepared executor
-/// (surfaced by bench_ablation and the perf_smoke test).
+/// (surfaced by bench_ablation and the perf_smoke/annihilation tests).
 struct MicroKernelStats {
   uint64_t SpecializedLoops = 0; ///< loops running fused micro-kernels
   uint64_t InnermostFused = 0;   ///< of which leaf (tight-engine) loops
   uint64_t GenericLoops = 0;     ///< loops left to the interpreter
+
+  /// Walker registration outcomes (plan compilation).
+  uint64_t WalkersRegistered = 0; ///< walkers bound to plan loops
+  /// Coordinate-skipping walkers the annihilation algebra proves sound
+  /// where the legacy membership check rejects (typically workspace
+  /// flushes: `y[j] += w` with `w` defined from the reduction
+  /// identity).
+  uint64_t WalkersRecovered = 0;
+  /// Candidates the algebra vetoes although membership would accept —
+  /// each one a latent wrong-results shape under the legacy check
+  /// (e.g. min-plus over a fill-0 operand).
+  uint64_t WalkersRejected = 0;
+
+  /// Specialized loops by driver shape (which fused engine iterates).
+  uint64_t FusedRangeDrivers = 0;
+  uint64_t FusedDenseDrivers = 0;
+  uint64_t FusedSparseDrivers = 0;
+  uint64_t FusedRunLengthDrivers = 0;
+  uint64_t FusedBandedDrivers = 0;
+  /// SparseLoad operands bound inside fused bodies (chained stateful
+  /// locator instead of falling back to the interpreter).
+  uint64_t FusedSparseLoadFactors = 0;
 };
+
+/// One-line rendering of \p O ("threads=4 schedule=auto ..."), recorded
+/// with benchmark JSON so BENCH_* entries are attributable across PRs.
+std::string execOptionsSummary(const ExecOptions &O);
 
 /// Compiles and runs one Kernel over bound tensors.
 ///

@@ -100,8 +100,12 @@ bool buildDriver(MatchState &M) {
   case LevelKind::Dense:
     D.K = MKDriver::Kind::DenseWalk;
     break;
-  default:
-    return false; // RunLength/Banded walkers stay interpreted
+  case LevelKind::RunLength:
+    D.K = MKDriver::Kind::RunLengthWalk;
+    break;
+  case LevelKind::Banded:
+    D.K = MKDriver::Kind::BandedWalk;
+    break;
   }
   D.AccessId = Ws[0].AccessId;
   D.Level = Ws[0].Level;
@@ -109,6 +113,10 @@ bool buildDriver(MatchState &M) {
   D.CountReads = Ws[0].Bottom && A.SparseFormat;
   D.Ptr = Lev.Ptr.data();
   D.Crd = Lev.Crd.data();
+  D.RunEnd = Lev.RunEnd.data();
+  D.BLo = Lev.Lo.data();
+  D.BHi = Lev.Hi.data();
+  D.BOff = Lev.Off.data();
   D.Vals = A.T->valsData();
   D.Dim = Lev.Dim;
   if (Ws.size() == 2) {
@@ -151,15 +159,21 @@ operandFor(const VInstr &I, MatchState &M,
     return Op;
   case VKind::Scalar: {
     if (!M.Nest && M.Written.count(I.Id)) {
+      // Prefer bind-time substitution of a preceding single-factor def
+      // under a compatible guard (keeps the statement on the prebound
+      // fast paths); otherwise read the slot live per element through
+      // the contextual engine — exactly what the interpreter observes,
+      // since the writing item runs earlier in the same iteration.
       auto It = M.DefMap.find(I.Id);
-      if (It == M.DefMap.end())
-        return std::nullopt;
-      const std::optional<CCond> &DefGuard = It->second.second;
-      const bool Compatible =
-          !DefGuard || (Guard && condEq(*DefGuard, *Guard));
-      if (!Compatible)
-        return std::nullopt;
-      return It->second.first;
+      if (It != M.DefMap.end()) {
+        const std::optional<CCond> &DefGuard = It->second.second;
+        if (!DefGuard || (Guard && condEq(*DefGuard, *Guard)))
+          return It->second.first;
+      }
+      Op.K = MKOperand::Kind::Scalar;
+      Op.Slot = I.Id;
+      Op.Live = true;
+      return Op;
     }
     Op.K = MKOperand::Kind::Scalar;
     Op.Slot = I.Id;
@@ -191,11 +205,22 @@ operandFor(const VInstr &I, MatchState &M,
     return Op;
   }
   case VKind::SparseLoad:
+    Op.K = MKOperand::Kind::SparseLoad;
+    Op.Slot = I.Id;
+    Op.LevelSlots = I.LevelSlots;
+    return Op;
   case VKind::Lut:
   case VKind::Op:
     return std::nullopt; // Op is handled by the program classifier
   }
   return std::nullopt;
+}
+
+/// Whether \p Op must be evaluated through the execution context per
+/// element (cannot prebind into a BoundVal).
+bool contextualOperand(const MKOperand &Op) {
+  return Op.K == MKOperand::Kind::SparseLoad ||
+         (Op.K == MKOperand::Kind::Scalar && Op.Live);
 }
 
 /// Classifies a whole program into a factor list folded left-to-right
@@ -263,6 +288,21 @@ void attachGuard(MKItem &Item, const std::optional<CCond> &Guard,
   Item.GuardDynamic = condMentions(*Guard, M.L.Slot);
 }
 
+/// A write to \p Slot invalidates bind-time substitutions that read it:
+/// a def like `t = s` substituted into readers after `s` changes would
+/// observe a different value than the interpreter's `t` (computed at
+/// def time). Readers of such defs fall back to live reads of the def's
+/// own slot, which is always current.
+void invalidateDefsReading(MatchState &M, unsigned Slot) {
+  for (auto It = M.DefMap.begin(); It != M.DefMap.end();) {
+    const MKOperand &F = It->second.first;
+    if (F.K == MKOperand::Kind::Scalar && F.Slot == Slot)
+      It = M.DefMap.erase(It);
+    else
+      ++It;
+  }
+}
+
 bool gatherItems(PlanNode *N, std::optional<CCond> Guard, MatchState &M,
                  std::vector<MKItem> &Out) {
   if (auto *Seq = dynamic_cast<PlanSeq *>(N)) {
@@ -287,10 +327,15 @@ bool gatherItems(PlanNode *N, std::optional<CCond> Guard, MatchState &M,
     attachGuard(Item, Guard, M);
     if (!M.Nest) {
       // A per-element dynamic guard makes the def's value
-      // data-dependent in a way bind-time substitution cannot express;
-      // later reads then reject the loop via the Written check.
+      // data-dependent in a way bind-time substitution cannot express,
+      // and contextual factors (SparseLoad, live scalars) must not be
+      // duplicated into readers — re-evaluating a SparseLoad per use
+      // would double its counter and cursor traffic. Later reads of
+      // such defs fall back to live scalar reads.
       M.Written.insert(Def->Slot);
-      if (Item.S.Factors.size() == 1 && !Item.GuardDynamic)
+      invalidateDefsReading(M, Def->Slot);
+      if (Item.S.Factors.size() == 1 && !Item.GuardDynamic &&
+          !contextualOperand(Item.S.Factors[0]))
         M.DefMap[Def->Slot] = {Item.S.Factors[0], Guard};
       else
         M.DefMap.erase(Def->Slot);
@@ -313,6 +358,7 @@ bool gatherItems(PlanNode *N, std::optional<CCond> Guard, MatchState &M,
       if (!M.Nest) {
         M.Written.insert(As->ScalarSlot);
         M.DefMap.erase(As->ScalarSlot);
+        invalidateDefsReading(M, As->ScalarSlot);
       }
     } else {
       Item.S.OutId = As->OutId;
@@ -351,16 +397,17 @@ bool specializeLoop(PlanLoop &L, const std::vector<AccessState> &Accesses) {
   if (Items.empty() || Items.size() > MicroKernel::MaxItems)
     return false;
   // Innermost loops prebind Scalar factors once per execution, so no
-  // surviving Scalar factor may name a slot any item of this loop
+  // prebound Scalar factor may name a slot any item of this loop
   // writes. Reads *after* a write were resolved during gathering
-  // (substituted or rejected); this final pass catches reads that
-  // precede a later write, where the interpreter would observe the
-  // previous iteration's value (loop-carried scalar dependence).
+  // (substituted or marked live); this final pass catches reads that
+  // precede a later write, where the interpreter observes the previous
+  // iteration's value (loop-carried scalar dependence) — those become
+  // live reads too, which is exactly the interpreter's semantics.
   if (!M.Nest)
-    for (const MKItem &I : Items)
-      for (const MKOperand &Op : I.S.Factors)
+    for (MKItem &I : Items)
+      for (MKOperand &Op : I.S.Factors)
         if (Op.K == MKOperand::Kind::Scalar && M.Written.count(Op.Slot))
-          return false;
+          Op.Live = true;
   bool HasStmt = false, HasFusedChild = false, HasLoop = false;
   for (const MKItem &I : Items) {
     HasStmt |= I.K == MKItem::Kind::Stmt;
@@ -498,6 +545,32 @@ void iterateDriver(ExecCtx &C, const MKDriver &D, unsigned Slot,
     }
     return;
   }
+  case MKDriver::Kind::RunLengthWalk: {
+    // Runs tile [0, Dim): every coordinate in [Lo, Hi] is visited, with
+    // the run index as position — the same expansion order as the
+    // generic interpreter.
+    int64_t Start = 0;
+    const int64_t KE = D.Ptr[B.Parent + 1];
+    for (int64_t K = D.Ptr[B.Parent]; K < KE; ++K) {
+      const int64_t End = D.RunEnd[K];
+      for (int64_t V = std::max(Start, Lo); V < End; ++V) {
+        if (V > Hi)
+          return;
+        Emit(V, K);
+      }
+      Start = End;
+      if (Start > Hi)
+        return;
+    }
+    return;
+  }
+  case MKDriver::Kind::BandedWalk: {
+    const int64_t BB = std::max(Lo, D.BLo[B.Parent]);
+    const int64_t BE = std::min(Hi, D.BHi[B.Parent] - 1);
+    for (int64_t V = BB; V <= BE; ++V)
+      Emit(V, D.BOff[B.Parent] + (V - D.BLo[B.Parent]));
+    return;
+  }
   }
 }
 
@@ -527,6 +600,13 @@ inline double evalOperand(ExecCtx &C, const MKDriver &D,
     return D.Vals[K1];
   case MKOperand::Kind::Driver2:
     return D.CoVals[K2];
+  case MKOperand::Kind::SparseLoad:
+    // Same counter and cursor discipline as the expression VM's
+    // SparseLoad instruction: one SparseRead per evaluation, locator
+    // state chained through the context.
+    if (C.CountersOn)
+      ++C.Local.SparseReads;
+    return sparseLoadValue(C, Op.Slot, Op.LevelSlots);
   }
   return 0;
 }
@@ -621,14 +701,17 @@ struct BoundStmt {
   BoundVal F[MicroKernel::MaxFactors];
   unsigned NF;
   /// 0: fast tensor (Mul-fold, Add-reduce), 1: fast scalar accumulate
-  /// (Mul-fold, Add-reduce), 2: def store, 3: general (any ops, guard).
+  /// (Mul-fold, Add-reduce), 2: def store, 3: general (any ops, guard),
+  /// 4: contextual (factors evaluated through the execution context:
+  /// SparseLoad operands, live scalar reads).
   uint8_t Kind;
   OpKind Combine;
   int8_t Reduce; // -1: overwrite
   uint8_t Mode;  // 0: def store; 1: scalar dst; 2: tensor dst
   double *Dst;
   int64_t DstS;
-  const CCond *Guard; // dynamic guard, evaluated per element
+  const CCond *Guard;     // dynamic guard, evaluated per element
+  const MKStmt *Src;      // contextual: the statement's operand list
   uint64_t Execs;
   unsigned Ops; // ScalarOps contributed per execution
 };
@@ -659,8 +742,8 @@ inline double foldBound(const BoundStmt &S, int64_t V, int64_t K1,
   return Acc;
 }
 
-inline void execBound(ExecCtx &C, BoundStmt &S, int64_t V, int64_t K1,
-                      int64_t K2) {
+inline void execBound(ExecCtx &C, const MKDriver &D, BoundStmt &S,
+                      int64_t V, int64_t K1, int64_t K2) {
   switch (S.Kind) {
   case 0: // tensor dst, Mul-fold, Add-reduce (the sparse axpy core)
     S.Dst[S.DstS * V] += foldBound(S, V, K1, K2);
@@ -671,6 +754,26 @@ inline void execBound(ExecCtx &C, BoundStmt &S, int64_t V, int64_t K1,
   case 2: // scalar def store
     *S.Dst = foldBound(S, V, K1, K2);
     break;
+  case 4: {
+    // Contextual: operands evaluated through the context per element
+    // (SparseLoad chains the locator; live scalars read current
+    // ScalarVal), in the exact factor order of the expression VM.
+    if (S.Guard && !S.Guard->eval(C))
+      return;
+    const MKStmt &Src = *S.Src;
+    double Acc = foldFactors(C, D, Src, V, K1, K2);
+    if (S.Mode == 0) {
+      *S.Dst = Acc;
+      ++S.Execs;
+      return;
+    }
+    double &Dst = S.Mode == 1 ? *S.Dst : S.Dst[S.DstS * V];
+    Dst = S.Reduce < 0
+              ? Acc
+              : evalOp(static_cast<OpKind>(S.Reduce), Dst, Acc);
+    ++S.Execs;
+    return;
+  }
   default: {
     if (S.Guard && !S.Guard->eval(C))
       return;
@@ -716,9 +819,16 @@ void MicroKernel::runInner(ExecCtx &C, int64_t Lo, int64_t Hi) {
     S.Combine = Src.Combine;
     S.Execs = 0;
     S.Guard = nullptr;
+    S.Src = &Item.S;
     S.DstS = 0;
     bool MulFold = S.NF == 1 || Src.Combine == OpKind::Mul;
-    for (unsigned I = 0; I < S.NF; ++I) {
+    // Statements with operands that cannot prebind (SparseLoad, live
+    // scalar reads) run through the contextual engine, which evaluates
+    // factors from the execution context per element.
+    bool Contextual = false;
+    for (const MKOperand &Op : Src.Factors)
+      Contextual |= contextualOperand(Op);
+    for (unsigned I = 0; !Contextual && I < S.NF; ++I) {
       const MKOperand &Op = Src.Factors[I];
       BoundVal &F = S.F[I];
       F.SV = F.SK1 = F.SK2 = 0;
@@ -753,6 +863,8 @@ void MicroKernel::runInner(ExecCtx &C, int64_t Lo, int64_t Hi) {
         F.P = D.CoVals;
         F.SK2 = 1;
         break;
+      case MKOperand::Kind::SparseLoad:
+        break; // unreachable: Contextual statements skip prebinding
       }
     }
     if (Item.K == MKItem::Kind::Def) {
@@ -777,9 +889,14 @@ void MicroKernel::runInner(ExecCtx &C, int64_t Lo, int64_t Hi) {
       AnyDynamic = true;
     }
     // Fast-path selection: the Mul-fold / Add-reduce cores the paper
-    // kernels hit; everything else takes the general switch.
+    // kernels hit; everything else takes the general switch, and
+    // context-dependent operands take the contextual engine (which also
+    // needs IndexVal maintained for its level-slot lookups).
     const bool AddReduce = S.Reduce == static_cast<int8_t>(OpKind::Add);
-    if (!S.Guard && MulFold && AddReduce && S.Mode == 2)
+    if (Contextual) {
+      S.Kind = 4;
+      AnyDynamic = true;
+    } else if (!S.Guard && MulFold && AddReduce && S.Mode == 2)
       S.Kind = 0;
     else if (!S.Guard && MulFold && AddReduce && S.Mode == 1)
       S.Kind = 1;
@@ -849,7 +966,7 @@ void MicroKernel::runInner(ExecCtx &C, int64_t Lo, int64_t Hi) {
                   if (AnyDynamic)
                     C.IndexVal[Slot] = V;
                   for (unsigned I = 0; I < NS; ++I)
-                    execBound(C, BS[I], V, K1, K2);
+                    execBound(C, D, BS[I], V, K1, K2);
                 });
 
   // Flush counter deltas once per loop execution (the whole point: no

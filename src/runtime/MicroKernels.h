@@ -12,6 +12,13 @@
 ///  - sparse-row dot / axpy (one sparse walker, invariant cofactors),
 ///  - dense axpy / scale-accumulate with strided output (dense range),
 ///  - sparse-sparse co-iteration (two-finger merge of two walkers),
+///  - run-aware RunLength and interval-aware Banded driver loops over
+///    raw Ptr/RunEnd and Lo/Hi/Off arrays (format-general drivers),
+///  - SparseLoad operands inside fused bodies, chaining the stateful
+///    per-access locator (Tensor::locateHinted) through the context,
+///  - scalar reads of slots written in the same loop, observed live per
+///    element via the contextual statement path (what the interpreter
+///    does), instead of rejecting the loop,
 ///  - multi-level nest fusion: an outer walker loop whose body is
 ///    scalar defs, once-per-iteration assigns, and already-fused (or
 ///    generic) child loops, executed without per-iteration virtual
@@ -48,21 +55,33 @@ namespace detail {
 /// Compile-time description of one value source in a fused statement.
 struct MKOperand {
   enum class Kind : uint8_t {
-    Const,   ///< literal
-    Scalar,  ///< ScalarVal slot (loop-invariant at its read point)
-    Walked,  ///< fully-driven access: T->val(Pos[order])
-    Dense,   ///< Arr[sum(IndexVal[Slot] * Stride) + VStride * v]
-    Driver,  ///< driving walker's value at the current position
-    Driver2, ///< co-walker's value at its matched position
+    Const,      ///< literal
+    Scalar,     ///< ScalarVal slot (prebound unless Live)
+    Walked,     ///< fully-driven access: T->val(Pos[order])
+    Dense,      ///< Arr[sum(IndexVal[Slot] * Stride) + VStride * v]
+    Driver,     ///< driving walker's value at the current position
+    Driver2,    ///< co-walker's value at its matched position
+    SparseLoad, ///< random access chaining the stateful locator
+                ///< (runtime/Plan.h sparseLoadValue), evaluated per
+                ///< element through the execution context
   };
   Kind K = Kind::Const;
   double Lit = 0;
-  unsigned Slot = 0;           ///< Scalar slot or access id (Walked)
+  unsigned Slot = 0;           ///< Scalar slot or access id
+                               ///< (Walked / SparseLoad)
+  /// Scalar only: the slot is written by an item of the same loop, so
+  /// the read must observe the current ScalarVal per element (exactly
+  /// like the interpreter) instead of prebinding at loop entry. Forces
+  /// the owning statement through the contextual engine.
+  bool Live = false;
   const double *Arr = nullptr; ///< Dense: cached valsData() of the
                                ///< accessed tensor (stable for a live
                                ///< tensor)
   std::vector<std::pair<unsigned, int64_t>> BaseTerms; ///< Dense
   int64_t VStride = 0;                                 ///< Dense
+  /// SparseLoad: per level (top first), the index slot providing that
+  /// level's coordinate (mirrors VInstr::LevelSlots).
+  std::vector<unsigned> LevelSlots;
 };
 
 /// One fused statement: Dst Reduce= fold(Combine, Factors...), folded
@@ -101,17 +120,25 @@ struct MKItem {
 /// Iteration source of a fused loop.
 struct MKDriver {
   enum class Kind : uint8_t {
-    Range,      ///< plain coordinate range (no walkers)
-    DenseWalk,  ///< walker over a dense level (position = parent*dim+v)
-    SparseWalk, ///< walker over a sparse level (Ptr/Crd arrays)
+    Range,         ///< plain coordinate range (no walkers)
+    DenseWalk,     ///< walker over a dense level (position = parent*dim+v)
+    SparseWalk,    ///< walker over a sparse level (Ptr/Crd arrays)
+    RunLengthWalk, ///< run-aware walk over a RunLength level
+                   ///< (Ptr/RunEnd arrays; every coordinate visited,
+                   ///< position = run index)
+    BandedWalk,    ///< interval walk over a Banded level
+                   ///< (Lo/Hi/Off arrays)
   };
   Kind K = Kind::Range;
   unsigned AccessId = 0, Level = 0;
   bool Bottom = false;
   bool CountReads = false; ///< bottom level of a sparse-format tensor
   /// Raw level arrays, cached at specialization (stable for a live
-  /// tensor; only the parent position is resolved per run).
+  /// tensor; only the parent position is resolved per run). Ptr/Crd
+  /// for Sparse, Ptr/RunEnd for RunLength, BLo/BHi/BOff for Banded.
   const int64_t *Ptr = nullptr, *Crd = nullptr;
+  const int64_t *RunEnd = nullptr;
+  const int64_t *BLo = nullptr, *BHi = nullptr, *BOff = nullptr;
   const double *Vals = nullptr;
   int64_t Dim = 0;
 

@@ -34,21 +34,21 @@ void VProgram::finalize() {
   MaxDepth = static_cast<unsigned>(Max);
 }
 
-namespace {
-
 /// Random access through the fibertree with a movable per-level cursor
 /// (the SparseLoad locator). Equivalent to Tensor::at but exploits the
 /// sorted iteration order of the surrounding loops: repeated lookups
 /// under the same parent gallop forward from the previous result
-/// instead of bisecting the whole fiber.
-double sparseLoadLocated(ExecCtx &C, const VInstr &I) {
-  AccessState &A = C.Accesses[I.Id];
+/// instead of bisecting the whole fiber (Sparse and RunLength levels;
+/// Dense and Banded locates are O(1) already).
+double sparseLoadValue(ExecCtx &C, unsigned AccessId,
+                       const std::vector<unsigned> &LevelSlots) {
+  AccessState &A = C.Accesses[AccessId];
   const Tensor &T = *A.T;
   int64_t Pos = 0;
   for (unsigned L = 0; L < T.order(); ++L) {
-    const int64_t Coord = C.IndexVal[I.LevelSlots[L]];
+    const int64_t Coord = C.IndexVal[LevelSlots[L]];
     const Level &Lev = T.level(L);
-    if (Lev.Kind == LevelKind::Sparse)
+    if (Lev.Kind == LevelKind::Sparse || Lev.Kind == LevelKind::RunLength)
       Pos = T.locateHinted(L, Pos, Coord, A.LocParent[L], A.LocIdx[L]);
     else
       Pos = T.locate(L, Pos, Coord);
@@ -57,8 +57,6 @@ double sparseLoadLocated(ExecCtx &C, const VInstr &I) {
   }
   return T.val(Pos);
 }
-
-} // namespace
 
 double VProgram::eval(ExecCtx &C) const {
   // Fixed-size operand stack for the common case; programs whose
@@ -97,7 +95,7 @@ double VProgram::eval(ExecCtx &C) const {
     case VKind::SparseLoad: {
       if (C.CountersOn)
         ++C.Local.SparseReads;
-      St[++Top] = sparseLoadLocated(C, I);
+      St[++Top] = sparseLoadValue(C, I.Id, I.LevelSlots);
       break;
     }
     case VKind::Op: {

@@ -127,6 +127,16 @@ struct VInstr {
   std::vector<double> LutTable;
 };
 
+/// Random access through \p AccessId's fibertree at the coordinates in
+/// IndexVal[LevelSlots[level]], using the per-context stateful locator
+/// (galloping cursors on Sparse and RunLength levels). Shared by the
+/// expression VM's SparseLoad instruction and the fused micro-kernels'
+/// SparseLoad operands so both paths chain the exact same cursor state
+/// and return bit-identical values. Does not touch counters; callers
+/// count one SparseRead per evaluation.
+double sparseLoadValue(ExecCtx &C, unsigned AccessId,
+                       const std::vector<unsigned> &LevelSlots);
+
 struct VProgram {
   std::vector<VInstr> Code;
   /// Maximum operand-stack depth, computed when the program is built.

@@ -32,6 +32,8 @@ struct CounterSnapshot {
   uint64_t OutputWrites = 0;
   uint64_t LoopsSpecialized = 0;
   uint64_t LoopsGeneric = 0;
+  uint64_t WalkersRecovered = 0;
+  uint64_t WalkersRejected = 0;
 };
 
 /// Aggregate counters for one kernel execution.
@@ -49,6 +51,12 @@ struct ExecCounters {
   /// the runtime specialization layer.
   std::atomic<uint64_t> LoopsSpecialized{0};
   std::atomic<uint64_t> LoopsGeneric{0};
+  /// Coordinate-skipping walkers the algebraic annihilation analysis
+  /// proves sound where the legacy membership check could not
+  /// (vs. vetoes where membership would have unsoundly accepted) —
+  /// the ablation metric for the walker algebra.
+  std::atomic<uint64_t> WalkersRecovered{0};
+  std::atomic<uint64_t> WalkersRejected{0};
 
   void reset() {
     SparseReads.store(0, std::memory_order_relaxed);
@@ -57,6 +65,8 @@ struct ExecCounters {
     OutputWrites.store(0, std::memory_order_relaxed);
     LoopsSpecialized.store(0, std::memory_order_relaxed);
     LoopsGeneric.store(0, std::memory_order_relaxed);
+    WalkersRecovered.store(0, std::memory_order_relaxed);
+    WalkersRejected.store(0, std::memory_order_relaxed);
   }
 
   CounterSnapshot snapshot() const {
@@ -66,7 +76,9 @@ struct ExecCounters {
         ScalarOps.load(std::memory_order_relaxed),
         OutputWrites.load(std::memory_order_relaxed),
         LoopsSpecialized.load(std::memory_order_relaxed),
-        LoopsGeneric.load(std::memory_order_relaxed)};
+        LoopsGeneric.load(std::memory_order_relaxed),
+        WalkersRecovered.load(std::memory_order_relaxed),
+        WalkersRejected.load(std::memory_order_relaxed)};
   }
 };
 

@@ -227,7 +227,33 @@ int64_t Tensor::locate(unsigned L, int64_t Pos, int64_t C) const {
 int64_t Tensor::locateHinted(unsigned L, int64_t Pos, int64_t C,
                              int64_t &CachedParent, int64_t &CachedIdx) const {
   const Level &Lev = Levels[L];
-  assert(Lev.Kind == LevelKind::Sparse && "hinted locate is sparse-only");
+  assert((Lev.Kind == LevelKind::Sparse ||
+          Lev.Kind == LevelKind::RunLength) &&
+         "hinted locate needs a compressed level");
+  if (Lev.Kind == LevelKind::RunLength) {
+    // Result: the first run k in [B, E) with RunEnd[k] > C (runs tile
+    // the extent, so coordinates inside the extent always resolve).
+    const int64_t B = Lev.Ptr[Pos], E = Lev.Ptr[Pos + 1];
+    const int64_t *RunEnd = Lev.RunEnd.data();
+    int64_t Idx;
+    if (CachedParent == Pos && CachedIdx >= B && CachedIdx < E &&
+        RunEnd[CachedIdx] <= C) {
+      // Ascending lookup: gallop forward from the cached run.
+      int64_t Step = 1, Lo = CachedIdx + 1;
+      while (Lo + Step < E && RunEnd[Lo + Step] <= C)
+        Step <<= 1;
+      const int64_t HiB = std::min(Lo + Step, E);
+      Idx = std::upper_bound(RunEnd + Lo, RunEnd + HiB, C) - RunEnd;
+    } else if (CachedParent == Pos && CachedIdx >= B && CachedIdx < E &&
+               (CachedIdx == B || RunEnd[CachedIdx - 1] <= C)) {
+      Idx = CachedIdx; // still inside the cached run
+    } else {
+      Idx = std::upper_bound(RunEnd + B, RunEnd + E, C) - RunEnd;
+    }
+    CachedParent = Pos;
+    CachedIdx = Idx;
+    return Idx < E ? Idx : -1;
+  }
   const int64_t B = Lev.Ptr[Pos], E = Lev.Ptr[Pos + 1];
   const int64_t *Crd = Lev.Crd.data();
   int64_t Start = B;

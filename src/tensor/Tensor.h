@@ -103,12 +103,13 @@ public:
   /// position \p Pos, or -1 when the coordinate is not stored.
   int64_t locate(unsigned L, int64_t Pos, int64_t C) const;
 
-  /// locate() for a Sparse level with a movable cursor. \p CachedParent
-  /// and \p CachedIdx persist between calls (initialize to -1/0): when
-  /// the parent position repeats and coordinates arrive in ascending
-  /// order — the common pattern under sorted loop nests — the search
-  /// gallops forward from the previous result instead of bisecting the
-  /// whole fiber. Falls back to a full binary search on any other
+  /// locate() for a Sparse or RunLength level with a movable cursor.
+  /// \p CachedParent and \p CachedIdx persist between calls (initialize
+  /// to -1/0): when the parent position repeats and coordinates arrive
+  /// in ascending order — the common pattern under sorted loop nests —
+  /// the search gallops forward from the previous result instead of
+  /// bisecting the whole fiber (for RunLength, re-hitting the cached
+  /// run is O(1)). Falls back to a full binary search on any other
   /// pattern, so results are always identical to locate().
   int64_t locateHinted(unsigned L, int64_t Pos, int64_t C,
                        int64_t &CachedParent, int64_t &CachedIdx) const;

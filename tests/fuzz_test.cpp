@@ -1,11 +1,27 @@
 //===- tests/fuzz_test.cpp ------------------------------------*- C++ -*-===//
 ///
 /// Randomized compiler fuzzing: generate random einsums over random
-/// symmetric sparse inputs and dense operands, compile through the full
-/// pipeline, and check the naive and optimized kernels against the
-/// brute-force oracle. This explores index/symmetry/loop-order
-/// combinations far beyond the paper's named kernels (including
-/// non-concordant accesses that exercise the locate fallback).
+/// symmetric sparse inputs, compile through the full pipeline, and
+/// check the naive and optimized kernels against the brute-force
+/// oracle. This explores index/symmetry/loop-order combinations far
+/// beyond the paper's named kernels (including non-concordant accesses
+/// that exercise the locate fallback).
+///
+/// The differential-testing matrix (DifferentialMatrix below) draws
+/// level formats (Dense/Sparse/RunLength/Banded) per mode and semirings
+/// (arithmetic, min-plus, max-times, boolean) per kernel — including
+/// occasional non-annihilating fills, which the algebraic walker
+/// analysis must veto rather than mis-skip — and asserts bit-identical
+/// values and equal execution counters across {interpreter,
+/// micro-kernels} x {Threads 1, 4} against the dense oracle. Tensor
+/// values are small integers so every reduction is exact and bitwise
+/// reproducible across task decompositions.
+///
+/// Reproducing a failure: every case is a pure function of its seed
+/// (the GTest parameter printed in the test name, e.g.
+/// Seeds/EinsumFuzz.CompiledKernelsMatchOracle/42). Run
+/// `fuzz_test --gtest_filter='*42'` and the SCOPED_TRACE lines print
+/// the einsum, formats, semiring, and loop order of that case.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -18,6 +34,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
 #include <sstream>
 
 #include "support/StringUtils.h"
@@ -28,27 +45,106 @@ namespace {
 
 constexpr double Inf = std::numeric_limits<double>::infinity();
 
+/// The semiring axis of the differential matrix.
+enum class Semiring { Arith, MinPlus, MaxTimes, Boolean };
+
+struct SemiringSpec {
+  Semiring S;
+  const char *Name;
+  OpKind Reduce;
+  const char *ReduceTok;
+  const char *CombineTok; ///< infix, or null for call syntax
+  const char *CombineCall;
+  double Fill;      ///< annihilating fill for the sparse operands
+  double WeirdFill; ///< non-annihilating fill (walker must be vetoed)
+};
+
+const SemiringSpec &semiring(Semiring S) {
+  static const SemiringSpec Specs[] = {
+      {Semiring::Arith, "arith", OpKind::Add, "+= ", "*", nullptr, 0.0, 1.0},
+      {Semiring::MinPlus, "minplus", OpKind::Min, "min= ", "+", nullptr,
+       Inf, 0.0},
+      {Semiring::MaxTimes, "maxtimes", OpKind::Max, "max= ", "*", nullptr,
+       0.0, 2.0},
+      {Semiring::Boolean, "boolean", OpKind::Max, "max= ", nullptr, "min",
+       0.0, 1.0},
+  };
+  return Specs[static_cast<int>(S)];
+}
+
+/// A random per-mode format: any level kind, RunLength bottom-only.
+TensorFormat randomFormat(unsigned Order, Rng &R) {
+  TensorFormat F;
+  F.Levels.resize(Order);
+  for (unsigned L = 0; L < Order; ++L) {
+    const bool Bottom = (L + 1 == Order);
+    switch (R.nextIndex(Bottom ? 4 : 3)) {
+    case 0:
+      F.Levels[L] = LevelKind::Dense;
+      break;
+    case 1:
+      F.Levels[L] = LevelKind::Sparse;
+      break;
+    case 2:
+      F.Levels[L] = LevelKind::Banded;
+      break;
+    default:
+      F.Levels[L] = LevelKind::RunLength;
+      break;
+    }
+  }
+  return F;
+}
+
+/// Quantizes stored values to small integers (exact under any
+/// reduction order). Entries equal to the fill stay put: RunLength fill
+/// runs and Banded in-band holes store the fill explicitly, and scaling
+/// them would diverge from the implicit out-of-band fill (breaking both
+/// symmetry and fill semantics). Boolean kernels get 0/1 data.
+void quantize(Tensor &T, bool Boolean) {
+  const double Fill = T.fill();
+  for (double &V : T.vals()) {
+    if (std::isinf(V) || V == Fill)
+      continue;
+    V = Boolean ? (V < 0.5 ? 0.0 : 1.0) : std::floor(V * 8);
+  }
+}
+
+Tensor randomSparseVector(int64_t Dim, Rng &R, const TensorFormat &F,
+                          double Fill) {
+  Coo C({Dim});
+  for (int64_t K = 0; K < Dim; ++K)
+    if (R.nextBool(0.5))
+      C.add({K}, R.nextDouble());
+  return Tensor::fromCoo(std::move(C), F, Fill);
+}
+
 struct FuzzCase {
   Einsum E;
+  SemiringSpec Spec{Semiring::Arith, "", OpKind::Add, "", "", nullptr,
+                    0.0, 0.0};
+  bool WeirdFill = false;
   std::map<std::string, Tensor> Inputs;
   std::vector<int64_t> OutDims;
   double OutInit = 0.0;
 };
 
-/// Builds a random einsum: a symmetric sparse tensor A times/plus one
-/// or two dense operands, random output indices, random loop order.
+/// Builds a random einsum: a symmetric tensor A combined with a second
+/// operand B (dense or sparse, any format), random output indices,
+/// random loop order, random semiring.
 FuzzCase makeCase(uint64_t Seed) {
   Rng R(Seed);
   const int64_t Dim = 5 + R.nextIndex(3);
   const std::vector<std::string> Pool{"a", "b", "c", "d"};
 
   FuzzCase F;
-  const bool MinPlus = R.nextBool(0.25);
-  // Occasionally make B sparse too, so loops intersecting two sparse
-  // operands (the micro-kernel two-finger merge and the interpreter's
-  // locate fallback) get fuzzed. Only sound under (+,*): a sparse B
-  // needs fill = 0 to annihilate missing coordinates.
-  const bool SparseB = !MinPlus && R.nextBool(0.3);
+  F.Spec = semiring(static_cast<Semiring>(R.nextIndex(4)));
+  // Occasionally use a fill that does NOT annihilate the body: the
+  // walker algebra must fall back to full iteration (via the locator)
+  // and still match the dense oracle exactly.
+  F.WeirdFill = R.nextBool(0.15);
+  const double FillA = F.WeirdFill ? F.Spec.WeirdFill : F.Spec.Fill;
+  const bool SparseB = R.nextBool(0.35);
   const unsigned OrderA = 2 + static_cast<unsigned>(R.nextIndex(2));
 
   // A's indices: distinct names from the pool.
@@ -56,7 +152,7 @@ FuzzCase makeCase(uint64_t Seed) {
   std::shuffle(Names.begin(), Names.end(), R.engine());
   std::vector<std::string> AIdx(Names.begin(), Names.begin() + OrderA);
 
-  // One dense operand over 1-2 indices overlapping A or fresh.
+  // One operand over 1-2 indices overlapping A or fresh.
   unsigned OrderB = 1 + static_cast<unsigned>(R.nextIndex(2));
   std::vector<std::string> BIdx;
   for (unsigned M = 0; M < OrderB; ++M)
@@ -74,17 +170,25 @@ FuzzCase makeCase(uint64_t Seed) {
     if (R.nextBool(0.4))
       OutIdx.push_back(I);
 
+  auto Access = [](const std::string &T,
+                   const std::vector<std::string> &Idx) {
+    std::string Out = T + "[";
+    for (size_t I = 0; I < Idx.size(); ++I)
+      Out += (I ? "," : "") + Idx[I];
+    return Out + "]";
+  };
   std::ostringstream Text;
   Text << "O[";
   for (size_t I = 0; I < OutIdx.size(); ++I)
     Text << (I ? "," : "") << OutIdx[I];
-  Text << "] " << (MinPlus ? "min= " : "+= ") << "A[";
-  for (size_t I = 0; I < AIdx.size(); ++I)
-    Text << (I ? "," : "") << AIdx[I];
-  Text << "] " << (MinPlus ? "+" : "*") << " B[";
-  for (size_t I = 0; I < BIdx.size(); ++I)
-    Text << (I ? "," : "") << BIdx[I];
-  Text << "]";
+  Text << "] " << F.Spec.ReduceTok;
+  if (F.Spec.CombineTok) {
+    Text << Access("A", AIdx) << " " << F.Spec.CombineTok << " "
+         << Access("B", BIdx);
+  } else {
+    Text << F.Spec.CombineCall << "(" << Access("A", AIdx) << ", "
+         << Access("B", BIdx) << ")";
+  }
 
   F.E = parseEinsum("fuzz" + std::to_string(Seed), Text.str());
   // Random loop order over every index.
@@ -92,36 +196,45 @@ FuzzCase makeCase(uint64_t Seed) {
   std::shuffle(Loops.begin(), Loops.end(), R.engine());
   F.E.LoopOrder = Loops;
 
-  const double Fill = MinPlus ? Inf : 0.0;
   const unsigned NB = static_cast<unsigned>(BIdx.size());
-  // The symmetric generator needs at least two modes; order-1 B stays
-  // dense.
-  const bool UseSparseB = SparseB && NB >= 2;
-  F.E.declare("A", TensorFormat::csf(OrderA), Fill);
+  const TensorFormat FmtA = randomFormat(OrderA, R);
+  const TensorFormat FmtB =
+      SparseB ? randomFormat(NB, R) : TensorFormat::dense(NB);
+  const double FillB = FmtB.isAllDense() ? 0.0 : FillA;
+  F.E.declare("A", FmtA, FillA);
   F.E.setSymmetry("A", Partition::full(OrderA));
-  F.E.declare("B", UseSparseB ? TensorFormat::csf(NB)
-                              : TensorFormat::dense(NB));
+  F.E.declare("B", FmtB, FillB);
 
-  F.Inputs.emplace("A", generateSymmetricTensor(OrderA, Dim, 3 * Dim, R,
-                                                TensorFormat::csf(OrderA),
-                                                Fill));
-  if (UseSparseB) {
-    F.Inputs.emplace("B",
-                     generateSymmetricTensor(NB, Dim, 2 * Dim, R,
-                                             TensorFormat::csf(NB)));
+  const bool Boolean = F.Spec.S == Semiring::Boolean;
+  Tensor A = generateSymmetricTensor(OrderA, Dim, 3 * Dim, R, FmtA, FillA);
+  quantize(A, Boolean);
+  F.Inputs.emplace("A", std::move(A));
+  Tensor B;
+  if (!FmtB.isAllDense()) {
+    B = NB >= 2 ? generateSymmetricTensor(NB, Dim, 2 * Dim, R, FmtB, FillB)
+                : randomSparseVector(Dim, R, FmtB, FillB);
   } else {
-    std::vector<int64_t> BDims(BIdx.size(), Dim);
-    Tensor B = Tensor::dense(BDims);
+    std::vector<int64_t> BDims(NB, Dim); // NB >= 1 by construction
+    B = Tensor::dense(BDims);
     for (double &V : B.vals())
       V = R.nextDouble();
-    F.Inputs.emplace("B", std::move(B));
   }
+  quantize(B, Boolean);
+  F.Inputs.emplace("B", std::move(B));
 
   F.OutDims.assign(std::max<size_t>(OutIdx.size(), 1), Dim);
   if (OutIdx.empty())
     F.OutDims = {1};
-  F.OutInit = MinPlus ? Inf : 0.0;
+  F.OutInit = opInfo(F.Spec.Reduce).Identity;
   return F;
+}
+
+std::string caseTrace(const FuzzCase &F) {
+  return F.E.str() + "  loops: " + joinAny(F.E.LoopOrder, ",") +
+         "  semiring: " + F.Spec.Name +
+         "  A: " + F.E.decl("A").Format.str() +
+         "  B: " + F.E.decl("B").Format.str() +
+         (F.WeirdFill ? "  (non-annihilating fill)" : "");
 }
 
 Tensor run(const Kernel &K, FuzzCase &F,
@@ -171,8 +284,7 @@ class EinsumFuzz : public ::testing::TestWithParam<uint64_t> {};
 
 TEST_P(EinsumFuzz, CompiledKernelsMatchOracle) {
   FuzzCase F = makeCase(GetParam());
-  SCOPED_TRACE(F.E.str() + "  loops: " +
-               joinAny(F.E.LoopOrder, ","));
+  SCOPED_TRACE(caseTrace(F));
   CompileResult R = compileEinsum(F.E);
   std::map<std::string, const Tensor *> In;
   for (auto &[Name, T] : F.Inputs)
@@ -183,8 +295,7 @@ TEST_P(EinsumFuzz, CompiledKernelsMatchOracle) {
   EXPECT_LT(Tensor::maxAbsDiff(Naive, Ref), 1e-8) << "naive";
   EXPECT_LT(Tensor::maxAbsDiff(Opt, Ref), 1e-8) << "optimized";
   // Parallel runtime fuzz: a random thread count and schedule must
-  // reproduce the oracle too (merge order may differ from sequential
-  // by rounding only).
+  // reproduce the oracle too.
   ExecOptions Par = parallelOptions(GetParam());
   SCOPED_TRACE(std::string("threads ") + std::to_string(Par.Threads) +
                " schedule " + schedulePolicyName(Par.Schedule) +
@@ -200,7 +311,7 @@ TEST_P(EinsumFuzz, MicroKernelsBitIdenticalToInterpreter) {
   // same plan must produce bit-identical outputs and exactly equal
   // execution counters on both compiled kernels.
   FuzzCase F = makeCase(GetParam());
-  SCOPED_TRACE(F.E.str() + "  loops: " + joinAny(F.E.LoopOrder, ","));
+  SCOPED_TRACE(caseTrace(F));
   CompileResult R = compileEinsum(F.E);
   ExecOptions Interp, Fused;
   Interp.EnableMicroKernels = false;
@@ -217,6 +328,58 @@ TEST_P(EinsumFuzz, MicroKernelsBitIdenticalToInterpreter) {
     EXPECT_EQ(SI.Reductions, SF.Reductions);
     EXPECT_EQ(SI.ScalarOps, SF.ScalarOps);
     EXPECT_EQ(SI.OutputWrites, SF.OutputWrites);
+  }
+}
+
+TEST_P(EinsumFuzz, DifferentialMatrix) {
+  // The semiring x format matrix: {interpreter, micro-kernels} x
+  // {Threads 1, 4} must agree bit for bit with each other and exactly
+  // with the dense oracle (integer data makes every reduction exact,
+  // so results are decomposition-independent), and the four runtime
+  // counters must be identical in every cell.
+  FuzzCase F = makeCase(GetParam());
+  SCOPED_TRACE(caseTrace(F));
+  CompileResult R = compileEinsum(F.E);
+  std::map<std::string, const Tensor *> In;
+  for (auto &[Name, T] : F.Inputs)
+    In[Name] = &T;
+  Tensor Ref = oracleEval(F.E, In);
+  for (const Kernel *K : {&R.Naive, &R.Optimized}) {
+    SCOPED_TRACE(K == &R.Naive ? "naive" : "optimized");
+    struct Cell {
+      const char *Name;
+      bool Fused;
+      unsigned Threads;
+    };
+    const Cell Cells[] = {{"interp-1", false, 1},
+                          {"fused-1", true, 1},
+                          {"interp-4", false, 4},
+                          {"fused-4", true, 4}};
+    Tensor First;
+    CounterSnapshot FirstSnap;
+    for (const Cell &C : Cells) {
+      SCOPED_TRACE(C.Name);
+      ExecOptions O;
+      O.EnableMicroKernels = C.Fused;
+      O.Threads = C.Threads;
+      CounterSnapshot Snap;
+      Tensor Out = runCounted(*K, F, O, Snap);
+      // Exact agreement with the dense oracle on every element.
+      ASSERT_EQ(Out.vals().size(), Ref.vals().size());
+      for (size_t I = 0; I < Out.vals().size(); ++I)
+        EXPECT_EQ(Out.vals()[I], Ref.vals()[I]) << "element " << I;
+      if (&C == &Cells[0]) {
+        First = std::move(Out);
+        FirstSnap = Snap;
+        continue;
+      }
+      for (size_t I = 0; I < Out.vals().size(); ++I)
+        EXPECT_EQ(Out.vals()[I], First.vals()[I]) << "element " << I;
+      EXPECT_EQ(Snap.SparseReads, FirstSnap.SparseReads);
+      EXPECT_EQ(Snap.Reductions, FirstSnap.Reductions);
+      EXPECT_EQ(Snap.ScalarOps, FirstSnap.ScalarOps);
+      EXPECT_EQ(Snap.OutputWrites, FirstSnap.OutputWrites);
+    }
   }
 }
 

@@ -424,3 +424,102 @@ TEST(MicroKernels, MttkrpInlinedDefsBitIdentical) {
       Tensor::dense({14, 6}), "mttkrp3 defs");
   EXPECT_GT(S.InnermostFused, 0u);
 }
+
+//===----------------------------------------------------------------------===//
+// Format-general drivers and contextual operands (PR 3)
+//===----------------------------------------------------------------------===//
+
+TEST(MicroKernels, RunLengthDriverBitIdentical) {
+  // A RunLength bottom level drives the fused inner loop run by run,
+  // expanding every coordinate exactly like the interpreter (and
+  // counting one sparse read per coordinate, not per run).
+  Rng R(21);
+  TensorFormat Rle{{LevelKind::Dense, LevelKind::RunLength}};
+  Tensor A = generateSymmetricTensor(2, 30, 60, R, Rle);
+  Tensor X = generateDenseVector(30, R);
+  MicroKernelStats S = compareEngines(
+      spmvKernel(),
+      [&](Executor &E, Tensor &Out) {
+        E.bind("A", &A).bind("x", &X).bind("y", &Out);
+      },
+      Tensor::dense({30}), "runlength driver");
+  EXPECT_GT(S.FusedRunLengthDrivers, 0u);
+  EXPECT_EQ(S.GenericLoops, 0u);
+}
+
+TEST(MicroKernels, BandedDriverBitIdentical) {
+  // A Banded bottom level drives the fused inner loop over its
+  // clamped interval, including columns whose band misses [Lo, Hi].
+  Rng R(22);
+  TensorFormat Band{{LevelKind::Dense, LevelKind::Banded}};
+  Tensor A = generateBandedSymmetric(30, 3, R, Band);
+  Tensor X = generateDenseVector(30, R);
+  MicroKernelStats S = compareEngines(
+      spmvKernel(),
+      [&](Executor &E, Tensor &Out) {
+        E.bind("A", &A).bind("x", &X).bind("y", &Out);
+      },
+      Tensor::dense({30}), "banded driver");
+  EXPECT_GT(S.FusedBandedDrivers, 0u);
+  EXPECT_EQ(S.GenericLoops, 0u);
+}
+
+TEST(MicroKernels, SparseLoadOperandFusesWithExactCounters) {
+  // y[j] += A[i,j] + s[i]: an additive body over fill-0 operands, so
+  // the walker algebra vetoes every coordinate-skipping walker and both
+  // sparse accesses compile to SparseLoad. The loops must still fuse —
+  // the contextual engine chains the stateful locator — with exact
+  // SparseReads parity against the interpreter.
+  Kernel K;
+  K.Name = "sload";
+  K.LoopOrder = {"j", "i"};
+  K.OutputName = "y";
+  K.Decls["A"] = TensorDecl{"A", 2, TensorFormat::csf(2), 0.0,
+                            Partition::none(2), false};
+  K.Body = Stmt::loops(
+      {"j", "i"},
+      Stmt::assign(Expr::access("y", {"j"}), OpKind::Add,
+                   Expr::call(OpKind::Add, {Expr::access("A", {"i", "j"}),
+                                            Expr::access("s", {"i"})})));
+  Tensor A = gappyCsc();
+  Coo SC({4});
+  SC.add({0}, 2.0);
+  SC.add({2}, -1.5);
+  Tensor S = Tensor::fromCoo(std::move(SC),
+                             TensorFormat{{LevelKind::Sparse}});
+  MicroKernelStats St = compareEngines(
+      K,
+      [&](Executor &E, Tensor &Out) {
+        E.bind("A", &A).bind("s", &S).bind("y", &Out);
+      },
+      Tensor::dense({4}), "sparse-load operand");
+  EXPECT_GT(St.FusedSparseLoadFactors, 0u);
+  EXPECT_EQ(St.GenericLoops, 0u);
+  EXPECT_GT(St.WalkersRejected, 0u)
+      << "additive fill-0 body must not skip coordinates";
+}
+
+TEST(MicroKernels, LiveScalarReadAfterGuardedWrite) {
+  // A scalar accumulated under a dynamic guard and read by a later
+  // statement in the same loop: bind-time substitution is impossible,
+  // so the reader must observe the slot live, per element, like the
+  // interpreter.
+  Kernel K;
+  K.Name = "live";
+  K.LoopOrder = {"i", "j"};
+  K.OutputName = "y";
+  Cond Tri = Cond::conj({CmpAtom{CmpKind::LE, "i", "j"}});
+  K.Body = Stmt::loops(
+      {"i", "j"},
+      Stmt::block(
+          {Stmt::ifThen(Tri, Stmt::assign(Expr::scalar("acc"), OpKind::Add,
+                                          Expr::access("x", {"i"}))),
+           Stmt::assign(Expr::access("y", {"j"}), OpKind::Add,
+                        Expr::scalar("acc"))}));
+  Tensor X = denseVec({1, 2, 3, 4});
+  MicroKernelStats St = compareEngines(
+      K,
+      [&](Executor &E, Tensor &Out) { E.bind("x", &X).bind("y", &Out); },
+      Tensor::dense({4}), "live scalar");
+  EXPECT_GT(St.SpecializedLoops, 0u);
+}

@@ -27,6 +27,7 @@ struct SmokeCase {
   std::map<std::string, Tensor> Inputs;
   std::vector<int64_t> OutDims;
   std::string OutName;
+  double OutInit = 0.0; ///< reduction identity of the kernel
 };
 
 std::vector<SmokeCase> makeCases() {
@@ -76,7 +77,8 @@ Tensor runOnce(const Kernel &K, SmokeCase &C, bool Fused,
   ExecOptions O;
   O.EnableMicroKernels = Fused;
   Executor E(K, O);
-  Tensor Out = Tensor::dense(C.OutDims);
+  Tensor Out = Tensor::dense(C.OutDims, 0.0);
+  Out.setAllValues(C.OutInit);
   for (auto &[Name, T] : C.Inputs)
     E.bind(Name, &T);
   E.bind(C.OutName, &Out);
@@ -119,5 +121,117 @@ TEST(PerfSmoke, FullCoverageOnOptimizedPlans) {
     MicroKernelStats Stats;
     runOnce(R.Optimized, C, /*Fused=*/true, Stats);
     EXPECT_EQ(Stats.GenericLoops, 0u);
+  }
+}
+
+namespace {
+
+/// ssymv / bellman-ford variants with A re-declared in \p F (the
+/// structured-format axis: RunLength and Banded bottom levels, sparse
+/// top levels).
+SmokeCase formatVariant(const std::string &Name, Einsum E,
+                        const TensorFormat &F, Tensor A, Tensor X,
+                        double OutInit) {
+  const std::string VecName = E.Name == "ssymv" ? "x" : "d";
+  E.declare("A", F, E.decl("A").Fill);
+  E.setSymmetry("A", Partition::full(2));
+  SmokeCase C{Name, std::move(E), {}, {A.dim(0)}, "y"};
+  C.Inputs.emplace("A", std::move(A));
+  C.Inputs.emplace(VecName, std::move(X));
+  C.OutInit = OutInit;
+  return C;
+}
+
+} // namespace
+
+TEST(PerfSmoke, SpecializerFiresOnRunLengthAndBandedDrivers) {
+  // The format-general engines: RunLength- and Banded-driven variants
+  // of the paper kernels must specialize (per-shape counters), stay
+  // fully covered, and reproduce the interpreter bit for bit.
+  Rng R(20260801);
+  const int64_t N = 48;
+  TensorFormat Rle{{LevelKind::Dense, LevelKind::RunLength}};
+  TensorFormat Band{{LevelKind::Dense, LevelKind::Banded}};
+  std::vector<SmokeCase> Cases;
+  Cases.push_back(formatVariant(
+      "ssymv-rle", makeSsymv(), Rle,
+      generateSymmetricTensor(2, N, 3 * N, R, Rle),
+      generateDenseVector(N, R), 0.0));
+  Cases.push_back(formatVariant(
+      "ssymv-banded", makeSsymv(), Band,
+      generateBandedSymmetric(N, 4, R, Band),
+      generateDenseVector(N, R), 0.0));
+  const double Inf = std::numeric_limits<double>::infinity();
+  Cases.push_back(formatVariant(
+      "bellmanford-banded", makeBellmanFord(), Band,
+      generateBandedSymmetric(N, 4, R, Band, Inf), // fill inf off-band
+      generateDenseVector(N, R), Inf));
+  for (SmokeCase &C : Cases) {
+    SCOPED_TRACE(C.Name);
+    const bool Rl = C.Name.find("rle") != std::string::npos;
+    CompileResult R2 = compileEinsum(C.E);
+    for (const Kernel *K : {&R2.Naive, &R2.Optimized}) {
+      SCOPED_TRACE(K == &R2.Naive ? "naive" : "optimized");
+      MicroKernelStats FusedStats, GenericStats;
+      Tensor Generic = runOnce(*K, C, /*Fused=*/false, GenericStats);
+      Tensor Fused = runOnce(*K, C, /*Fused=*/true, FusedStats);
+      EXPECT_GT(FusedStats.SpecializedLoops, 0u);
+      EXPECT_EQ(FusedStats.GenericLoops, 0u);
+      if (Rl)
+        EXPECT_GT(FusedStats.FusedRunLengthDrivers, 0u);
+      else
+        EXPECT_GT(FusedStats.FusedBandedDrivers, 0u);
+      ASSERT_EQ(Generic.vals().size(), Fused.vals().size());
+      for (size_t I = 0; I < Generic.vals().size(); ++I)
+        EXPECT_EQ(Generic.vals()[I], Fused.vals()[I]) << "element " << I;
+    }
+  }
+}
+
+TEST(PerfSmoke, WalkersRecoveredOnGroupedTwoSparseOperandKernels) {
+  // Grouped symmetric kernels over two sparse operands, with A in a
+  // sparse-topped (DCSR) format: the workspace flush used to cost the
+  // outer walker under the string-level membership check. The algebra
+  // must recover it (WalkersRecovered > 0), the mismatched accesses of
+  // the second sparse operand must bind as SparseLoad factors inside
+  // the fused bodies, and the plans stay fully fused and bit-identical
+  // to the interpreter.
+  Rng R(20260801);
+  const int64_t N = 48;
+  TensorFormat Dcsr{{LevelKind::Sparse, LevelKind::Sparse}};
+  TensorFormat SpVec{{LevelKind::Sparse}};
+  Einsum E = makeSsymv();
+  E.declare("A", Dcsr);
+  E.setSymmetry("A", Partition::full(2));
+  E.declare("x", SpVec);
+  SmokeCase C{"ssymv-2sparse", E, {}, {N}, "y"};
+  C.Inputs.emplace("A", generateSymmetricTensor(2, N, 3 * N, R, Dcsr));
+  Coo XC({N});
+  for (int64_t K = 0; K < N; ++K)
+    if (K % 3 != 0)
+      XC.add({K}, 1.0 + K);
+  C.Inputs.emplace("x", Tensor::fromCoo(std::move(XC), SpVec));
+  CompileResult R2 = compileEinsum(C.E);
+  for (const Kernel *K : {&R2.Naive, &R2.Optimized}) {
+    SCOPED_TRACE(K == &R2.Naive ? "naive" : "optimized");
+    MicroKernelStats FusedStats, GenericStats;
+    Tensor Generic = runOnce(*K, C, /*Fused=*/false, GenericStats);
+    Tensor Fused = runOnce(*K, C, /*Fused=*/true, FusedStats);
+    if (K == &R2.Optimized) {
+      // Only the grouped symmetric lowering has the workspace flush
+      // (losing the top-level walker under membership) and the
+      // mismatched second-operand accesses (x[j] vs x[i]) that must
+      // bind as SparseLoad factors; the naive nest walks both operands
+      // directly.
+      EXPECT_GT(FusedStats.WalkersRecovered, 0u)
+          << "the workspace flush must not cost the sparse-topped walker";
+      EXPECT_GT(FusedStats.FusedSparseLoadFactors, 0u)
+          << "second sparse operand must fuse via the chained locator";
+    }
+    EXPECT_GT(FusedStats.SpecializedLoops, 0u);
+    EXPECT_EQ(FusedStats.GenericLoops, 0u);
+    ASSERT_EQ(Generic.vals().size(), Fused.vals().size());
+    for (size_t I = 0; I < Generic.vals().size(); ++I)
+      EXPECT_EQ(Generic.vals()[I], Fused.vals()[I]) << "element " << I;
   }
 }

@@ -250,6 +250,10 @@ TEST(Executor, MultiplicityAdd) {
 }
 
 TEST(Executor, MultiplicityIdempotentCollapses) {
+  // min-reduction over a fill-inf matrix (the (min, +) data model:
+  // missing coordinates annihilate, so results are the same whether or
+  // not the runtime walks the sparse level). Duplicate updates must
+  // collapse without a scale factor.
   Kernel K;
   K.Name = "multmin";
   K.LoopOrder = {"j", "i"};
@@ -258,7 +262,14 @@ TEST(Executor, MultiplicityIdempotentCollapses) {
   K.Body = Stmt::loops({"j", "i"},
                        Stmt::assign(Expr::access("y", {}), OpKind::Min,
                                     Expr::access("A", {"i", "j"}), 2));
-  Tensor A = smallCsc();
+  Coo C({3, 3});
+  C.add({0, 0}, 1);
+  C.add({2, 0}, 4);
+  C.add({1, 1}, 3);
+  C.add({0, 2}, 2);
+  C.add({2, 2}, 5);
+  Tensor A = Tensor::fromCoo(std::move(C), TensorFormat::csf(2),
+                             std::numeric_limits<double>::infinity());
   Tensor Y = Tensor::dense({1}, 0.0);
   Y.setAllValues(std::numeric_limits<double>::infinity());
   Executor E(K);
