@@ -91,14 +91,18 @@ void printSpecialization(const char *Workload, const char *Variant,
   const MicroKernelStats &S = E.microKernelStats();
   std::printf("  specialization %-10s %-16s fused=%llu (innermost %llu) "
               "generic=%llu walkers=%llu (recovered %llu, rejected "
-              "%llu)\n",
+              "%llu) co=%llu (nway %llu) lut=%llu prebind=%llu\n",
               Workload, Variant,
               static_cast<unsigned long long>(S.SpecializedLoops),
               static_cast<unsigned long long>(S.InnermostFused),
               static_cast<unsigned long long>(S.GenericLoops),
               static_cast<unsigned long long>(S.WalkersRegistered),
               static_cast<unsigned long long>(S.WalkersRecovered),
-              static_cast<unsigned long long>(S.WalkersRejected));
+              static_cast<unsigned long long>(S.WalkersRejected),
+              static_cast<unsigned long long>(S.FusedCoWalkers),
+              static_cast<unsigned long long>(S.FusedNWalkerLoops),
+              static_cast<unsigned long long>(S.FusedLutFactors),
+              static_cast<unsigned long long>(S.PrebindSlots));
 }
 
 } // namespace

@@ -78,6 +78,22 @@ std::vector<MicroCase> makeCases(Rng &R) {
     C.Inputs.emplace("B", generateDenseMatrix(Dim3, Rank, R));
     Cases.push_back(std::move(C));
   }
+  {
+    // Three sparse operands intersecting on the inner index: the N-way
+    // multi-finger merge (one driver, two sparse co-walkers with
+    // galloping catch-up) vs. the interpreter's per-element locate —
+    // the shape the specializer declined before the intersection
+    // engine generalized past two walkers.
+    Einsum E = parseEinsum("trimul", "O[j] += A[i,j] * B[i,j] * C[i,j]");
+    E.LoopOrder = {"j", "i"};
+    for (const char *T : {"A", "B", "C"})
+      E.declare(T, TensorFormat::csf(2));
+    MicroCase C{"trimul", std::move(E), {}, {N}, "O", "n2000_nnz16n_x3"};
+    for (const char *T : {"A", "B", "C"})
+      C.Inputs.emplace(T, generateSymmetricTensor(2, N, 16 * N, R,
+                                                  TensorFormat::csf(2)));
+    Cases.push_back(std::move(C));
+  }
   return Cases;
 }
 
@@ -117,11 +133,19 @@ int main(int argc, char **argv) {
                   [&E] { E.runBody(); });
     }
     const MicroKernelStats &S = H->Executors.back()->microKernelStats();
-    std::printf("%-8s specialized=%llu (innermost %llu), generic=%llu\n",
+    std::printf("%-8s specialized=%llu (innermost %llu), generic=%llu, "
+                "co=%llu (nway %llu, rl %llu, banded %llu), lut=%llu, "
+                "prebind=%llu\n",
                 C.Name.c_str(),
                 static_cast<unsigned long long>(S.SpecializedLoops),
                 static_cast<unsigned long long>(S.InnermostFused),
-                static_cast<unsigned long long>(S.GenericLoops));
+                static_cast<unsigned long long>(S.GenericLoops),
+                static_cast<unsigned long long>(S.FusedCoWalkers),
+                static_cast<unsigned long long>(S.FusedNWalkerLoops),
+                static_cast<unsigned long long>(S.FusedRunLengthCoWalkers),
+                static_cast<unsigned long long>(S.FusedBandedCoWalkers),
+                static_cast<unsigned long long>(S.FusedLutFactors),
+                static_cast<unsigned long long>(S.PrebindSlots));
     Holders.push_back(std::move(H));
   }
 

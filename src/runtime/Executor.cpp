@@ -541,10 +541,26 @@ private:
         ++Stats.FusedBandedDrivers;
         break;
       }
+      const MKDriver &FD = Loop->Fused->D;
+      Stats.FusedCoWalkers += FD.Cos.size();
+      if (FD.Cos.size() >= 2)
+        ++Stats.FusedNWalkerLoops;
+      for (const MKCoWalker &Co : FD.Cos) {
+        if (Co.Kind == LevelKind::RunLength)
+          ++Stats.FusedRunLengthCoWalkers;
+        else if (Co.Kind == LevelKind::Banded)
+          ++Stats.FusedBandedCoWalkers;
+      }
       for (const MKItem &Item : Loop->Fused->Items)
-        for (const MKOperand &Op : Item.S.Factors)
-          if (Op.K == MKOperand::Kind::SparseLoad)
+        for (const MKOperand &Op : Item.S.Factors) {
+          if (Op.K == MKOperand::Kind::SparseLoad) {
             ++Stats.FusedSparseLoadFactors;
+            if (Op.PrebindLevels > 0)
+              ++Stats.PrebindSlots;
+          } else if (Op.K == MKOperand::Kind::Lut) {
+            ++Stats.FusedLutFactors;
+          }
+        }
     } else {
       ++Stats.GenericLoops;
     }

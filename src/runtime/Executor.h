@@ -106,6 +106,24 @@ struct MicroKernelStats {
   /// SparseLoad operands bound inside fused bodies (chained stateful
   /// locator instead of falling back to the interpreter).
   uint64_t FusedSparseLoadFactors = 0;
+
+  /// Intersection shapes (per-shape coverage of the formerly-declined
+  /// specializer gaps; each is assertable in tests/perf_smoke.cpp).
+  /// Total non-driving walkers bound into fused intersection loops.
+  uint64_t FusedCoWalkers = 0;
+  /// Fused loops intersecting more than two walkers (one driver plus
+  /// two or more co-walkers — the N-way multi-finger merge).
+  uint64_t FusedNWalkerLoops = 0;
+  /// Co-walkers matched positionally on structured levels (run
+  /// containment / interval containment instead of a crd merge).
+  uint64_t FusedRunLengthCoWalkers = 0;
+  uint64_t FusedBandedCoWalkers = 0;
+  /// Lut operands bound inside fused bodies (bind-time constants or
+  /// per-element contextual evaluation).
+  uint64_t FusedLutFactors = 0;
+  /// SparseLoad operands with a row-invariant level prefix hoisted to
+  /// bind time (per-row prebinding slots installed by the specializer).
+  uint64_t PrebindSlots = 0;
 };
 
 /// One-line rendering of \p O ("threads=4 schedule=auto ..."), recorded

@@ -14,6 +14,7 @@
 #include <map>
 #include <optional>
 #include <set>
+#include <utility>
 
 namespace systec {
 namespace detail {
@@ -89,7 +90,7 @@ bool buildDriver(MatchState &M) {
     D.K = MKDriver::Kind::Range;
     return true;
   }
-  if (Ws.size() > 2)
+  if (Ws.size() > 1 + MKDriver::MaxCoWalkers)
     return false;
   const AccessState &A = M.Accesses[Ws[0].AccessId];
   const Level &Lev = A.T->level(Ws[0].Level);
@@ -119,29 +120,28 @@ bool buildDriver(MatchState &M) {
   D.BOff = Lev.Off.data();
   D.Vals = A.T->valsData();
   D.Dim = Lev.Dim;
-  if (Ws.size() == 2) {
-    const AccessState &B = M.Accesses[Ws[1].AccessId];
-    const Level &CoLev = B.T->level(Ws[1].Level);
-    switch (CoLev.Kind) {
-    case LevelKind::Sparse:
-      D.CoSparse = true;
-      break;
-    case LevelKind::Dense:
-      D.CoSparse = false;
-      break;
-    default:
-      return false;
-    }
-    D.HasCo = true;
-    D.CoSameFiber = B.T == A.T && Ws[1].Level == Ws[0].Level;
-    D.CoAccessId = Ws[1].AccessId;
-    D.CoLevel = Ws[1].Level;
-    D.CoBottom = Ws[1].Bottom;
-    D.CoCountReads = Ws[1].Bottom && B.SparseFormat;
-    D.CoPtr = CoLev.Ptr.data();
-    D.CoCrd = CoLev.Crd.data();
-    D.CoVals = B.T->valsData();
-    D.CoDim = CoLev.Dim;
+  for (size_t W = 1; W < Ws.size(); ++W) {
+    const AccessState &B = M.Accesses[Ws[W].AccessId];
+    const Level &CoLev = B.T->level(Ws[W].Level);
+    MKCoWalker Co;
+    Co.Kind = CoLev.Kind;
+    // Mirrors the interpreter's per-element aliasing test against the
+    // *driving* walker (co-walkers never alias each other there
+    // either); parent equality resolves at bind time.
+    Co.SameFiber = B.T == A.T && Ws[W].Level == Ws[0].Level;
+    Co.AccessId = Ws[W].AccessId;
+    Co.Level = Ws[W].Level;
+    Co.Bottom = Ws[W].Bottom;
+    Co.CountReads = Ws[W].Bottom && B.SparseFormat;
+    Co.Ptr = CoLev.Ptr.data();
+    Co.Crd = CoLev.Crd.data();
+    Co.RunEnd = CoLev.RunEnd.data();
+    Co.BLo = CoLev.Lo.data();
+    Co.BHi = CoLev.Hi.data();
+    Co.BOff = CoLev.Off.data();
+    Co.Vals = B.T->valsData();
+    Co.Dim = CoLev.Dim;
+    D.Cos.push_back(std::move(Co));
   }
   return true;
 }
@@ -185,10 +185,14 @@ operandFor(const VInstr &I, MatchState &M,
       return D.Bottom ? std::optional<MKOperand>(
                             MKOperand{MKOperand::Kind::Driver})
                       : std::nullopt;
-    if (D.HasCo && I.Id == D.CoAccessId)
-      return D.CoBottom ? std::optional<MKOperand>(
-                              MKOperand{MKOperand::Kind::Driver2})
-                        : std::nullopt;
+    for (size_t Co = 0; Co < D.Cos.size(); ++Co)
+      if (I.Id == D.Cos[Co].AccessId) {
+        if (!D.Cos[Co].Bottom)
+          return std::nullopt;
+        Op.K = MKOperand::Kind::CoDriver;
+        Op.Slot = static_cast<unsigned>(Co);
+        return Op;
+      }
     Op.K = MKOperand::Kind::Walked;
     Op.Slot = I.Id; // access id, driven by an enclosing loop
     return Op;
@@ -204,12 +208,30 @@ operandFor(const VInstr &I, MatchState &M,
     }
     return Op;
   }
-  case VKind::SparseLoad:
+  case VKind::SparseLoad: {
     Op.K = MKOperand::Kind::SparseLoad;
     Op.Slot = I.Id;
     Op.LevelSlots = I.LevelSlots;
+    Op.Fill = M.Accesses[I.Id].T->fill();
+    if (!M.Nest) {
+      // Per-row prebinding: the leading levels whose coordinate slots
+      // are bound by enclosing loops are invariant across this loop's
+      // execution, so the engine resolves them once at bind time.
+      unsigned P = 0;
+      while (P < Op.LevelSlots.size() && Op.LevelSlots[P] != M.L.Slot)
+        ++P;
+      Op.PrebindLevels = static_cast<uint8_t>(P);
+    }
     return Op;
-  case VKind::Lut:
+  }
+  case VKind::Lut: {
+    Op.K = MKOperand::Kind::Lut;
+    Op.LutBits = I.LutBits;
+    Op.LutTable = I.LutTable;
+    for (const CAtom &A : I.LutBits)
+      Op.LutDynamic |= A.A == M.L.Slot || A.B == M.L.Slot;
+    return Op;
+  }
   case VKind::Op:
     return std::nullopt; // Op is handled by the program classifier
   }
@@ -220,7 +242,8 @@ operandFor(const VInstr &I, MatchState &M,
 /// element (cannot prebind into a BoundVal).
 bool contextualOperand(const MKOperand &Op) {
   return Op.K == MKOperand::Kind::SparseLoad ||
-         (Op.K == MKOperand::Kind::Scalar && Op.Live);
+         (Op.K == MKOperand::Kind::Scalar && Op.Live) ||
+         (Op.K == MKOperand::Kind::Lut && Op.LutDynamic);
 }
 
 /// Classifies a whole program into a factor list folded left-to-right
@@ -328,10 +351,10 @@ bool gatherItems(PlanNode *N, std::optional<CCond> Guard, MatchState &M,
     if (!M.Nest) {
       // A per-element dynamic guard makes the def's value
       // data-dependent in a way bind-time substitution cannot express,
-      // and contextual factors (SparseLoad, live scalars) must not be
-      // duplicated into readers — re-evaluating a SparseLoad per use
-      // would double its counter and cursor traffic. Later reads of
-      // such defs fall back to live scalar reads.
+      // and contextual factors (SparseLoad, live scalars, dynamic Luts)
+      // must not be duplicated into readers — re-evaluating a
+      // SparseLoad per use would double its counter and cursor traffic.
+      // Later reads of such defs fall back to live scalar reads.
       M.Written.insert(Def->Slot);
       invalidateDefsReading(M, Def->Slot);
       if (Item.S.Factors.size() == 1 && !Item.GuardDynamic &&
@@ -424,6 +447,26 @@ bool specializeLoop(PlanLoop &L, const std::vector<AccessState> &Accesses) {
     return false;
   if (HasLoop && !HasFusedChild && !HasStmt)
     return false;
+  // Hand out prebind slots for the innermost engine's bind-time array;
+  // operands past the cap simply resolve every level per element (same
+  // values, same counters).
+  if (!HasLoop) {
+    unsigned NPre = 0;
+    for (MKItem &I : Items)
+      for (MKOperand &Op : I.S.Factors)
+        if (Op.K == MKOperand::Kind::SparseLoad && Op.PrebindLevels) {
+          if (NPre < MicroKernel::MaxPrebinds)
+            Op.PrebindIdx = NPre++;
+          else
+            Op.PrebindLevels = 0;
+        }
+  } else {
+    // The nest engine evaluates operands fresh per element; prebinding
+    // is the innermost engine's contract only.
+    for (MKItem &I : Items)
+      for (MKOperand &Op : I.S.Factors)
+        Op.PrebindLevels = 0;
+  }
   auto MK = std::make_unique<MicroKernel>();
   MK->Slot = L.Slot;
   MK->Innermost = !HasLoop;
@@ -439,12 +482,22 @@ bool specializeLoop(PlanLoop &L, const std::vector<AccessState> &Accesses) {
 
 namespace {
 
+/// Per-run co-walker state: parent position, the per-execution alias
+/// decision, and the forward finger for compressed kinds. Plain
+/// aggregate with no default initialization — binding runs once per
+/// *row* of a nest, and bindDriver writes exactly the entries the
+/// driver's co-walker list uses (unused slots are never read).
+struct CoBind {
+  int64_t Parent;
+  bool Aliased;
+  int64_t K, E;
+};
+
 /// Per-run driver state (the level arrays themselves are cached in the
 /// MKDriver at specialization; only positions resolve per run).
 struct DriverBind {
   int64_t Parent = 0;
-  int64_t CoParent = 0;
-  bool Aliased = false;
+  CoBind Co[MKDriver::MaxCoWalkers];
 };
 
 DriverBind bindDriver(ExecCtx &C, const MKDriver &D) {
@@ -452,78 +505,136 @@ DriverBind bindDriver(ExecCtx &C, const MKDriver &D) {
   if (D.K == MKDriver::Kind::Range)
     return B;
   B.Parent = C.Accesses[D.AccessId].Pos[D.Level];
-  if (D.HasCo) {
-    B.CoParent = C.Accesses[D.CoAccessId].Pos[D.CoLevel];
+  for (size_t I = 0; I < D.Cos.size(); ++I) {
+    const MKCoWalker &Co = D.Cos[I];
+    CoBind &CB = B.Co[I];
+    CB.Parent = C.Accesses[Co.AccessId].Pos[Co.Level];
     // Mirror the interpreter's per-execution aliasing test: the same
     // fiber walked twice advances in lockstep instead of re-locating.
-    B.Aliased = D.CoSameFiber && B.CoParent == B.Parent;
+    CB.Aliased = Co.SameFiber && CB.Parent == B.Parent;
+    if (!CB.Aliased && (Co.Kind == LevelKind::Sparse ||
+                        Co.Kind == LevelKind::RunLength)) {
+      CB.K = Co.Ptr[CB.Parent];
+      CB.E = Co.Ptr[CB.Parent + 1];
+    } else {
+      CB.K = CB.E = 0;
+    }
   }
   return B;
 }
 
-/// Iterates the fused loop's elements, invoking Body(v, k1, k2) for
+/// Per-execution iteration tallies, flushed into the context counters
+/// once per loop run. Visited counts driver candidates; CoMatched[i]
+/// counts candidates where co-walkers 0..i all matched — exactly the
+/// points where the interpreter's Step charges walker i's SparseRead.
+struct IterCounts {
+  uint64_t Visited = 0;
+  uint64_t CoMatched[MKDriver::MaxCoWalkers] = {};
+};
+
+/// Iterates the fused loop's elements, invoking Body(v, k1, coPos) for
 /// every intersection element, in exactly the interpreter's order.
 /// UpdateState additionally maintains IndexVal and walker positions for
-/// nested consumers. Returns via out-params the number of driver
-/// candidates visited and of body executions (they differ only under a
-/// filtering sparse co-walker).
-template <typename Fn>
-void iterateDriver(ExecCtx &C, const MKDriver &D, unsigned Slot,
-                   const DriverBind &B, int64_t Lo, int64_t Hi,
-                   bool UpdateState, uint64_t &Visited, uint64_t &Matched,
-                   Fn &&Body) {
-  // Co-walker resolution shared by every driver kind. Coordinates
-  // arrive in ascending order, so a sparse co-walker is a forward
-  // finger (two-finger merge) rather than a per-element bisection.
-  int64_t K2 = 0, E2 = 0;
-  if (D.HasCo && !B.Aliased && D.CoSparse) {
-    K2 = D.CoPtr[B.CoParent];
-    E2 = D.CoPtr[B.CoParent + 1];
-  }
-  auto ResolveCo = [&](int64_t V, int64_t K1, int64_t &OutK2) -> bool {
-    if (B.Aliased) {
-      OutK2 = K1;
-      return true;
-    }
-    if (!D.CoSparse) {
-      OutK2 = B.CoParent * D.CoDim + V;
-      return true;
-    }
-    const int64_t *Crd2 = D.CoCrd;
-    while (K2 < E2 && Crd2[K2] < V)
-      ++K2;
-    if (K2 < E2 && Crd2[K2] == V) {
-      OutK2 = K2;
-      return true;
-    }
-    return false;
-  };
-  auto Emit = [&](int64_t V, int64_t K1) {
-    ++Visited;
-    if (UpdateState) {
-      C.IndexVal[Slot] = V;
-      if (D.K != MKDriver::Kind::Range)
-        C.Accesses[D.AccessId].Pos[D.Level + 1] = K1;
-    }
-    int64_t CoPos = 0;
-    if (D.HasCo) {
-      if (!ResolveCo(V, K1, CoPos))
-        return;
+/// nested consumers (positions are written as each walker resolves —
+/// including for candidates a later co-walker rejects — mirroring the
+/// interpreter's Step). Instantiated separately for loops without
+/// co-walkers (WithCos = false) so the plain driver walks keep the
+/// tight pre-intersection codegen — the resolution machinery folds
+/// away entirely.
+template <bool WithCos, typename Fn>
+void iterateDriverImpl(ExecCtx &C, const MKDriver &D, unsigned Slot,
+                       DriverBind &B, int64_t Lo, int64_t Hi,
+                       bool UpdateState, IterCounts &N, Fn &&Body) {
+  const size_t NCo = WithCos ? D.Cos.size() : 0;
+  int64_t CoPos[MKDriver::MaxCoWalkers];
+  CoPos[0] = 0; // factors without a co stride index slot 0
+
+  // Resolves every co-walker for candidate (V, K1) in registration
+  // order. Coordinates arrive in ascending order, so compressed
+  // co-walkers are forward fingers (multi-finger merge): a sparse
+  // finger catches up by galloping then bisecting the overshoot
+  // window, a RunLength finger steps run by run. Returns false when
+  // the candidate is missing from the intersection.
+  auto ResolveCos = [&](int64_t V, int64_t K1) -> bool {
+    for (size_t I = 0; I < NCo; ++I) {
+      const MKCoWalker &Co = D.Cos[I];
+      CoBind &CB = B.Co[I];
+      int64_t P;
+      if (CB.Aliased) {
+        P = K1;
+      } else {
+        switch (Co.Kind) {
+        case LevelKind::Dense:
+          P = CB.Parent * Co.Dim + V;
+          break;
+        case LevelKind::Sparse: {
+          int64_t K = CB.K;
+          const int64_t *Crd = Co.Crd;
+          if (K < CB.E && Crd[K] < V) {
+            int64_t Step = 1;
+            while (K + Step < CB.E && Crd[K + Step] < V)
+              Step <<= 1;
+            const int64_t HiB = std::min(K + Step + 1, CB.E);
+            K = std::lower_bound(Crd + K + 1, Crd + HiB, V) - Crd;
+          }
+          CB.K = K;
+          if (K >= CB.E || Crd[K] != V)
+            return false;
+          P = K;
+          break;
+        }
+        case LevelKind::RunLength: {
+          int64_t K = CB.K;
+          const int64_t *RunEnd = Co.RunEnd;
+          while (K < CB.E && RunEnd[K] <= V)
+            ++K;
+          CB.K = K;
+          if (K >= CB.E)
+            return false; // past the last run (V outside the extent)
+          P = K;
+          break;
+        }
+        case LevelKind::Banded: {
+          const int64_t BLo = Co.BLo[CB.Parent];
+          if (V < BLo || V >= Co.BHi[CB.Parent])
+            return false;
+          P = Co.BOff[CB.Parent] + (V - BLo);
+          break;
+        }
+        }
+      }
+      CoPos[I] = P;
       if (UpdateState)
-        C.Accesses[D.CoAccessId].Pos[D.CoLevel + 1] = CoPos;
+        C.Accesses[Co.AccessId].Pos[Co.Level + 1] = P;
+      ++N.CoMatched[I];
     }
-    ++Matched;
-    Body(V, K1, CoPos);
+    return true;
+  };
+
+  auto Emit = [&](int64_t V, int64_t K1) {
+    ++N.Visited;
+    if (UpdateState)
+      C.Accesses[D.AccessId].Pos[D.Level + 1] = K1;
+    if constexpr (WithCos) {
+      if (NCo && !ResolveCos(V, K1))
+        return;
+    }
+    if (UpdateState)
+      C.IndexVal[Slot] = V;
+    // The first co position travels as a scalar so bound loads keep
+    // register addressing; without co-walkers it is a literal 0 the
+    // compiler folds out of the strides entirely.
+    const int64_t K2 = WithCos ? CoPos[0] : 0;
+    Body(V, K1, K2, static_cast<const int64_t *>(CoPos));
   };
 
   switch (D.K) {
   case MKDriver::Kind::Range:
     for (int64_t V = Lo; V <= Hi; ++V) {
-      ++Visited;
-      ++Matched;
+      ++N.Visited;
       if (UpdateState)
         C.IndexVal[Slot] = V;
-      Body(V, 0, 0);
+      Body(V, 0, 0, static_cast<const int64_t *>(CoPos));
     }
     return;
   case MKDriver::Kind::DenseWalk: {
@@ -574,13 +685,38 @@ void iterateDriver(ExecCtx &C, const MKDriver &D, unsigned Slot,
   }
 }
 
+/// Dispatches to the co-walker-free or intersecting instantiation.
+template <typename Fn>
+inline void iterateDriver(ExecCtx &C, const MKDriver &D, unsigned Slot,
+                          DriverBind &B, int64_t Lo, int64_t Hi,
+                          bool UpdateState, IterCounts &N, Fn &&Body) {
+  if (D.Cos.empty())
+    iterateDriverImpl<false>(C, D, Slot, B, Lo, Hi, UpdateState, N,
+                             std::forward<Fn>(Body));
+  else
+    iterateDriverImpl<true>(C, D, Slot, B, Lo, Hi, UpdateState, N,
+                            std::forward<Fn>(Body));
+}
+
+/// Flushes the iteration's SparseRead tallies: the driver charges per
+/// candidate, co-walker i per candidate it (and every co before it)
+/// matched — exactly the interpreter's Step accounting.
+inline void flushIterReads(ExecCtx &C, const MKDriver &D,
+                           const IterCounts &N) {
+  if (D.CountReads)
+    C.Local.SparseReads += N.Visited;
+  for (size_t I = 0; I < D.Cos.size(); ++I)
+    if (D.Cos[I].CountReads)
+      C.Local.SparseReads += N.CoMatched[I];
+}
+
 //===----------------------------------------------------------------------===//
-// Execution: operand evaluation (nest items, evaluated fresh)
+// Execution: operand evaluation (nest items and contextual statements)
 //===----------------------------------------------------------------------===//
 
 inline double evalOperand(ExecCtx &C, const MKDriver &D,
                           const MKOperand &Op, int64_t V, int64_t K1,
-                          int64_t K2) {
+                          const int64_t *CoPos, const int64_t *PreBase) {
   switch (Op.K) {
   case MKOperand::Kind::Const:
     return Op.Lit;
@@ -598,25 +734,44 @@ inline double evalOperand(ExecCtx &C, const MKDriver &D,
   }
   case MKOperand::Kind::Driver:
     return D.Vals[K1];
-  case MKOperand::Kind::Driver2:
-    return D.CoVals[K2];
+  case MKOperand::Kind::CoDriver:
+    return D.Cos[Op.Slot].Vals[CoPos[Op.Slot]];
   case MKOperand::Kind::SparseLoad:
     // Same counter and cursor discipline as the expression VM's
     // SparseLoad instruction: one SparseRead per evaluation, locator
-    // state chained through the context.
+    // state chained through the context. A prebound row-invariant
+    // prefix resumes from its cached position (or yields the fill
+    // outright when the prefix is absent) — same value, same counter.
     if (C.CountersOn)
       ++C.Local.SparseReads;
+    if (PreBase && Op.PrebindLevels) {
+      const int64_t Base = PreBase[Op.PrebindIdx];
+      if (Base < 0)
+        return Op.Fill;
+      return sparseLoadValueFrom(C, Op.Slot, Op.LevelSlots,
+                                 Op.PrebindLevels, Base);
+    }
     return sparseLoadValue(C, Op.Slot, Op.LevelSlots);
+  case MKOperand::Kind::Lut: {
+    // Same mask evaluation as the expression VM's Lut instruction (no
+    // counter contribution there either).
+    unsigned Mask = 0;
+    for (size_t Bit = 0; Bit < Op.LutBits.size(); ++Bit)
+      if (Op.LutBits[Bit].eval(C))
+        Mask |= 1u << Bit;
+    return Op.LutTable[Mask];
+  }
   }
   return 0;
 }
 
 inline double foldFactors(ExecCtx &C, const MKDriver &D, const MKStmt &S,
-                          int64_t V, int64_t K1, int64_t K2) {
-  double Acc = evalOperand(C, D, S.Factors[0], V, K1, K2);
+                          int64_t V, int64_t K1, const int64_t *CoPos,
+                          const int64_t *PreBase) {
+  double Acc = evalOperand(C, D, S.Factors[0], V, K1, CoPos, PreBase);
   for (size_t I = 1; I < S.Factors.size(); ++I)
     Acc = evalOp(S.Combine, Acc,
-                     evalOperand(C, D, S.Factors[I], V, K1, K2));
+                 evalOperand(C, D, S.Factors[I], V, K1, CoPos, PreBase));
   return Acc;
 }
 
@@ -627,24 +782,24 @@ inline double foldFactors(ExecCtx &C, const MKDriver &D, const MKStmt &S,
 //===----------------------------------------------------------------------===//
 
 void MicroKernel::runNest(ExecCtx &C, int64_t Lo, int64_t Hi) {
-  const DriverBind B = bindDriver(C, D);
-  uint64_t Visited = 0, Matched = 0;
+  DriverBind B = bindDriver(C, D);
+  IterCounts N;
   iterateDriver(
-      C, D, Slot, B, Lo, Hi, /*UpdateState=*/true, Visited, Matched,
-      [&](int64_t V, int64_t K1, int64_t K2) {
+      C, D, Slot, B, Lo, Hi, /*UpdateState=*/true, N,
+      [&](int64_t V, int64_t K1, int64_t, const int64_t *CoPos) {
         for (MKItem &Item : Items) {
           if (Item.HasGuard && !Item.Guard.eval(C))
             continue;
           switch (Item.K) {
           case MKItem::Kind::Def:
             C.ScalarVal[Item.S.ScalarSlot] =
-                foldFactors(C, D, Item.S, V, K1, K2);
+                foldFactors(C, D, Item.S, V, K1, CoPos, nullptr);
             if (C.CountersOn)
               C.Local.ScalarOps += Item.S.Factors.size() - 1;
             break;
           case MKItem::Kind::Stmt: {
             const MKStmt &S = Item.S;
-            const double Val = foldFactors(C, D, S, V, K1, K2);
+            const double Val = foldFactors(C, D, S, V, K1, CoPos, nullptr);
             if (S.ScalarDst) {
               double &Dst = C.ScalarVal[S.ScalarSlot];
               Dst = S.Reduce ? evalOp(*S.Reduce, Dst, Val) : Val;
@@ -669,12 +824,8 @@ void MicroKernel::runNest(ExecCtx &C, int64_t Lo, int64_t Hi) {
           }
         }
       });
-  if (C.CountersOn) {
-    if (D.CountReads)
-      C.Local.SparseReads += Visited;
-    if (D.HasCo && D.CoCountReads)
-      C.Local.SparseReads += Matched;
-  }
+  if (C.CountersOn)
+    flushIterReads(C, D, N);
 }
 
 //===----------------------------------------------------------------------===//
@@ -685,12 +836,15 @@ namespace {
 
 /// One prebound value source, loaded branchlessly as
 /// P[SV * v + SK1 * k1 + SK2 * k2]: dense-affine factors set SV,
-/// driver/co factors set SK1/SK2 with P at the value array, and
-/// immediates (literals, bind-time scalar/walked reads) point P at
-/// their own Imm slot with all strides zero. Plain aggregate with no
-/// default initialization: binding runs once per loop execution, often
-/// once per *row* of a nest, so constructing this state must cost
-/// nothing beyond the fields actually written.
+/// driver/first-co factors set SK1/SK2 with P at the value array, and
+/// immediates (literals, bind-time scalar/walked/lut reads) point P at
+/// their own Imm slot with all strides zero. k2 is the *first*
+/// co-walker's matched position — statements reading a later
+/// co-walker's value run through the contextual engine instead, so the
+/// hot bound loads keep their three-term register addressing. Plain
+/// aggregate with no default initialization: binding runs once per
+/// loop execution, often once per *row* of a nest, so constructing
+/// this state must cost nothing beyond the fields actually written.
 struct BoundVal {
   const double *P;
   int64_t SV, SK1, SK2;
@@ -703,7 +857,7 @@ struct BoundStmt {
   /// 0: fast tensor (Mul-fold, Add-reduce), 1: fast scalar accumulate
   /// (Mul-fold, Add-reduce), 2: def store, 3: general (any ops, guard),
   /// 4: contextual (factors evaluated through the execution context:
-  /// SparseLoad operands, live scalar reads).
+  /// SparseLoad operands, live scalar reads, dynamic Luts).
   uint8_t Kind;
   OpKind Combine;
   int8_t Reduce; // -1: overwrite
@@ -742,8 +896,15 @@ inline double foldBound(const BoundStmt &S, int64_t V, int64_t K1,
   return Acc;
 }
 
+/// Executes one bound statement for one element. Instantiated twice:
+/// WithCtx = false omits the contextual engine entirely (no statement
+/// of the loop is Kind 4), keeping the common all-prebound loops on
+/// the slim pre-PR4 codegen — the extra operand machinery only costs
+/// where a contextual statement actually exists.
+template <bool WithCtx>
 inline void execBound(ExecCtx &C, const MKDriver &D, BoundStmt &S,
-                      int64_t V, int64_t K1, int64_t K2) {
+                      int64_t V, int64_t K1, int64_t K2,
+                      const int64_t *Co, const int64_t *PreBase) {
   switch (S.Kind) {
   case 0: // tensor dst, Mul-fold, Add-reduce (the sparse axpy core)
     S.Dst[S.DstS * V] += foldBound(S, V, K1, K2);
@@ -756,22 +917,26 @@ inline void execBound(ExecCtx &C, const MKDriver &D, BoundStmt &S,
     break;
   case 4: {
     // Contextual: operands evaluated through the context per element
-    // (SparseLoad chains the locator; live scalars read current
-    // ScalarVal), in the exact factor order of the expression VM.
-    if (S.Guard && !S.Guard->eval(C))
-      return;
-    const MKStmt &Src = *S.Src;
-    double Acc = foldFactors(C, D, Src, V, K1, K2);
-    if (S.Mode == 0) {
-      *S.Dst = Acc;
+    // (SparseLoad chains the locator from its prebound row prefix;
+    // live scalars read current ScalarVal; dynamic Luts test the
+    // current IndexVal; CoDriver reads of later co-walkers index the
+    // full position array), in the exact factor order of the VM.
+    if constexpr (WithCtx) {
+      if (S.Guard && !S.Guard->eval(C))
+        return;
+      const MKStmt &Src = *S.Src;
+      double Acc = foldFactors(C, D, Src, V, K1, Co, PreBase);
+      if (S.Mode == 0) {
+        *S.Dst = Acc;
+        ++S.Execs;
+        return;
+      }
+      double &Dst = S.Mode == 1 ? *S.Dst : S.Dst[S.DstS * V];
+      Dst = S.Reduce < 0
+                ? Acc
+                : evalOp(static_cast<OpKind>(S.Reduce), Dst, Acc);
       ++S.Execs;
-      return;
     }
-    double &Dst = S.Mode == 1 ? *S.Dst : S.Dst[S.DstS * V];
-    Dst = S.Reduce < 0
-              ? Acc
-              : evalOp(static_cast<OpKind>(S.Reduce), Dst, Acc);
-    ++S.Execs;
     return;
   }
   default: {
@@ -799,14 +964,18 @@ inline void execBound(ExecCtx &C, const MKDriver &D, BoundStmt &S,
 } // namespace
 
 void MicroKernel::runInner(ExecCtx &C, int64_t Lo, int64_t Hi) {
-  const DriverBind B = bindDriver(C, D);
+  DriverBind B = bindDriver(C, D);
 
   // Bind: resolve invariant guards and operand bases against the
   // current context. All bind state is on the stack so one MicroKernel
   // can run from many task contexts concurrently; the array is left
   // uninitialized and every used field written explicitly, because a
-  // nest re-binds its inner loop once per row.
+  // nest re-binds its inner loop once per row. Row-invariant SparseLoad
+  // prefixes resolve here too (per-row prebinding): each task range
+  // re-derives them from its own context, so parallel splits stay
+  // bit-reproducible.
   BoundStmt BS[MaxItems];
+  int64_t PreBase[MaxPrebinds];
   unsigned NS = 0;
   bool AnyDynamic = false;
   for (MKItem &Item : Items) {
@@ -823,11 +992,30 @@ void MicroKernel::runInner(ExecCtx &C, int64_t Lo, int64_t Hi) {
     S.DstS = 0;
     bool MulFold = S.NF == 1 || Src.Combine == OpKind::Mul;
     // Statements with operands that cannot prebind (SparseLoad, live
-    // scalar reads) run through the contextual engine, which evaluates
-    // factors from the execution context per element.
+    // scalar reads, dynamic Luts) run through the contextual engine,
+    // which evaluates factors from the execution context per element.
+    // Reads of a co-walker past the first go contextual too: the bound
+    // loads keep a single scalar co position (register addressing on
+    // the hot paths), and multi-co statements are rare.
     bool Contextual = false;
     for (const MKOperand &Op : Src.Factors)
-      Contextual |= contextualOperand(Op);
+      Contextual |= contextualOperand(Op) ||
+                    (Op.K == MKOperand::Kind::CoDriver && Op.Slot > 0);
+    if (Contextual) {
+      // Per-row prebinding: resolve each SparseLoad's row-invariant
+      // level prefix once for this execution. -1 marks an absent
+      // prefix (the whole row reads as fill). Uses plain locate — the
+      // hinted cursors are a per-element performance device and never
+      // change results.
+      for (const MKOperand &Op : Src.Factors)
+        if (Op.K == MKOperand::Kind::SparseLoad && Op.PrebindLevels) {
+          const AccessState &A = C.Accesses[Op.Slot];
+          int64_t Pos = 0;
+          for (unsigned L = 0; L < Op.PrebindLevels && Pos >= 0; ++L)
+            Pos = A.T->locate(L, Pos, C.IndexVal[Op.LevelSlots[L]]);
+          PreBase[Op.PrebindIdx] = Pos;
+        }
+    }
     for (unsigned I = 0; !Contextual && I < S.NF; ++I) {
       const MKOperand &Op = Src.Factors[I];
       BoundVal &F = S.F[I];
@@ -859,10 +1047,23 @@ void MicroKernel::runInner(ExecCtx &C, int64_t Lo, int64_t Hi) {
         F.P = D.Vals;
         F.SK1 = 1;
         break;
-      case MKOperand::Kind::Driver2:
-        F.P = D.CoVals;
+      case MKOperand::Kind::CoDriver:
+        // Only the first co-walker binds (Slot > 0 forced contextual
+        // above); its position is the K2 every bound load receives.
+        F.P = D.Cos[0].Vals;
         F.SK2 = 1;
         break;
+      case MKOperand::Kind::Lut: {
+        // Bits never mention the loop variable here (dynamic Luts are
+        // contextual), so the table entry is a bind-time constant.
+        unsigned Mask = 0;
+        for (size_t Bit = 0; Bit < Op.LutBits.size(); ++Bit)
+          if (Op.LutBits[Bit].eval(C))
+            Mask |= 1u << Bit;
+        F.Imm = Op.LutTable[Mask];
+        F.P = &F.Imm;
+        break;
+      }
       case MKOperand::Kind::SparseLoad:
         break; // unreachable: Contextual statements skip prebinding
       }
@@ -891,7 +1092,8 @@ void MicroKernel::runInner(ExecCtx &C, int64_t Lo, int64_t Hi) {
     // Fast-path selection: the Mul-fold / Add-reduce cores the paper
     // kernels hit; everything else takes the general switch, and
     // context-dependent operands take the contextual engine (which also
-    // needs IndexVal maintained for its level-slot lookups).
+    // needs IndexVal maintained for its level-slot and lut-bit
+    // lookups).
     const bool AddReduce = S.Reduce == static_cast<int8_t>(OpKind::Add);
     if (Contextual) {
       S.Kind = 4;
@@ -907,7 +1109,7 @@ void MicroKernel::runInner(ExecCtx &C, int64_t Lo, int64_t Hi) {
     ++NS;
   }
 
-  uint64_t Visited = 0, Matched = 0;
+  IterCounts N;
 
   // Dedicated loops for the single-statement sparse axpy / dot shapes
   // (driver value times one coordinate-indexed or invariant factor —
@@ -915,7 +1117,8 @@ void MicroKernel::runInner(ExecCtx &C, int64_t Lo, int64_t Hi) {
   // iteration order as the generic path below, just with the per-stmt
   // dispatch peeled away.
   if (NS == 1 && !AnyDynamic && D.K == MKDriver::Kind::SparseWalk &&
-      !D.HasCo && BS[0].NF == 2 && (BS[0].Kind == 0 || BS[0].Kind == 1)) {
+      D.Cos.empty() && BS[0].NF == 2 &&
+      (BS[0].Kind == 0 || BS[0].Kind == 1)) {
     const BoundVal &F0 = BS[0].F[0], &F1 = BS[0].F[1];
     if (F0.SV == 0 && F0.SK1 == 1 && F0.SK2 == 0 && F1.SK1 == 0 &&
         F1.SK2 == 0) {
@@ -925,7 +1128,7 @@ void MicroKernel::runInner(ExecCtx &C, int64_t Lo, int64_t Hi) {
       int64_t K = D.Ptr[B.Parent], E = D.Ptr[B.Parent + 1];
       if (Lo > 0)
         K = std::lower_bound(Crd + K, Crd + E, Lo) - Crd;
-      uint64_t N = 0;
+      uint64_t Cnt = 0;
       if (BS[0].Kind == 0) {
         double *Dst = BS[0].Dst;
         const int64_t DS = BS[0].DstS;
@@ -934,7 +1137,7 @@ void MicroKernel::runInner(ExecCtx &C, int64_t Lo, int64_t Hi) {
           if (V > Hi)
             break;
           Dst[DS * V] += DV[K] * P1[S1 * V];
-          ++N;
+          ++Cnt;
         }
       } else {
         double Acc = *BS[0].Dst;
@@ -943,39 +1146,51 @@ void MicroKernel::runInner(ExecCtx &C, int64_t Lo, int64_t Hi) {
           if (V > Hi)
             break;
           Acc += DV[K] * P1[S1 * V];
-          ++N;
+          ++Cnt;
         }
         *BS[0].Dst = Acc;
       }
-      Visited = Matched = N;
-      BS[0].Execs = N;
+      BS[0].Execs = Cnt;
       if (C.CountersOn) {
         if (D.CountReads)
-          C.Local.SparseReads += Visited;
-        C.Local.ScalarOps += N;
-        C.Local.Reductions += N;
+          C.Local.SparseReads += Cnt;
+        C.Local.ScalarOps += Cnt;
+        C.Local.Reductions += Cnt;
         if (BS[0].Kind == 0)
-          C.Local.OutputWrites += N;
+          C.Local.OutputWrites += Cnt;
       }
       return;
     }
   }
 
-  iterateDriver(C, D, Slot, B, Lo, Hi, /*UpdateState=*/false, Visited,
-                Matched, [&](int64_t V, int64_t K1, int64_t K2) {
-                  if (AnyDynamic)
-                    C.IndexVal[Slot] = V;
-                  for (unsigned I = 0; I < NS; ++I)
-                    execBound(C, D, BS[I], V, K1, K2);
-                });
+  bool AnyContextual = false;
+  for (unsigned I = 0; I < NS; ++I)
+    AnyContextual |= BS[I].Kind == 4;
+  if (!AnyContextual)
+    iterateDriver(C, D, Slot, B, Lo, Hi, /*UpdateState=*/false, N,
+                  [&](int64_t V, int64_t K1, int64_t K2,
+                      const int64_t *CoPos) {
+                    if (AnyDynamic)
+                      C.IndexVal[Slot] = V;
+                    for (unsigned I = 0; I < NS; ++I)
+                      execBound<false>(C, D, BS[I], V, K1, K2, CoPos,
+                                       PreBase);
+                  });
+  else
+    iterateDriver(C, D, Slot, B, Lo, Hi, /*UpdateState=*/false, N,
+                  [&](int64_t V, int64_t K1, int64_t K2,
+                      const int64_t *CoPos) {
+                    if (AnyDynamic)
+                      C.IndexVal[Slot] = V;
+                    for (unsigned I = 0; I < NS; ++I)
+                      execBound<true>(C, D, BS[I], V, K1, K2, CoPos,
+                                      PreBase);
+                  });
 
   // Flush counter deltas once per loop execution (the whole point: no
   // per-element flag checks or atomic traffic in the loops above).
   if (C.CountersOn) {
-    if (D.CountReads)
-      C.Local.SparseReads += Visited;
-    if (D.HasCo && D.CoCountReads)
-      C.Local.SparseReads += Matched;
+    flushIterReads(C, D, N);
     for (unsigned I = 0; I < NS; ++I) {
       const BoundStmt &S = BS[I];
       C.Local.ScalarOps += S.Execs * S.Ops;

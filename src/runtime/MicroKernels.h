@@ -11,11 +11,22 @@
 ///
 ///  - sparse-row dot / axpy (one sparse walker, invariant cofactors),
 ///  - dense axpy / scale-accumulate with strided output (dense range),
-///  - sparse-sparse co-iteration (two-finger merge of two walkers),
+///  - N-way walker intersection: one driver plus any number of
+///    co-walkers (up to MKDriver::MaxCoWalkers) of any level kind —
+///    sparse co-walkers advance by sorted multi-finger merge with
+///    galloping catch-up, RunLength co-walkers by run containment,
+///    Banded co-walkers by interval containment, matching the
+///    interpreter's per-element locate positionally,
 ///  - run-aware RunLength and interval-aware Banded driver loops over
 ///    raw Ptr/RunEnd and Lo/Hi/Off arrays (format-general drivers),
 ///  - SparseLoad operands inside fused bodies, chaining the stateful
-///    per-access locator (Tensor::locateHinted) through the context,
+///    per-access locator (Tensor::locateHinted) through the context;
+///    row-invariant level prefixes are prebound once per loop execution
+///    (per row of a nest, per task range under parallel splits) so the
+///    inner loop only resolves the levels that actually vary,
+///  - Lut operands (lookup tables over index-equality bits, paper
+///    4.2.5): bind-time constants when their bits do not mention the
+///    loop variable, per-element contextual evaluation when they do,
 ///  - scalar reads of slots written in the same loop, observed live per
 ///    element via the contextual statement path (what the interpreter
 ///    does), instead of rejecting the loop,
@@ -35,8 +46,11 @@
 /// are invoked from `PlanLoop::execRange` with a task's `[Lo, Hi]`
 /// coordinate sub-range and the task context's (possibly repointed)
 /// `OutPtr` bases, so privatization and chunk scheduling work
-/// unchanged. All bind-time state lives on the stack: one MicroKernel
-/// may run concurrently from many task contexts.
+/// unchanged. All bind-time state — including co-walker fingers and
+/// per-row prebound locator positions — lives on the stack: one
+/// MicroKernel may run concurrently from many task contexts, and a
+/// task range re-derives its prebound state at its own bind, keeping
+/// split execution bit-reproducible.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -60,15 +74,18 @@ struct MKOperand {
     Walked,     ///< fully-driven access: T->val(Pos[order])
     Dense,      ///< Arr[sum(IndexVal[Slot] * Stride) + VStride * v]
     Driver,     ///< driving walker's value at the current position
-    Driver2,    ///< co-walker's value at its matched position
+    CoDriver,   ///< co-walker Slot's value at its matched position
     SparseLoad, ///< random access chaining the stateful locator
                 ///< (runtime/Plan.h sparseLoadValue), evaluated per
                 ///< element through the execution context
+    Lut,        ///< lookup table over index-comparison bits; bind-time
+                ///< constant unless the bits mention the loop variable
   };
   Kind K = Kind::Const;
   double Lit = 0;
-  unsigned Slot = 0;           ///< Scalar slot or access id
-                               ///< (Walked / SparseLoad)
+  unsigned Slot = 0;           ///< Scalar slot, access id
+                               ///< (Walked / SparseLoad), or co-walker
+                               ///< index (CoDriver)
   /// Scalar only: the slot is written by an item of the same loop, so
   /// the read must observe the current ScalarVal per element (exactly
   /// like the interpreter) instead of prebinding at loop entry. Forces
@@ -82,6 +99,21 @@ struct MKOperand {
   /// SparseLoad: per level (top first), the index slot providing that
   /// level's coordinate (mirrors VInstr::LevelSlots).
   std::vector<unsigned> LevelSlots;
+  /// SparseLoad (innermost loops only): number of leading levels whose
+  /// coordinate slots do not mention the loop variable. These are
+  /// row-invariant, so the engine resolves them once at bind time
+  /// (per-row prebinding) and per-element evaluation continues from the
+  /// cached position — or returns Fill outright when the prefix is
+  /// absent. 0 disables prebinding for this operand.
+  uint8_t PrebindLevels = 0;
+  unsigned PrebindIdx = 0; ///< slot in the engine's prebind array
+  double Fill = 0;         ///< the accessed tensor's fill value
+  /// Lut: compiled equality bits and table (mirrors VInstr). LutDynamic
+  /// is true when some bit mentions the loop variable, forcing
+  /// per-element contextual evaluation.
+  std::vector<CAtom> LutBits;
+  std::vector<double> LutTable;
+  bool LutDynamic = false;
 };
 
 /// One fused statement: Dst Reduce= fold(Combine, Factors...), folded
@@ -117,6 +149,29 @@ struct MKItem {
   PlanLoop *Child = nullptr; ///< Loop payload
 };
 
+/// One non-driving walker of an intersection loop. The driver emits
+/// candidate coordinates in ascending order; each co-walker either
+/// aliases the driver's position (same fiber, checked per execution
+/// like the interpreter) or resolves the candidate positionally by its
+/// level kind: sparse fibers keep a forward finger (multi-finger merge
+/// with galloping catch-up), RunLength fibers a forward run finger,
+/// Dense and Banded fibers compute positions directly. A missing
+/// coordinate in any co-walker skips the body — the same intersection
+/// the generic interpreter evaluates with per-element locate calls.
+struct MKCoWalker {
+  LevelKind Kind = LevelKind::Dense;
+  bool SameFiber = false; ///< same tensor and level as the driver
+  unsigned AccessId = 0, Level = 0;
+  bool Bottom = false;
+  bool CountReads = false; ///< bottom level of a sparse-format tensor
+  const int64_t *Ptr = nullptr, *Crd = nullptr;  ///< Sparse / RunLength
+  const int64_t *RunEnd = nullptr;               ///< RunLength
+  const int64_t *BLo = nullptr, *BHi = nullptr,  ///< Banded
+      *BOff = nullptr;
+  const double *Vals = nullptr;
+  int64_t Dim = 0;
+};
+
 /// Iteration source of a fused loop.
 struct MKDriver {
   enum class Kind : uint8_t {
@@ -142,20 +197,13 @@ struct MKDriver {
   const double *Vals = nullptr;
   int64_t Dim = 0;
 
-  /// Optional second walker (intersection). A sparse co-walker filters
-  /// by two-finger merge; a dense co-walker always matches and only
-  /// computes its position. When the co-walker shares the driver's
-  /// tensor and level, parent equality is checked at bind time and the
-  /// positions alias (mirroring the generic interpreter's check).
-  bool HasCo = false;
-  bool CoSparse = false;
-  bool CoSameFiber = false; ///< same tensor and level as the driver
-  unsigned CoAccessId = 0, CoLevel = 0;
-  bool CoBottom = false;
-  bool CoCountReads = false;
-  const int64_t *CoPtr = nullptr, *CoCrd = nullptr;
-  const double *CoVals = nullptr;
-  int64_t CoDim = 0;
+  /// Cap on co-walkers so bind-time finger state fits fixed stack
+  /// arrays (the interpreter handles any count; wider intersections
+  /// stay interpreted).
+  static constexpr unsigned MaxCoWalkers = 4;
+  /// Non-driving walkers, resolved per candidate in registration order
+  /// exactly like the interpreter's walker list.
+  std::vector<MKCoWalker> Cos;
 };
 
 /// A fused loop. Attached to PlanLoop::Fused by the specializer and run
@@ -173,6 +221,9 @@ public:
   /// into fixed-size stack arrays.
   static constexpr unsigned MaxFactors = 8;
   static constexpr unsigned MaxItems = 12;
+  /// Cap on per-row prebound SparseLoad operands per loop (excess
+  /// operands simply skip prebinding; values are identical either way).
+  static constexpr unsigned MaxPrebinds = 8;
 
 private:
   void runInner(ExecCtx &C, int64_t Lo, int64_t Hi);

@@ -137,6 +137,16 @@ struct VInstr {
 double sparseLoadValue(ExecCtx &C, unsigned AccessId,
                        const std::vector<unsigned> &LevelSlots);
 
+/// sparseLoadValue resuming the descent at \p FromLevel with parent
+/// position \p FromPos — the per-row prebinding entry point: the fused
+/// innermost engine resolves the row-invariant level prefix once per
+/// loop execution and evaluates only the remaining levels per element.
+/// Values are identical to a full descent (locate results do not depend
+/// on cursor state); FromLevel == order returns the value at FromPos.
+double sparseLoadValueFrom(ExecCtx &C, unsigned AccessId,
+                           const std::vector<unsigned> &LevelSlots,
+                           unsigned FromLevel, int64_t FromPos);
+
 struct VProgram {
   std::vector<VInstr> Code;
   /// Maximum operand-stack depth, computed when the program is built.

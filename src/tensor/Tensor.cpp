@@ -40,7 +40,12 @@ Tensor Tensor::fromCoo(Coo Entries, TensorFormat Format, double Fill,
   T.Fill = Fill;
   T.Levels.resize(N);
 
-  std::vector<Segment> Segments{{0, 0, Entries.size()}};
+  // No root segment for an empty tensor: every level then builds its
+  // all-empty structure (the Banded branch in particular reads a
+  // segment's last entry, which an empty segment does not have).
+  std::vector<Segment> Segments;
+  if (Entries.size() > 0)
+    Segments.push_back({0, 0, Entries.size()});
   int64_t PosCount = 1;
 
   for (unsigned L = 0; L < N; ++L) {

@@ -1,0 +1,70 @@
+//===- tests/fuzz_replay.cpp ----------------------------------*- C++ -*-===//
+///
+/// Deterministic replay of every checked-in fuzz seed. Seed files under
+/// tests/seeds/ are written by fuzz_test when a randomized case fails
+/// (and a few are checked in by hand for historical bugs); each one
+/// names a harness and a seed, and this suite — which runs under the
+/// fast `unit` ctest label — re-executes exactly that differential
+/// check. A seed that once exposed a bug keeps guarding against it on
+/// every inner-loop run, independent of the fuzz sweep's range.
+///
+/// Seed file format (key=value lines, `#` comments ignored):
+///
+///   harness=matrix        # oracle | bitident | matrix | lut
+///   seed=42
+///
+//===----------------------------------------------------------------------===//
+
+#include "FuzzHarness.h"
+
+#include <gtest/gtest.h>
+
+using namespace systec;
+using namespace systec::fuzzharness;
+
+#ifndef SYSTEC_SEED_DIR
+#error "fuzz_replay requires SYSTEC_SEED_DIR"
+#endif
+
+TEST(FuzzReplay, AllCheckedInSeedsPass) {
+  const auto Seeds = loadSeedFiles(SYSTEC_SEED_DIR);
+  ASSERT_FALSE(Seeds.empty())
+      << "no seed files under " << SYSTEC_SEED_DIR
+      << " — the regression corpus should never be empty";
+  for (const auto &[File, S] : Seeds) {
+    SCOPED_TRACE("seed file: " + File);
+    ASSERT_TRUE(S.Valid) << File << " has no parseable seed= line";
+    // A seed is only a regression guard while it still generates the
+    // case it was checked in for; makeCase's draw order changing would
+    // silently retarget the whole corpus, so the recorded trace must
+    // keep matching byte for byte.
+    if (!S.Trace.empty())
+      EXPECT_EQ(S.Trace, caseTrace(makeCase(S.Seed)))
+          << File << " no longer generates the case it pinned — "
+          << "makeCase's draw order changed; re-select the seed";
+    EXPECT_TRUE(runHarness(S.Harness, S.Seed))
+        << "unknown harness '" << S.Harness << "' in " << File;
+  }
+}
+
+TEST(FuzzReplay, RegressionCorpusCoversKnownBugs) {
+  // The corpus must keep covering the two historical wrong-results
+  // shapes: the PR-2 grouped-two-sparse-operand walker bug (a grouped
+  // symmetric kernel whose statements read mismatched accesses of a
+  // sparse second operand — intersecting on all of them dropped terms)
+  // and the PR-3 fuzz-quantization fix (fill-valued stored entries of
+  // RunLength/Banded operands must not be scaled away from the
+  // implicit fill). The seed files carry those shapes by construction;
+  // see the trace comment inside each file.
+  const auto Seeds = loadSeedFiles(SYSTEC_SEED_DIR);
+  auto Has = [&](const std::string &Name) {
+    for (const auto &[File, S] : Seeds)
+      if (File == Name)
+        return true;
+    return false;
+  };
+  EXPECT_TRUE(Has("grouped-two-sparse.seed"))
+      << "PR-2 regression seed missing";
+  EXPECT_TRUE(Has("structured-fill-quantize.seed"))
+      << "PR-3 regression seed missing";
+}

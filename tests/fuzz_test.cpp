@@ -7,381 +7,69 @@
 /// beyond the paper's named kernels (including non-concordant accesses
 /// that exercise the locate fallback).
 ///
-/// The differential-testing matrix (DifferentialMatrix below) draws
-/// level formats (Dense/Sparse/RunLength/Banded) per mode and semirings
-/// (arithmetic, min-plus, max-times, boolean) per kernel — including
-/// occasional non-annihilating fills, which the algebraic walker
-/// analysis must veto rather than mis-skip — and asserts bit-identical
-/// values and equal execution counters across {interpreter,
-/// micro-kernels} x {Threads 1, 4} against the dense oracle. Tensor
-/// values are small integers so every reduction is exact and bitwise
-/// reproducible across task decompositions.
+/// The case machinery lives in tests/FuzzHarness.h (shared with the
+/// fuzz_replay unit target). The differential matrix draws level
+/// formats (Dense/Sparse/RunLength/Banded) per mode, semirings
+/// (arithmetic, min-plus, max-times, boolean), two or three operands
+/// (three-plus sparse operands exercise the N-way walker
+/// intersections, structured second/third operands the
+/// RunLength/Banded co-walkers) — including occasional
+/// non-annihilating fills, which the algebraic walker analysis must
+/// veto rather than mis-skip — and asserts bit-identical values and
+/// equal execution counters across {interpreter, micro-kernels} x
+/// {Threads 1, 4} against the dense oracle. A separate harness injects
+/// Lut factors into the naive kernels. Tensor values are small
+/// integers so every reduction is exact and bitwise reproducible
+/// across task decompositions.
 ///
 /// Reproducing a failure: every case is a pure function of its seed
 /// (the GTest parameter printed in the test name, e.g.
 /// Seeds/EinsumFuzz.CompiledKernelsMatchOracle/42). Run
 /// `fuzz_test --gtest_filter='*42'` and the SCOPED_TRACE lines print
-/// the einsum, formats, semiring, and loop order of that case.
+/// the einsum, formats, semiring, and loop order of that case. Any
+/// failing seed is also persisted to tests/seeds/ automatically and
+/// replays forever under the fuzz_replay unit target (see
+/// tests/README.md).
+///
+/// The sweep length defaults to 150 seeds and scales with the
+/// SYSTEC_FUZZ_ITERS CMake cache variable for extended local/nightly
+/// runs without changing the tier-1 wall time.
 ///
 //===----------------------------------------------------------------------===//
 
-#include "core/Compiler.h"
-#include "data/Generators.h"
-#include "kernels/Oracle.h"
-#include "runtime/Executor.h"
-#include "support/Counters.h"
+#include "FuzzHarness.h"
 
 #include <gtest/gtest.h>
 
-#include <algorithm>
-#include <cmath>
-#include <sstream>
-
-#include "support/StringUtils.h"
-
 using namespace systec;
+using namespace systec::fuzzharness;
 
-namespace {
-
-constexpr double Inf = std::numeric_limits<double>::infinity();
-
-/// The semiring axis of the differential matrix.
-enum class Semiring { Arith, MinPlus, MaxTimes, Boolean };
-
-struct SemiringSpec {
-  Semiring S;
-  const char *Name;
-  OpKind Reduce;
-  const char *ReduceTok;
-  const char *CombineTok; ///< infix, or null for call syntax
-  const char *CombineCall;
-  double Fill;      ///< annihilating fill for the sparse operands
-  double WeirdFill; ///< non-annihilating fill (walker must be vetoed)
-};
-
-const SemiringSpec &semiring(Semiring S) {
-  static const SemiringSpec Specs[] = {
-      {Semiring::Arith, "arith", OpKind::Add, "+= ", "*", nullptr, 0.0, 1.0},
-      {Semiring::MinPlus, "minplus", OpKind::Min, "min= ", "+", nullptr,
-       Inf, 0.0},
-      {Semiring::MaxTimes, "maxtimes", OpKind::Max, "max= ", "*", nullptr,
-       0.0, 2.0},
-      {Semiring::Boolean, "boolean", OpKind::Max, "max= ", nullptr, "min",
-       0.0, 1.0},
-  };
-  return Specs[static_cast<int>(S)];
-}
-
-/// A random per-mode format: any level kind, RunLength bottom-only.
-TensorFormat randomFormat(unsigned Order, Rng &R) {
-  TensorFormat F;
-  F.Levels.resize(Order);
-  for (unsigned L = 0; L < Order; ++L) {
-    const bool Bottom = (L + 1 == Order);
-    switch (R.nextIndex(Bottom ? 4 : 3)) {
-    case 0:
-      F.Levels[L] = LevelKind::Dense;
-      break;
-    case 1:
-      F.Levels[L] = LevelKind::Sparse;
-      break;
-    case 2:
-      F.Levels[L] = LevelKind::Banded;
-      break;
-    default:
-      F.Levels[L] = LevelKind::RunLength;
-      break;
-    }
-  }
-  return F;
-}
-
-/// Quantizes stored values to small integers (exact under any
-/// reduction order). Entries equal to the fill stay put: RunLength fill
-/// runs and Banded in-band holes store the fill explicitly, and scaling
-/// them would diverge from the implicit out-of-band fill (breaking both
-/// symmetry and fill semantics). Boolean kernels get 0/1 data.
-void quantize(Tensor &T, bool Boolean) {
-  const double Fill = T.fill();
-  for (double &V : T.vals()) {
-    if (std::isinf(V) || V == Fill)
-      continue;
-    V = Boolean ? (V < 0.5 ? 0.0 : 1.0) : std::floor(V * 8);
-  }
-}
-
-Tensor randomSparseVector(int64_t Dim, Rng &R, const TensorFormat &F,
-                          double Fill) {
-  Coo C({Dim});
-  for (int64_t K = 0; K < Dim; ++K)
-    if (R.nextBool(0.5))
-      C.add({K}, R.nextDouble());
-  return Tensor::fromCoo(std::move(C), F, Fill);
-}
-
-struct FuzzCase {
-  Einsum E;
-  SemiringSpec Spec{Semiring::Arith, "", OpKind::Add, "", "", nullptr,
-                    0.0, 0.0};
-  bool WeirdFill = false;
-  std::map<std::string, Tensor> Inputs;
-  std::vector<int64_t> OutDims;
-  double OutInit = 0.0;
-};
-
-/// Builds a random einsum: a symmetric tensor A combined with a second
-/// operand B (dense or sparse, any format), random output indices,
-/// random loop order, random semiring.
-FuzzCase makeCase(uint64_t Seed) {
-  Rng R(Seed);
-  const int64_t Dim = 5 + R.nextIndex(3);
-  const std::vector<std::string> Pool{"a", "b", "c", "d"};
-
-  FuzzCase F;
-  F.Spec = semiring(static_cast<Semiring>(R.nextIndex(4)));
-  // Occasionally use a fill that does NOT annihilate the body: the
-  // walker algebra must fall back to full iteration (via the locator)
-  // and still match the dense oracle exactly.
-  F.WeirdFill = R.nextBool(0.15);
-  const double FillA = F.WeirdFill ? F.Spec.WeirdFill : F.Spec.Fill;
-  const bool SparseB = R.nextBool(0.35);
-  const unsigned OrderA = 2 + static_cast<unsigned>(R.nextIndex(2));
-
-  // A's indices: distinct names from the pool.
-  std::vector<std::string> Names = Pool;
-  std::shuffle(Names.begin(), Names.end(), R.engine());
-  std::vector<std::string> AIdx(Names.begin(), Names.begin() + OrderA);
-
-  // One operand over 1-2 indices overlapping A or fresh.
-  unsigned OrderB = 1 + static_cast<unsigned>(R.nextIndex(2));
-  std::vector<std::string> BIdx;
-  for (unsigned M = 0; M < OrderB; ++M)
-    BIdx.push_back(Pool[R.nextIndex(Pool.size())]);
-  std::set<std::string> BSet(BIdx.begin(), BIdx.end());
-  BIdx.assign(BSet.begin(), BSet.end()); // distinct modes
-
-  // Output: random subset of the used indices (possibly scalar).
-  std::vector<std::string> Used = AIdx;
-  for (const std::string &I : BIdx)
-    if (std::find(Used.begin(), Used.end(), I) == Used.end())
-      Used.push_back(I);
-  std::vector<std::string> OutIdx;
-  for (const std::string &I : Used)
-    if (R.nextBool(0.4))
-      OutIdx.push_back(I);
-
-  auto Access = [](const std::string &T,
-                   const std::vector<std::string> &Idx) {
-    std::string Out = T + "[";
-    for (size_t I = 0; I < Idx.size(); ++I)
-      Out += (I ? "," : "") + Idx[I];
-    return Out + "]";
-  };
-  std::ostringstream Text;
-  Text << "O[";
-  for (size_t I = 0; I < OutIdx.size(); ++I)
-    Text << (I ? "," : "") << OutIdx[I];
-  Text << "] " << F.Spec.ReduceTok;
-  if (F.Spec.CombineTok) {
-    Text << Access("A", AIdx) << " " << F.Spec.CombineTok << " "
-         << Access("B", BIdx);
-  } else {
-    Text << F.Spec.CombineCall << "(" << Access("A", AIdx) << ", "
-         << Access("B", BIdx) << ")";
-  }
-
-  F.E = parseEinsum("fuzz" + std::to_string(Seed), Text.str());
-  // Random loop order over every index.
-  std::vector<std::string> Loops = F.E.allIndices();
-  std::shuffle(Loops.begin(), Loops.end(), R.engine());
-  F.E.LoopOrder = Loops;
-
-  const unsigned NB = static_cast<unsigned>(BIdx.size());
-  const TensorFormat FmtA = randomFormat(OrderA, R);
-  const TensorFormat FmtB =
-      SparseB ? randomFormat(NB, R) : TensorFormat::dense(NB);
-  const double FillB = FmtB.isAllDense() ? 0.0 : FillA;
-  F.E.declare("A", FmtA, FillA);
-  F.E.setSymmetry("A", Partition::full(OrderA));
-  F.E.declare("B", FmtB, FillB);
-
-  const bool Boolean = F.Spec.S == Semiring::Boolean;
-  Tensor A = generateSymmetricTensor(OrderA, Dim, 3 * Dim, R, FmtA, FillA);
-  quantize(A, Boolean);
-  F.Inputs.emplace("A", std::move(A));
-  Tensor B;
-  if (!FmtB.isAllDense()) {
-    B = NB >= 2 ? generateSymmetricTensor(NB, Dim, 2 * Dim, R, FmtB, FillB)
-                : randomSparseVector(Dim, R, FmtB, FillB);
-  } else {
-    std::vector<int64_t> BDims(NB, Dim); // NB >= 1 by construction
-    B = Tensor::dense(BDims);
-    for (double &V : B.vals())
-      V = R.nextDouble();
-  }
-  quantize(B, Boolean);
-  F.Inputs.emplace("B", std::move(B));
-
-  F.OutDims.assign(std::max<size_t>(OutIdx.size(), 1), Dim);
-  if (OutIdx.empty())
-    F.OutDims = {1};
-  F.OutInit = opInfo(F.Spec.Reduce).Identity;
-  return F;
-}
-
-std::string caseTrace(const FuzzCase &F) {
-  return F.E.str() + "  loops: " + joinAny(F.E.LoopOrder, ",") +
-         "  semiring: " + F.Spec.Name +
-         "  A: " + F.E.decl("A").Format.str() +
-         "  B: " + F.E.decl("B").Format.str() +
-         (F.WeirdFill ? "  (non-annihilating fill)" : "");
-}
-
-Tensor run(const Kernel &K, FuzzCase &F,
-           const ExecOptions &O = ExecOptions()) {
-  Tensor Out = Tensor::dense(F.OutDims, 0.0);
-  Out.setAllValues(F.OutInit);
-  Executor E(K, O);
-  for (auto &[Name, T] : F.Inputs)
-    E.bind(Name, &T);
-  E.bind("O", &Out);
-  E.prepare();
-  E.run();
-  return Out;
-}
-
-/// Seed-derived parallel execution options: random thread count,
-/// schedule policy, and micro-kernel toggle (the parallel-runtime and
-/// specialization-layer fuzz pass).
-ExecOptions parallelOptions(uint64_t Seed) {
-  Rng R(Seed ^ 0x9E3779B97F4A7C15ull);
-  ExecOptions O;
-  const unsigned Threads[] = {2, 3, 4, 8};
-  O.Threads = Threads[R.nextIndex(4)];
-  const SchedulePolicy Policies[] = {
-      SchedulePolicy::Auto, SchedulePolicy::Static, SchedulePolicy::Dynamic,
-      SchedulePolicy::TriangleBalanced};
-  O.Schedule = Policies[R.nextIndex(4)];
-  if (R.nextBool(0.25))
-    O.PrivatizationBudget = 64; // exercise the inner-loop fallback
-  O.EnableMicroKernels = R.nextBool(0.5);
-  return O;
-}
-
-/// Runs \p K with counters on and snapshots them.
-Tensor runCounted(const Kernel &K, FuzzCase &F, const ExecOptions &O,
-                  CounterSnapshot &Snap) {
-  counters().reset();
-  setCountersEnabled(true);
-  Tensor Out = run(K, F, O);
-  Snap = counters().snapshot();
-  return Out;
-}
-
-} // namespace
+#ifndef SYSTEC_FUZZ_ITERS
+#define SYSTEC_FUZZ_ITERS 150
+#endif
 
 class EinsumFuzz : public ::testing::TestWithParam<uint64_t> {};
 
 TEST_P(EinsumFuzz, CompiledKernelsMatchOracle) {
-  FuzzCase F = makeCase(GetParam());
-  SCOPED_TRACE(caseTrace(F));
-  CompileResult R = compileEinsum(F.E);
-  std::map<std::string, const Tensor *> In;
-  for (auto &[Name, T] : F.Inputs)
-    In[Name] = &T;
-  Tensor Ref = oracleEval(F.E, In);
-  Tensor Naive = run(R.Naive, F);
-  Tensor Opt = run(R.Optimized, F);
-  EXPECT_LT(Tensor::maxAbsDiff(Naive, Ref), 1e-8) << "naive";
-  EXPECT_LT(Tensor::maxAbsDiff(Opt, Ref), 1e-8) << "optimized";
-  // Parallel runtime fuzz: a random thread count and schedule must
-  // reproduce the oracle too.
-  ExecOptions Par = parallelOptions(GetParam());
-  SCOPED_TRACE(std::string("threads ") + std::to_string(Par.Threads) +
-               " schedule " + schedulePolicyName(Par.Schedule) +
-               (Par.EnableMicroKernels ? " fused" : " interp"));
-  Tensor NaivePar = run(R.Naive, F, Par);
-  Tensor OptPar = run(R.Optimized, F, Par);
-  EXPECT_LT(Tensor::maxAbsDiff(NaivePar, Ref), 1e-8) << "naive-parallel";
-  EXPECT_LT(Tensor::maxAbsDiff(OptPar, Ref), 1e-8) << "optimized-parallel";
+  checkCompiledKernelsMatchOracle(GetParam());
+  persistSeedIfFailed("oracle", GetParam());
 }
 
 TEST_P(EinsumFuzz, MicroKernelsBitIdenticalToInterpreter) {
-  // The specialization-layer oracle: with micro-kernels on vs. off, the
-  // same plan must produce bit-identical outputs and exactly equal
-  // execution counters on both compiled kernels.
-  FuzzCase F = makeCase(GetParam());
-  SCOPED_TRACE(caseTrace(F));
-  CompileResult R = compileEinsum(F.E);
-  ExecOptions Interp, Fused;
-  Interp.EnableMicroKernels = false;
-  Fused.EnableMicroKernels = true;
-  for (const Kernel *K : {&R.Naive, &R.Optimized}) {
-    SCOPED_TRACE(K == &R.Naive ? "naive" : "optimized");
-    CounterSnapshot SI, SF;
-    Tensor OutI = runCounted(*K, F, Interp, SI);
-    Tensor OutF = runCounted(*K, F, Fused, SF);
-    ASSERT_EQ(OutI.vals().size(), OutF.vals().size());
-    for (size_t I = 0; I < OutI.vals().size(); ++I)
-      EXPECT_EQ(OutI.vals()[I], OutF.vals()[I]) << "element " << I;
-    EXPECT_EQ(SI.SparseReads, SF.SparseReads);
-    EXPECT_EQ(SI.Reductions, SF.Reductions);
-    EXPECT_EQ(SI.ScalarOps, SF.ScalarOps);
-    EXPECT_EQ(SI.OutputWrites, SF.OutputWrites);
-  }
+  checkMicroKernelsBitIdentical(GetParam());
+  persistSeedIfFailed("bitident", GetParam());
 }
 
 TEST_P(EinsumFuzz, DifferentialMatrix) {
-  // The semiring x format matrix: {interpreter, micro-kernels} x
-  // {Threads 1, 4} must agree bit for bit with each other and exactly
-  // with the dense oracle (integer data makes every reduction exact,
-  // so results are decomposition-independent), and the four runtime
-  // counters must be identical in every cell.
-  FuzzCase F = makeCase(GetParam());
-  SCOPED_TRACE(caseTrace(F));
-  CompileResult R = compileEinsum(F.E);
-  std::map<std::string, const Tensor *> In;
-  for (auto &[Name, T] : F.Inputs)
-    In[Name] = &T;
-  Tensor Ref = oracleEval(F.E, In);
-  for (const Kernel *K : {&R.Naive, &R.Optimized}) {
-    SCOPED_TRACE(K == &R.Naive ? "naive" : "optimized");
-    struct Cell {
-      const char *Name;
-      bool Fused;
-      unsigned Threads;
-    };
-    const Cell Cells[] = {{"interp-1", false, 1},
-                          {"fused-1", true, 1},
-                          {"interp-4", false, 4},
-                          {"fused-4", true, 4}};
-    Tensor First;
-    CounterSnapshot FirstSnap;
-    for (const Cell &C : Cells) {
-      SCOPED_TRACE(C.Name);
-      ExecOptions O;
-      O.EnableMicroKernels = C.Fused;
-      O.Threads = C.Threads;
-      CounterSnapshot Snap;
-      Tensor Out = runCounted(*K, F, O, Snap);
-      // Exact agreement with the dense oracle on every element.
-      ASSERT_EQ(Out.vals().size(), Ref.vals().size());
-      for (size_t I = 0; I < Out.vals().size(); ++I)
-        EXPECT_EQ(Out.vals()[I], Ref.vals()[I]) << "element " << I;
-      if (&C == &Cells[0]) {
-        First = std::move(Out);
-        FirstSnap = Snap;
-        continue;
-      }
-      for (size_t I = 0; I < Out.vals().size(); ++I)
-        EXPECT_EQ(Out.vals()[I], First.vals()[I]) << "element " << I;
-      EXPECT_EQ(Snap.SparseReads, FirstSnap.SparseReads);
-      EXPECT_EQ(Snap.Reductions, FirstSnap.Reductions);
-      EXPECT_EQ(Snap.ScalarOps, FirstSnap.ScalarOps);
-      EXPECT_EQ(Snap.OutputWrites, FirstSnap.OutputWrites);
-    }
-  }
+  checkDifferentialMatrix(GetParam());
+  persistSeedIfFailed("matrix", GetParam());
 }
 
-INSTANTIATE_TEST_SUITE_P(Seeds, EinsumFuzz,
-                         ::testing::Range<uint64_t>(1, 151));
+TEST_P(EinsumFuzz, LutOperandDifferential) {
+  checkLutDifferential(GetParam());
+  persistSeedIfFailed("lut", GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, EinsumFuzz,
+    ::testing::Range<uint64_t>(1, 1 + SYSTEC_FUZZ_ITERS));

@@ -48,6 +48,14 @@ Tensor gappyCsc(double Fill = 0.0) {
   return Tensor::fromCoo(std::move(C), TensorFormat::csf(2), Fill);
 }
 
+/// Quantizes stored values to small integers so sums are exact and
+/// bit-identical across task decompositions (thread-count sweeps).
+void quantizeIntegers(Tensor &T) {
+  for (double &V : T.vals())
+    if (!std::isinf(V))
+      V = std::floor(V * 8);
+}
+
 Tensor denseVec(std::vector<double> V) {
   Tensor T = Tensor::dense({static_cast<int64_t>(V.size())});
   T.vals() = std::move(V);
@@ -497,6 +505,199 @@ TEST(MicroKernels, SparseLoadOperandFusesWithExactCounters) {
   EXPECT_EQ(St.GenericLoops, 0u);
   EXPECT_GT(St.WalkersRejected, 0u)
       << "additive fill-0 body must not skip coordinates";
+}
+
+TEST(MicroKernels, ThreeWalkerIntersectionBitIdentical) {
+  // O[j] += A[i,j] * B[i,j] * C[i,j]: three sparse operands intersect
+  // on i, so the fused inner loop is an N-way multi-finger merge (one
+  // driver plus two sparse co-walkers with galloping catch-up). The
+  // generic interpreter resolves the co-walkers with per-element
+  // locate; positions, values, and SparseReads must match exactly —
+  // including candidates where the first co-walker matches and the
+  // second does not (its read is charged, the body is skipped).
+  Einsum E = parseEinsum("merge3", "O[j] += A[i,j] * B[i,j] * C[i,j]");
+  E.LoopOrder = {"j", "i"};
+  E.declare("A", TensorFormat::csf(2));
+  E.declare("B", TensorFormat::csf(2));
+  E.declare("C", TensorFormat::csf(2));
+  CompileResult R = compileEinsum(E);
+
+  Tensor A = gappyCsc();
+  Coo BC({4, 4});
+  BC.add({0, 0}, 2);  // in A and C
+  BC.add({2, 0}, 5);  // in A, not in C
+  BC.add({1, 0}, 7);  // not in A
+  BC.add({3, 2}, -1); // in A and C
+  BC.add({3, 3}, 2);  // in A, not in C
+  Tensor B = Tensor::fromCoo(std::move(BC), TensorFormat::csf(2));
+  Coo CC({4, 4});
+  CC.add({0, 0}, 3);
+  CC.add({3, 2}, 4);
+  CC.add({1, 1}, 9); // only in C
+  Tensor C = Tensor::fromCoo(std::move(CC), TensorFormat::csf(2));
+
+  MicroKernelStats S = compareEngines(
+      R.Naive,
+      [&](Executor &Ex, Tensor &Out) {
+        Ex.bind("A", &A).bind("B", &B).bind("C", &C).bind("O", &Out);
+      },
+      Tensor::dense({4}), "three-walker merge");
+  EXPECT_GT(S.FusedNWalkerLoops, 0u);
+  EXPECT_GE(S.FusedCoWalkers, 2u);
+  EXPECT_EQ(S.GenericLoops, 0u);
+}
+
+TEST(MicroKernels, RunLengthAndBandedCoWalkersBitIdentical) {
+  // A sparse driver intersecting a structured co-walker: the co-walker
+  // resolves positionally by run containment (RunLength) or interval
+  // containment (Banded) exactly as the interpreter's locate, including
+  // bands that miss the driver's coordinates entirely.
+  for (LevelKind CoKind : {LevelKind::RunLength, LevelKind::Banded}) {
+    SCOPED_TRACE(CoKind == LevelKind::RunLength ? "runlength co"
+                                                : "banded co");
+    Einsum E = parseEinsum("comerge", "O[j] += A[i,j] * B[i,j]");
+    E.LoopOrder = {"j", "i"};
+    E.declare("A", TensorFormat::csf(2));
+    TensorFormat CoFmt{{LevelKind::Dense, CoKind}};
+    E.declare("B", CoFmt);
+    CompileResult R = compileEinsum(E);
+
+    Rng Rand(31);
+    Tensor A = gappyCsc();
+    Tensor B = generateSymmetricTensor(2, 4, 6, Rand, CoFmt);
+    MicroKernelStats S = compareEngines(
+        R.Naive,
+        [&](Executor &Ex, Tensor &Out) {
+          Ex.bind("A", &A).bind("B", &B).bind("O", &Out);
+        },
+        Tensor::dense({4}), "structured co-walker");
+    if (CoKind == LevelKind::RunLength)
+      EXPECT_GT(S.FusedRunLengthCoWalkers, 0u);
+    else
+      EXPECT_GT(S.FusedBandedCoWalkers, 0u);
+    EXPECT_EQ(S.GenericLoops, 0u);
+  }
+}
+
+TEST(MicroKernels, LutOperandsBindTimeAndContextual) {
+  // y[] += lut(...) * A[i,j] twice: a lut whose bits mention the inner
+  // loop variable must be re-evaluated per element (contextual engine),
+  // one over outer indices only binds once per row. Both fuse with
+  // values and counters identical to the interpreter (the VM charges no
+  // counters for Lut evaluation, so neither may the fused engines).
+  for (bool InnerBits : {true, false}) {
+    SCOPED_TRACE(InnerBits ? "contextual lut" : "bind-time lut");
+    Kernel K;
+    K.Name = "lut";
+    K.LoopOrder = {"j", "i"};
+    K.OutputName = "y";
+    ExprPtr Lut =
+        InnerBits
+            ? Expr::lut({CmpAtom{CmpKind::EQ, "i", "j"}}, {10, 100})
+            : Expr::lut({CmpAtom{CmpKind::LE, "j", "j"}}, {5, 7});
+    K.Body = Stmt::loops(
+        {"j", "i"},
+        Stmt::assign(Expr::access("y", {}), OpKind::Add,
+                     Expr::call(OpKind::Mul,
+                                {std::move(Lut),
+                                 Expr::access("A", {"i", "j"})})));
+    Tensor A = gappyCsc();
+    MicroKernelStats S = compareEngines(
+        K,
+        [&](Executor &E, Tensor &Out) { E.bind("A", &A).bind("y", &Out); },
+        Tensor::dense({1}), "lut operand");
+    EXPECT_GT(S.FusedLutFactors, 0u);
+    EXPECT_EQ(S.GenericLoops, 0u);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Per-row prebinding (row-invariant SparseLoad prefixes)
+//===----------------------------------------------------------------------===//
+
+TEST(MicroKernels, PrebindSparseLoadPrefixBitIdentical) {
+  // O[b] += A[b,a] + B[a]: the additive fill-0 body vetoes every
+  // coordinate-skipping walker, so both operands evaluate as SparseLoad
+  // inside the fused inner loop over b. A's top level is indexed by the
+  // outer variable a — a row-invariant prefix the engine resolves once
+  // per row (PrebindSlots) — and B prebinds entirely. Rows whose prefix
+  // is absent (empty fibers) must read as fill with the same per-element
+  // SparseReads as the interpreter.
+  Einsum E = parseEinsum("prebind", "O[b] += A[b,a] + B[a]");
+  E.LoopOrder = {"a", "b"};
+  E.declare("A", TensorFormat::csf(2));
+  E.declare("B", TensorFormat{{LevelKind::Sparse}});
+  CompileResult R = compileEinsum(E);
+
+  Tensor A = gappyCsc();
+  Coo BC({4});
+  BC.add({0}, 2.0);
+  BC.add({3}, -1.0);
+  Tensor B = Tensor::fromCoo(std::move(BC), TensorFormat{{LevelKind::Sparse}});
+  MicroKernelStats S = compareEngines(
+      R.Naive,
+      [&](Executor &Ex, Tensor &Out) {
+        Ex.bind("A", &A).bind("B", &B).bind("O", &Out);
+      },
+      Tensor::dense({4}), "prebound sparse loads");
+  EXPECT_GT(S.PrebindSlots, 0u);
+  EXPECT_GT(S.FusedSparseLoadFactors, 0u);
+  EXPECT_EQ(S.GenericLoops, 0u);
+}
+
+TEST(MicroKernels, PrebindDeterministicAcrossTaskRanges) {
+  // Per-row prebinding under parallel splits: each task context
+  // re-derives the prebound locator state at its own bind, so outputs
+  // and counters are bit-identical for Threads in {1, 2, 4} under the
+  // triangle-balanced schedule — both when the parallel runtime
+  // activates the outer loop (prebinding per row inside each task) and
+  // when a tiny privatization budget pushes activation down to the
+  // inner disjoint-write loop, splitting the fused loop's own [Lo, Hi]
+  // range mid-row.
+  Rng Rand(77);
+  Einsum E = parseEinsum("prebindpar", "O[b] += A[b,a] + B[a]");
+  E.LoopOrder = {"a", "b"};
+  E.declare("A", TensorFormat::csf(2));
+  E.declare("B", TensorFormat{{LevelKind::Sparse}});
+  CompileResult R = compileEinsum(E);
+  const int64_t N = 40;
+  Tensor A = generateSymmetricTensor(2, N, 3 * N, Rand, TensorFormat::csf(2));
+  quantizeIntegers(A);
+  Coo BC({N});
+  for (int64_t K = 0; K < N; K += 3)
+    BC.add({K}, static_cast<double>(1 + K % 5));
+  Tensor B = Tensor::fromCoo(std::move(BC), TensorFormat{{LevelKind::Sparse}});
+
+  for (size_t Budget : {size_t(1) << 24, size_t(0)}) {
+    SCOPED_TRACE(Budget ? "outer-loop tasks" : "inner range splits");
+    Tensor First;
+    CounterSnapshot FirstSnap;
+    bool Have = false;
+    for (unsigned Threads : {1u, 2u, 4u}) {
+      SCOPED_TRACE("threads " + std::to_string(Threads));
+      ExecOptions O;
+      O.Threads = Threads;
+      O.Schedule = SchedulePolicy::TriangleBalanced;
+      O.PrivatizationBudget = Budget;
+      Executor Ex(R.Naive, O);
+      Tensor Out = Tensor::dense({N});
+      Ex.bind("A", &A).bind("B", &B).bind("O", &Out);
+      Ex.prepare();
+      EXPECT_GT(Ex.microKernelStats().PrebindSlots, 0u);
+      counters().reset();
+      setCountersEnabled(true);
+      Ex.run();
+      CounterSnapshot Snap = counters().snapshot();
+      if (!Have) {
+        First = std::move(Out);
+        FirstSnap = Snap;
+        Have = true;
+        continue;
+      }
+      expectBitIdentical(First, Out, "prebind determinism");
+      expectCountersEqual(FirstSnap, Snap, "prebind determinism");
+    }
+  }
 }
 
 TEST(MicroKernels, LiveScalarReadAfterGuardedWrite) {
