@@ -80,6 +80,13 @@ std::vector<Variant> variants() {
     V.Exec.AnnihilationAlgebra = false;
     Out.push_back(V);
   }
+  {
+    // Fused nests without the register/cache-blocked output engine
+    // (per-column fiber walks and rebinds instead of column panels).
+    Variant V{"no_blocking", {}, {}};
+    V.Exec.EnableBlocking = false;
+    Out.push_back(V);
+  }
   return Out;
 }
 
@@ -91,7 +98,8 @@ void printSpecialization(const char *Workload, const char *Variant,
   const MicroKernelStats &S = E.microKernelStats();
   std::printf("  specialization %-10s %-16s fused=%llu (innermost %llu) "
               "generic=%llu walkers=%llu (recovered %llu, rejected "
-              "%llu) co=%llu (nway %llu) lut=%llu prebind=%llu\n",
+              "%llu) co=%llu (nway %llu) lut=%llu prebind=%llu "
+              "blocked=%llu (accum %llu)\n",
               Workload, Variant,
               static_cast<unsigned long long>(S.SpecializedLoops),
               static_cast<unsigned long long>(S.InnermostFused),
@@ -102,7 +110,9 @@ void printSpecialization(const char *Workload, const char *Variant,
               static_cast<unsigned long long>(S.FusedCoWalkers),
               static_cast<unsigned long long>(S.FusedNWalkerLoops),
               static_cast<unsigned long long>(S.FusedLutFactors),
-              static_cast<unsigned long long>(S.PrebindSlots));
+              static_cast<unsigned long long>(S.PrebindSlots),
+              static_cast<unsigned long long>(S.BlockedLoops),
+              static_cast<unsigned long long>(S.BlockedAccumLoops));
 }
 
 } // namespace

@@ -79,6 +79,22 @@ std::vector<MicroCase> makeCases(Rng &R) {
     Cases.push_back(std::move(C));
   }
   {
+    // SpMM against a dense panel matrix: the workspace-form blocked
+    // shape (`C[i,k] += A_row(j) * B[j,k]`) — the blocked engine holds
+    // a register panel of workspace cells across each sparse row walk
+    // and writes every column back once, where the unblocked nest
+    // re-walks the row per column.
+    Einsum E = parseEinsum("spmm", "C[i,k] += A[i,j] * B[j,k]");
+    E.LoopOrder = {"i", "k", "j"};
+    E.declare("A", TensorFormat::csf(2));
+    MicroCase C{"spmm", std::move(E), {}, {N, Rank}, "C",
+                "n2000_nnz32n_r32"};
+    C.Inputs.emplace("A", generateSymmetricTensor(2, N, 32 * N, R,
+                                                  TensorFormat::csf(2)));
+    C.Inputs.emplace("B", generateDenseMatrix(N, Rank, R));
+    Cases.push_back(std::move(C));
+  }
+  {
     // Three sparse operands intersecting on the inner index: the N-way
     // multi-finger merge (one driver, two sparse co-walkers with
     // galloping catch-up) vs. the interpreter's per-element locate —
@@ -135,7 +151,7 @@ int main(int argc, char **argv) {
     const MicroKernelStats &S = H->Executors.back()->microKernelStats();
     std::printf("%-8s specialized=%llu (innermost %llu), generic=%llu, "
                 "co=%llu (nway %llu, rl %llu, banded %llu), lut=%llu, "
-                "prebind=%llu\n",
+                "prebind=%llu, blocked=%llu (accum %llu)\n",
                 C.Name.c_str(),
                 static_cast<unsigned long long>(S.SpecializedLoops),
                 static_cast<unsigned long long>(S.InnermostFused),
@@ -145,7 +161,9 @@ int main(int argc, char **argv) {
                 static_cast<unsigned long long>(S.FusedRunLengthCoWalkers),
                 static_cast<unsigned long long>(S.FusedBandedCoWalkers),
                 static_cast<unsigned long long>(S.FusedLutFactors),
-                static_cast<unsigned long long>(S.PrebindSlots));
+                static_cast<unsigned long long>(S.PrebindSlots),
+                static_cast<unsigned long long>(S.BlockedLoops),
+                static_cast<unsigned long long>(S.BlockedAccumLoops));
     Holders.push_back(std::move(H));
   }
 

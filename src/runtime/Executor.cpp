@@ -520,7 +520,12 @@ private:
     // The PlanSpecializer pass: inner loops were specialized by the
     // recursive compile above, so matching proceeds bottom-up and a
     // nest can absorb its already-fused children.
-    if (E.Options.EnableMicroKernels && specializeLoop(*Loop, AccessStates)) {
+    MKSpecializeOptions SpecOpts;
+    SpecOpts.EnableBlocking = E.Options.EnableBlocking;
+    SpecOpts.BlockWidth = E.Options.BlockWidth;
+    SpecOpts.OutputTensors = &OutTensors;
+    if (E.Options.EnableMicroKernels &&
+        specializeLoop(*Loop, AccessStates, SpecOpts)) {
       ++Stats.SpecializedLoops;
       if (Loop->Fused->Innermost)
         ++Stats.InnermostFused;
@@ -540,6 +545,12 @@ private:
       case MKDriver::Kind::BandedWalk:
         ++Stats.FusedBandedDrivers;
         break;
+      }
+      if (Loop->Fused->Blocked) {
+        ++Stats.BlockedLoops;
+        if (Loop->Fused->Blocked->Mode !=
+            MKBlockedEngine::BMode::Stream)
+          ++Stats.BlockedAccumLoops;
       }
       const MKDriver &FD = Loop->Fused->D;
       Stats.FusedCoWalkers += FD.Cos.size();
@@ -592,6 +603,8 @@ std::string execOptionsSummary(const ExecOptions &O) {
   std::string Out = "threads=" + std::to_string(O.Threads);
   Out += std::string(" schedule=") + schedulePolicyName(O.Schedule);
   Out += std::string(" microkernels=") + (O.EnableMicroKernels ? "on" : "off");
+  Out += std::string(" blocking=") + (O.EnableBlocking ? "on" : "off");
+  Out += " blockwidth=" + std::to_string(O.BlockWidth);
   Out += std::string(" walk=") + (O.EnableSparseWalk ? "on" : "off");
   Out += std::string(" lift=") + (O.EnableBoundLifting ? "on" : "off");
   Out += std::string(" algebra=") + (O.AnnihilationAlgebra ? "on" : "off");
@@ -671,6 +684,10 @@ void flushCounters(detail::ExecCtx &C) {
     counters().ScalarOps += C.Local.ScalarOps;
   if (C.Local.OutputWrites)
     counters().OutputWrites += C.Local.OutputWrites;
+  if (C.Local.FusedBlockedPanels)
+    counters().FusedBlockedPanels += C.Local.FusedBlockedPanels;
+  if (C.Local.FusedBlockedStores)
+    counters().FusedBlockedStores += C.Local.FusedBlockedStores;
   C.Local = CounterSnapshot{};
 }
 

@@ -66,6 +66,22 @@ struct ExecOptions {
   /// level arrays instead of the interpreted plan. Disabling is the
   /// ablation switch; outputs and counters are identical either way.
   bool EnableMicroKernels = true;
+  /// Panel-block the dense output mode of fused nests (the
+  /// ssyrk/syprd/ttm shape: an outer loop whose variable strides a
+  /// dense output dimension while the inner sparse walk it re-runs is
+  /// invariant in it). The blocked engine walks the fiber once per
+  /// fixed-width column panel instead of once per column, hoisting the
+  /// per-column operand values — and, when the output cell is invariant
+  /// across the walk, the accumulators themselves — into registers.
+  /// Bit-identical to the interpreter (panel lanes write disjoint cells,
+  /// per-cell fold order is preserved) with exact counter parity;
+  /// disabling is the ablation switch.
+  bool EnableBlocking = true;
+  /// Output-panel width for the blocked engine. 0 picks the width at
+  /// specialization from the panel mode's extent (8, or 4 for narrow
+  /// modes); explicit values are clamped to [1, 8]. Results and the
+  /// runtime counters are identical for every width.
+  unsigned BlockWidth = 0;
   /// Decide coordinate-skipping walker soundness with the algebraic
   /// annihilation analysis (runtime/Annihilation.h): fill/annihilator
   /// facts propagate per operator position and transitively through
@@ -124,6 +140,15 @@ struct MicroKernelStats {
   /// SparseLoad operands with a row-invariant level prefix hoisted to
   /// bind time (per-row prebinding slots installed by the specializer).
   uint64_t PrebindSlots = 0;
+
+  /// Fused nests running the register/cache-blocked output engine
+  /// (column panels over the dense output mode), and the subset whose
+  /// panel accumulators live in registers across the whole sparse walk
+  /// (output cell invariant in the inner driver — one writeback per
+  /// panel lane per row). The runtime panel/store counts are the
+  /// FusedBlockedPanels / FusedBlockedStores global counters.
+  uint64_t BlockedLoops = 0;
+  uint64_t BlockedAccumLoops = 0;
 };
 
 /// One-line rendering of \p O ("threads=4 schedule=auto ..."), recorded

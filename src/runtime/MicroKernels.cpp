@@ -11,6 +11,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <limits>
 #include <map>
 #include <optional>
 #include <set>
@@ -181,10 +182,12 @@ operandFor(const VInstr &I, MatchState &M,
   }
   case VKind::Walked: {
     const MKDriver &D = M.D;
-    if (D.K != MKDriver::Kind::Range && I.Id == D.AccessId)
-      return D.Bottom ? std::optional<MKOperand>(
-                            MKOperand{MKOperand::Kind::Driver})
-                      : std::nullopt;
+    if (D.K != MKDriver::Kind::Range && I.Id == D.AccessId) {
+      if (!D.Bottom)
+        return std::nullopt;
+      Op.K = MKOperand::Kind::Driver;
+      return Op;
+    }
     for (size_t Co = 0; Co < D.Cos.size(); ++Co)
       if (I.Id == D.Cos[Co].AccessId) {
         if (!D.Cos[Co].Bottom)
@@ -407,9 +410,199 @@ bool gatherItems(PlanNode *N, std::optional<CCond> Guard, MatchState &M,
   return false; // PlanReplicate or unknown nodes stay interpreted
 }
 
+//===----------------------------------------------------------------------===//
+// Blocked-output-shape matcher
+//===----------------------------------------------------------------------===//
+
+/// Attempts to install the register/cache-blocked output engine on the
+/// freshly fused nest \p MK of loop \p L (see MKBlockedEngine in the
+/// header for the shape contract). Any mismatch simply leaves the nest
+/// on the generic dispatch — both paths are bit-identical to the
+/// interpreter, so this is purely a performance decision.
+void tryInstallBlocked(PlanLoop &L, MicroKernel &MK,
+                       const MKSpecializeOptions &Opts) {
+  if (MK.Innermost)
+    return;
+  // The nest driver supplies the panel lanes: a plain Range (ssyrk's
+  // dense output columns under bound lifting off) or a single sparse
+  // walk with no co-walkers (ssyrk's annihilation-driven column walk —
+  // the panel variable then takes stored coordinates and the walked
+  // factor reads the lane's fiber value). Either way the panel
+  // variable must not advance any state the child's bind depends on
+  // beyond what the lane bind re-derives (IndexVal + the nest access's
+  // own position).
+  if (MK.D.K != MKDriver::Kind::Range &&
+      MK.D.K != MKDriver::Kind::SparseWalk)
+    return;
+  if (!MK.D.Cos.empty())
+    return;
+  // Two accepted item shapes: the direct nest [Loop] and the workspace
+  // triple [Def w = <const>, Loop, dst R= w] the pipeline emits for
+  // sparse-row-times-dense-panel kernels (spmm/ttm-style nests).
+  const bool Ws = MK.Items.size() == 3;
+  if (Ws) {
+    if (MK.Items[0].K != MKItem::Kind::Def ||
+        MK.Items[1].K != MKItem::Kind::Loop ||
+        MK.Items[2].K != MKItem::Kind::Stmt || MK.Items[0].HasGuard ||
+        MK.Items[1].HasGuard || MK.Items[2].HasGuard)
+      return;
+  } else if (MK.Items.size() != 1 ||
+             MK.Items[0].K != MKItem::Kind::Loop ||
+             MK.Items[0].HasGuard) {
+    return;
+  }
+  PlanLoop *Ch = MK.Items[Ws ? 1 : 0].Child;
+  if (!Ch || !Ch->Fused || !Ch->Fused->Innermost || Ch->Par.Enabled)
+    return;
+  const MicroKernel &CMK = *Ch->Fused;
+  if (CMK.D.K != MKDriver::Kind::SparseWalk || !CMK.D.Cos.empty())
+    return;
+  // The child's fiber must be invariant across the panel variable: the
+  // nest walking the same access would re-position the child driver's
+  // parent per lane.
+  if (MK.D.K == MKDriver::Kind::SparseWalk &&
+      MK.D.AccessId == CMK.D.AccessId)
+    return;
+  if (CMK.Items.size() != 1 || CMK.Items[0].K != MKItem::Kind::Stmt ||
+      CMK.Items[0].HasGuard)
+    return;
+  const MKStmt &S = CMK.Items[0].S;
+  auto B = std::make_unique<MKBlockedEngine>();
+  int64_t PS = 0;
+  std::vector<std::pair<unsigned, int64_t>> InvTerms;
+  if (Ws) {
+    // Workspace triple: `w` seeded from a literal, reduced by the
+    // child per element, folded into a `u`-strided cell once per lane.
+    const MKStmt &Def = MK.Items[0].S, &Fin = MK.Items[2].S;
+    if (Def.Factors.size() != 1 ||
+        Def.Factors[0].K != MKOperand::Kind::Const)
+      return;
+    if (!S.ScalarDst || S.ScalarSlot != Def.ScalarSlot)
+      return;
+    if (Fin.ScalarDst || Fin.Factors.size() != 1 ||
+        Fin.Factors[0].K != MKOperand::Kind::Scalar ||
+        Fin.Factors[0].Slot != Def.ScalarSlot)
+      return;
+    InvTerms = Fin.DstBaseTerms;
+    PS = Fin.DstVStride; // the final store's loop variable is `u`
+    if (PS == 0)
+      return; // lanes must reach distinct cells
+    B->Mode = MKBlockedEngine::BMode::Workspace;
+    B->WsSlot = Def.ScalarSlot;
+    B->WsInit = Def.Factors[0].Lit;
+    B->FinalReduce = Fin.Reduce;
+    B->OutId = Fin.OutId;
+  } else {
+    if (S.ScalarDst)
+      return;
+    // Destination: the nest variable `u` must stride a dense output
+    // mode (the panel stride), and lanes must write provably disjoint
+    // cells — the child driver's span under one lane may not reach the
+    // next lane — so visiting elements panel-by-panel cannot reorder
+    // any per-cell reduction.
+    for (const auto &[Slot, Stride] : S.DstBaseTerms) {
+      if (Slot == L.Slot)
+        PS += Stride;
+      else
+        InvTerms.push_back({Slot, Stride});
+    }
+    if (PS <= 0 || S.DstVStride < 0)
+      return;
+    if (S.DstVStride > 0 && S.DstVStride * (CMK.D.Dim - 1) >= PS)
+      return;
+    B->Mode = S.DstVStride == 0 ? MKBlockedEngine::BMode::Accum
+                                : MKBlockedEngine::BMode::Stream;
+    B->OutId = S.OutId;
+  }
+  for (const MKOperand &Op : S.Factors) {
+    MKBlockedEngine::FClass FC = MKBlockedEngine::FClass::LaneImm;
+    switch (Op.K) {
+    case MKOperand::Kind::Const:
+    case MKOperand::Kind::Walked:
+      break; // invariant in the child driver: binds once per lane
+    case MKOperand::Kind::Scalar:
+      if (Op.Live)
+        return; // unreachable with one statement; stay conservative
+      break;
+    case MKOperand::Kind::Driver:
+      FC = MKBlockedEngine::FClass::Driver;
+      break;
+    case MKOperand::Kind::CoDriver:
+      return; // the accepted driver has no co-walkers
+    case MKOperand::Kind::Dense:
+      // A dense factor reading an output array would observe the
+      // loop's own stores, and the panel visit order could then change
+      // what it reads. Outputs are never inputs in the einsums the
+      // pipeline produces, but decline rather than assume.
+      if (Opts.OutputTensors)
+        for (Tensor *T : *Opts.OutputTensors)
+          if (T->valsData() == Op.Arr)
+            return;
+      if (Op.VStride != 0)
+        FC = MKBlockedEngine::FClass::LaneDense;
+      break;
+    case MKOperand::Kind::SparseLoad:
+      // The access must be row-invariant (no level slot names the
+      // child variable): it then resolves once per panel lane instead
+      // of once per element — the blocked engine's main arithmetic
+      // saving on ssyrk, whose A[j,k] factor the unblocked engine
+      // re-evaluates for every stored element of every column.
+      for (unsigned LvSlot : Op.LevelSlots)
+        if (LvSlot == CMK.Slot)
+          return;
+      ++B->SparseLoadFactors;
+      break;
+    case MKOperand::Kind::Lut:
+      if (Op.LutDynamic)
+        return; // bits mention the child variable
+      break;
+    }
+    B->Classes.push_back(FC);
+  }
+  B->USlot = L.Slot;
+  B->Child = Ch;
+  B->ChildSlot = CMK.Slot;
+  B->Nest = MK.D;
+  B->D = CMK.D;
+  B->Combine = S.Combine;
+  B->ElemReduce = S.Reduce;
+  B->PanelStride = PS;
+  B->DstVStride = B->Mode == MKBlockedEngine::BMode::Stream
+                      ? S.DstVStride
+                      : 0;
+  B->DstInvTerms = std::move(InvTerms);
+  B->Factors = S.Factors;
+  // Width: explicit option clamped to the engine's lane arrays, or
+  // chosen from the panel mode's extent (narrow modes take 4-wide
+  // panels; everything else 8). Values and counters are width-independent.
+  const unsigned W =
+      Opts.BlockWidth
+          ? std::min(Opts.BlockWidth, MKBlockedEngine::MaxWidth)
+          : (L.Extent >= 8 ? 8u : 4u);
+  B->Width = std::max(1u, W);
+  const bool MulAdd =
+      (S.Factors.size() == 1 || S.Combine == OpKind::Mul) &&
+      S.Reduce == OpKind::Add;
+  if (MulAdd && S.Factors.size() == 2 &&
+      B->Classes[0] == MKBlockedEngine::FClass::Driver) {
+    if (B->Mode == MKBlockedEngine::BMode::Stream &&
+        B->Classes[1] == MKBlockedEngine::FClass::LaneImm)
+      B->FastPath = MKBlockedEngine::Fast::Axpy2;
+    else if (B->Mode != MKBlockedEngine::BMode::Stream &&
+             B->Classes[1] == MKBlockedEngine::FClass::LaneDense)
+      B->FastPath = MKBlockedEngine::Fast::Accum2;
+  }
+  // Task-boundary panel alignment only means something when lanes are
+  // coordinates (Range nests); a sparse nest's lanes are fiber entries.
+  if (MK.D.K == MKDriver::Kind::Range)
+    L.BlockAlign = B->Width;
+  MK.Blocked = std::move(B);
+}
+
 } // namespace
 
-bool specializeLoop(PlanLoop &L, const std::vector<AccessState> &Accesses) {
+bool specializeLoop(PlanLoop &L, const std::vector<AccessState> &Accesses,
+                    const MKSpecializeOptions &Opts) {
   MatchState M{L, Accesses, MKDriver{}, false, {}, {}};
   if (!buildDriver(M))
     return false;
@@ -473,6 +666,8 @@ bool specializeLoop(PlanLoop &L, const std::vector<AccessState> &Accesses) {
   MK->D = M.D;
   MK->Items = std::move(Items);
   L.Fused = std::move(MK);
+  if (Opts.EnableBlocking)
+    tryInstallBlocked(L, *L.Fused, Opts);
   return true;
 }
 
@@ -559,7 +754,7 @@ void iterateDriverImpl(ExecCtx &C, const MKDriver &D, unsigned Slot,
     for (size_t I = 0; I < NCo; ++I) {
       const MKCoWalker &Co = D.Cos[I];
       CoBind &CB = B.Co[I];
-      int64_t P;
+      int64_t P = 0; // every level kind assigns; init pacifies -Wmaybe-
       if (CB.Aliased) {
         P = K1;
       } else {
@@ -1111,50 +1306,79 @@ void MicroKernel::runInner(ExecCtx &C, int64_t Lo, int64_t Hi) {
 
   IterCounts N;
 
-  // Dedicated loops for the single-statement sparse axpy / dot shapes
-  // (driver value times one coordinate-indexed or invariant factor —
-  // ssyrk's triangle kernel and plain SpMV rows). Same fold and
-  // iteration order as the generic path below, just with the per-stmt
-  // dispatch peeled away.
+  // Dedicated loops for the single-statement sparse axpy / dot shapes:
+  // the driver value times one coordinate-indexed or invariant factor,
+  // optionally followed by up to two loop-invariant factors (ssyrk's
+  // triangle kernel, plain SpMV rows, and syprd's
+  // `w += (A.val * x[i]) * x[j] * 2` chain). Same fold and iteration
+  // order as the generic path below — the invariant tails still load
+  // per element, in chain position — just with the per-stmt dispatch
+  // peeled away.
   if (NS == 1 && !AnyDynamic && D.K == MKDriver::Kind::SparseWalk &&
-      D.Cos.empty() && BS[0].NF == 2 &&
+      D.Cos.empty() && BS[0].NF >= 2 && BS[0].NF <= 4 &&
       (BS[0].Kind == 0 || BS[0].Kind == 1)) {
     const BoundVal &F0 = BS[0].F[0], &F1 = BS[0].F[1];
-    if (F0.SV == 0 && F0.SK1 == 1 && F0.SK2 == 0 && F1.SK1 == 0 &&
-        F1.SK2 == 0) {
+    bool TailInvariant = true;
+    for (unsigned I = 2; I < BS[0].NF; ++I) {
+      const BoundVal &FI = BS[0].F[I];
+      TailInvariant &= FI.SV == 0 && FI.SK1 == 0 && FI.SK2 == 0;
+    }
+    if (TailInvariant && F0.SV == 0 && F0.SK1 == 1 && F0.SK2 == 0 &&
+        F1.SK1 == 0 && F1.SK2 == 0) {
       const double *DV = D.Vals, *P1 = F1.P;
       const int64_t S1 = F1.SV;
       const int64_t *Crd = D.Crd;
-      int64_t K = D.Ptr[B.Parent], E = D.Ptr[B.Parent + 1];
+      int64_t K0 = D.Ptr[B.Parent], E = D.Ptr[B.Parent + 1];
       if (Lo > 0)
-        K = std::lower_bound(Crd + K, Crd + E, Lo) - Crd;
+        K0 = std::lower_bound(Crd + K0, Crd + E, Lo) - Crd;
       uint64_t Cnt = 0;
-      if (BS[0].Kind == 0) {
-        double *Dst = BS[0].Dst;
-        const int64_t DS = BS[0].DstS;
-        for (; K < E; ++K) {
-          const int64_t V = Crd[K];
-          if (V > Hi)
-            break;
-          Dst[DS * V] += DV[K] * P1[S1 * V];
-          ++Cnt;
+      auto Drive = [&](auto &&Term) {
+        if (BS[0].Kind == 0) {
+          double *Dst = BS[0].Dst;
+          const int64_t DS = BS[0].DstS;
+          for (int64_t K = K0; K < E; ++K) {
+            const int64_t V = Crd[K];
+            if (V > Hi)
+              break;
+            Dst[DS * V] += Term(V, K);
+            ++Cnt;
+          }
+        } else {
+          double Acc = *BS[0].Dst;
+          for (int64_t K = K0; K < E; ++K) {
+            const int64_t V = Crd[K];
+            if (V > Hi)
+              break;
+            Acc += Term(V, K);
+            ++Cnt;
+          }
+          *BS[0].Dst = Acc;
         }
-      } else {
-        double Acc = *BS[0].Dst;
-        for (; K < E; ++K) {
-          const int64_t V = Crd[K];
-          if (V > Hi)
-            break;
-          Acc += DV[K] * P1[S1 * V];
-          ++Cnt;
-        }
-        *BS[0].Dst = Acc;
+      };
+      switch (BS[0].NF) {
+      case 2:
+        Drive([&](int64_t V, int64_t K) { return DV[K] * P1[S1 * V]; });
+        break;
+      case 3: {
+        const double *P2 = BS[0].F[2].P;
+        Drive([&](int64_t V, int64_t K) {
+          return (DV[K] * P1[S1 * V]) * *P2;
+        });
+        break;
+      }
+      default: {
+        const double *P2 = BS[0].F[2].P, *P3 = BS[0].F[3].P;
+        Drive([&](int64_t V, int64_t K) {
+          return ((DV[K] * P1[S1 * V]) * *P2) * *P3;
+        });
+        break;
+      }
       }
       BS[0].Execs = Cnt;
       if (C.CountersOn) {
         if (D.CountReads)
           C.Local.SparseReads += Cnt;
-        C.Local.ScalarOps += Cnt;
+        C.Local.ScalarOps += Cnt * BS[0].Ops;
         C.Local.Reductions += Cnt;
         if (BS[0].Kind == 0)
           C.Local.OutputWrites += Cnt;
@@ -1203,7 +1427,370 @@ void MicroKernel::runInner(ExecCtx &C, int64_t Lo, int64_t Hi) {
   }
 }
 
+//===----------------------------------------------------------------------===//
+// Execution: blocked output engine
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Resolves one child-driver-invariant operand against the current
+/// context (the caller sets IndexVal[USlot] to the lane's coordinate
+/// first). SparseLoad resolution uses plain locate — cursorless, so
+/// lane binds cannot disturb the shared hinted-locator state and the
+/// result is independent of any cursor history — and charges nothing
+/// here: the engine charges one SparseRead per element-lane execution,
+/// exactly like the interpreter's per-element evaluation of the same
+/// row-invariant access.
+double bindLaneOperand(ExecCtx &C, const MKOperand &Op) {
+  switch (Op.K) {
+  case MKOperand::Kind::Const:
+    return Op.Lit;
+  case MKOperand::Kind::Scalar:
+    return C.ScalarVal[Op.Slot];
+  case MKOperand::Kind::Walked: {
+    const AccessState &A = C.Accesses[Op.Slot];
+    return A.T->val(A.Pos[A.T->order()]);
+  }
+  case MKOperand::Kind::Dense: {
+    int64_t Pos = 0;
+    for (const auto &[Slot, Stride] : Op.BaseTerms)
+      Pos += C.IndexVal[Slot] * Stride;
+    return Op.Arr[Pos];
+  }
+  case MKOperand::Kind::SparseLoad: {
+    const AccessState &A = C.Accesses[Op.Slot];
+    const unsigned Order = A.T->order();
+    int64_t Pos = 0;
+    for (unsigned Lv = 0; Lv < Order; ++Lv) {
+      Pos = A.T->locate(Lv, Pos, C.IndexVal[Op.LevelSlots[Lv]]);
+      if (Pos < 0)
+        return Op.Fill;
+    }
+    return A.T->val(Pos);
+  }
+  case MKOperand::Kind::Lut: {
+    unsigned Mask = 0;
+    for (size_t Bit = 0; Bit < Op.LutBits.size(); ++Bit)
+      if (Op.LutBits[Bit].eval(C))
+        Mask |= 1u << Bit;
+    return Op.LutTable[Mask];
+  }
+  default:
+    return 0; // Driver / CoDriver never reach lane binding
+  }
+}
+
+} // namespace
+
+void MKBlockedEngine::run(ExecCtx &C, int64_t Lo, int64_t Hi) {
+  const unsigned NF = static_cast<unsigned>(Factors.size());
+  const int64_t Parent = C.Accesses[D.AccessId].Pos[D.Level];
+  const int64_t KB = D.Ptr[Parent], KE = D.Ptr[Parent + 1];
+  const int64_t *Crd = D.Crd;
+  const double *DV = D.Vals;
+  int64_t DstBase = 0;
+  for (const auto &[Slot, Stride] : DstInvTerms)
+    DstBase += C.IndexVal[Slot] * Stride;
+  double *const OutArr = C.OutPtr[OutId] + DstBase;
+
+  // Panel lane state, rebound per panel. Everything lives on the stack:
+  // one engine may run from many task contexts concurrently, and each
+  // task range derives its own panels.
+  int64_t LaneLo[MaxWidth], LaneHi[MaxWidth];
+  double *LaneDst[MaxWidth];
+  double LaneVal[MicroKernel::MaxFactors][MaxWidth];
+  const double *LanePtr[MicroKernel::MaxFactors][MaxWidth];
+  int64_t UnionLo = 0, UnionHi = -1;
+
+  uint64_t Panels = 0, Stores = 0, Execs = 0, Lanes = 0;
+
+  // Binds lane Wi at panel coordinate U: per-lane child bounds (the
+  // child's Lo/Hi terms may reference the panel variable — ssyrk's
+  // triangle bounds do), the destination pointer, and every
+  // child-invariant operand value. This replaces one full child
+  // re-bind per column with one per panel, and per-element SparseLoad
+  // evaluation with one locate per lane. Mirrors the generic nest's
+  // per-iteration state updates (IndexVal; the caller updates the nest
+  // access's position for sparse nests before calling) so walked
+  // factors of the nest access read the lane's fiber value.
+  auto BindLane = [&](unsigned Wi, int64_t U) {
+    C.IndexVal[USlot] = U;
+    ++Lanes;
+    int64_t CLo = 0, CHi = Child->Extent - 1;
+    for (const auto &[Slot, Delta] : Child->LoTerms)
+      CLo = std::max(CLo, C.IndexVal[Slot] + Delta);
+    for (const auto &[Slot, Delta] : Child->HiTerms)
+      CHi = std::min(CHi, C.IndexVal[Slot] + Delta);
+    LaneLo[Wi] = CLo;
+    LaneHi[Wi] = CHi;
+    if (CLo <= CHi) {
+      UnionLo = std::min(UnionLo, CLo);
+      UnionHi = std::max(UnionHi, CHi);
+    }
+    LaneDst[Wi] = OutArr + PanelStride * U;
+    for (unsigned F = 0; F < NF; ++F) {
+      switch (Classes[F]) {
+      case FClass::LaneImm:
+        LaneVal[F][Wi] = bindLaneOperand(C, Factors[F]);
+        break;
+      case FClass::LaneDense: {
+        int64_t Base = 0;
+        for (const auto &[Slot, Stride] : Factors[F].BaseTerms)
+          Base += C.IndexVal[Slot] * Stride;
+        LanePtr[F][Wi] = Factors[F].Arr + Base;
+        break;
+      }
+      case FClass::Driver:
+        break;
+      }
+    }
+  };
+
+  // Executes one bound panel: one shared fiber walk over the union of
+  // the lane ranges; each element updates exactly the lanes whose
+  // range contains it — the same element-lane set the interpreter
+  // executes column by column, with each cell's contributions arriving
+  // in fiber order.
+  auto ExecPanel = [&](unsigned W) {
+    ++Panels;
+    // An all-empty panel has nothing to walk, but workspace panels
+    // still owe the def + final store per lane (`w = 0; dst R= w` runs
+    // even when the inner loop is empty — and R= of the identity is
+    // not always a bitwise no-op, e.g. -0.0 + 0.0).
+    const bool Empty = UnionLo > UnionHi;
+    if (Empty && Mode != BMode::Workspace)
+      return;
+    int64_t K = KB;
+    if (!Empty && UnionLo > 0)
+      K = std::lower_bound(Crd + KB, Crd + KE, UnionLo) - Crd;
+
+    // Lane-bound structure: identical ranges need no per-element lane
+    // test at all; shared lower bounds with ascending upper bounds
+    // (ssyrk's canonical triangle) keep the dead lanes a prefix that
+    // only grows as the coordinates ascend.
+    bool SharedLo = true, SharedHi = true, MonoHi = true;
+    for (unsigned Wi = 1; Wi < W; ++Wi) {
+      SharedLo &= LaneLo[Wi] == LaneLo[0];
+      SharedHi &= LaneHi[Wi] == LaneHi[0];
+      MonoHi &= LaneHi[Wi] >= LaneHi[Wi - 1];
+    }
+
+    if (FastPath == Fast::Axpy2) {
+      // dst[lane][DS * V] += driver * per-lane-value: the ssyrk panel.
+      const double *L1 = LaneVal[1];
+      const int64_t DS = DstVStride;
+      if (SharedLo && MonoHi) {
+        unsigned WLo = 0;
+        for (; K < KE; ++K) {
+          const int64_t V = Crd[K];
+          if (V > UnionHi)
+            break;
+          while (WLo < W && LaneHi[WLo] < V)
+            ++WLo;
+          if (WLo == W)
+            break;
+          const double T = DV[K];
+          for (unsigned Wi = WLo; Wi < W; ++Wi)
+            LaneDst[Wi][DS * V] += T * L1[Wi];
+          Execs += W - WLo;
+        }
+      } else {
+        for (; K < KE; ++K) {
+          const int64_t V = Crd[K];
+          if (V > UnionHi)
+            break;
+          const double T = DV[K];
+          for (unsigned Wi = 0; Wi < W; ++Wi) {
+            if (V < LaneLo[Wi] || V > LaneHi[Wi])
+              continue;
+            LaneDst[Wi][DS * V] += T * L1[Wi];
+            ++Execs;
+          }
+        }
+      }
+    } else if (FastPath == Fast::Accum2) {
+      // acc[lane] += driver * dense[lane][V]: the SpMM-style panel.
+      // The accumulators live in registers across the whole walk and
+      // write back once per lane — the "streaming panel store".
+      double Acc[MaxWidth];
+      for (unsigned Wi = 0; Wi < W; ++Wi)
+        Acc[Wi] = Mode == BMode::Workspace ? WsInit : LaneDst[Wi][0];
+      const double *const *P1 = LanePtr[1];
+      const int64_t S1 = Factors[1].VStride;
+      if (Empty) {
+        // no elements: fall through to the per-lane writeback
+      } else if (SharedLo && SharedHi) {
+        for (; K < KE; ++K) {
+          const int64_t V = Crd[K];
+          if (V > UnionHi)
+            break;
+          const double T = DV[K];
+          for (unsigned Wi = 0; Wi < W; ++Wi)
+            Acc[Wi] += T * P1[Wi][S1 * V];
+          Execs += W;
+        }
+      } else {
+        for (; K < KE; ++K) {
+          const int64_t V = Crd[K];
+          if (V > UnionHi)
+            break;
+          const double T = DV[K];
+          for (unsigned Wi = 0; Wi < W; ++Wi) {
+            if (V < LaneLo[Wi] || V > LaneHi[Wi])
+              continue;
+            Acc[Wi] += T * P1[Wi][S1 * V];
+            ++Execs;
+          }
+        }
+      }
+      if (Mode == BMode::Workspace) {
+        for (unsigned Wi = 0; Wi < W; ++Wi) {
+          double &Ds = *LaneDst[Wi];
+          Ds = FinalReduce ? evalOp(*FinalReduce, Ds, Acc[Wi]) : Acc[Wi];
+          // Leave the workspace slot exactly as the interpreter would
+          // (its last column's accumulated value).
+          C.ScalarVal[WsSlot] = Acc[Wi];
+        }
+      } else {
+        for (unsigned Wi = 0; Wi < W; ++Wi)
+          LaneDst[Wi][0] = Acc[Wi];
+      }
+      Stores += W;
+    } else {
+      // Generic panel: any accepted factor mix / combine / reduce, in
+      // the exact VM fold order per element-lane. Accumulating shapes
+      // still keep their lanes in registers across the walk.
+      const bool Reg = Mode != BMode::Stream;
+      double Acc[MaxWidth];
+      if (Reg)
+        for (unsigned Wi = 0; Wi < W; ++Wi)
+          Acc[Wi] = Mode == BMode::Workspace ? WsInit : LaneDst[Wi][0];
+      if (!Empty) {
+        for (; K < KE; ++K) {
+          const int64_t V = Crd[K];
+          if (V > UnionHi)
+            break;
+          for (unsigned Wi = 0; Wi < W; ++Wi) {
+            if (V < LaneLo[Wi] || V > LaneHi[Wi])
+              continue;
+            auto Eval = [&](unsigned F) -> double {
+              switch (Classes[F]) {
+              case FClass::Driver:
+                return DV[K];
+              case FClass::LaneDense:
+                return LanePtr[F][Wi][Factors[F].VStride * V];
+              case FClass::LaneImm:
+                return LaneVal[F][Wi];
+              }
+              return 0;
+            };
+            double Val = Eval(0);
+            for (unsigned F = 1; F < NF; ++F)
+              Val = evalOp(Combine, Val, Eval(F));
+            if (Reg) {
+              Acc[Wi] =
+                  ElemReduce ? evalOp(*ElemReduce, Acc[Wi], Val) : Val;
+            } else {
+              double &Dst = LaneDst[Wi][DstVStride * V];
+              Dst = ElemReduce ? evalOp(*ElemReduce, Dst, Val) : Val;
+            }
+            ++Execs;
+          }
+        }
+      }
+      if (Mode == BMode::Workspace) {
+        for (unsigned Wi = 0; Wi < W; ++Wi) {
+          double &Ds = *LaneDst[Wi];
+          Ds = FinalReduce ? evalOp(*FinalReduce, Ds, Acc[Wi]) : Acc[Wi];
+          C.ScalarVal[WsSlot] = Acc[Wi];
+        }
+        Stores += W;
+      } else if (Reg) {
+        for (unsigned Wi = 0; Wi < W; ++Wi)
+          LaneDst[Wi][0] = Acc[Wi];
+        Stores += W;
+      }
+    }
+  };
+
+  if (Nest.K == MKDriver::Kind::Range) {
+    // Panels anchor at absolute multiples of the width, so a task-range
+    // split at a panel boundary reproduces exactly the panels of the
+    // unsplit run (and any other split is still bit-identical: lanes
+    // write disjoint cells, and each cell's contribution order is the
+    // fiber order regardless of the panel partition).
+    const int64_t WP = Width;
+    for (int64_t P0 = Lo; P0 <= Hi;) {
+      const int64_t PEnd = std::min(Hi, (P0 / WP + 1) * WP - 1);
+      const unsigned W = static_cast<unsigned>(PEnd - P0 + 1);
+      UnionLo = std::numeric_limits<int64_t>::max();
+      UnionHi = -1;
+      for (unsigned Wi = 0; Wi < W; ++Wi)
+        BindLane(Wi, P0 + Wi);
+      ExecPanel(W);
+      P0 = PEnd + 1;
+    }
+  } else {
+    // Sparse nest: lanes are consecutive stored coordinates of the
+    // nest fiber within [Lo, Hi]. Each lane updates the nest access's
+    // position before binding, so walked factors of the nest access
+    // read the lane's fiber value — the state the generic nest
+    // maintains per candidate.
+    AccessState &NA = C.Accesses[Nest.AccessId];
+    const int64_t NParent = NA.Pos[Nest.Level];
+    int64_t NK = Nest.Ptr[NParent];
+    const int64_t NE = Nest.Ptr[NParent + 1];
+    const int64_t *NCrd = Nest.Crd;
+    if (Lo > 0)
+      NK = std::lower_bound(NCrd + NK, NCrd + NE, Lo) - NCrd;
+    while (NK < NE && NCrd[NK] <= Hi) {
+      unsigned W = 0;
+      UnionLo = std::numeric_limits<int64_t>::max();
+      UnionHi = -1;
+      while (W < Width && NK + W < NE) {
+        const int64_t U = NCrd[NK + W];
+        if (U > Hi)
+          break;
+        NA.Pos[Nest.Level + 1] = NK + W;
+        BindLane(W, U);
+        ++W;
+      }
+      ExecPanel(W);
+      NK += W;
+    }
+  }
+
+  // Flush once per run: per element-lane charges are exactly the
+  // interpreter's (driver read, row-invariant SparseLoad reads, the
+  // fold's scalar ops, one reduction and one output write), plus the
+  // nest driver's per-candidate read for sparse nests; the panel and
+  // store tallies are the blocked engine's own telemetry.
+  if (C.CountersOn) {
+    C.Local.FusedBlockedPanels += Panels;
+    C.Local.FusedBlockedStores +=
+        Mode == BMode::Stream ? Execs : Stores;
+    C.Local.SparseReads +=
+        Execs * ((D.CountReads ? 1 : 0) + SparseLoadFactors);
+    if (Nest.CountReads)
+      C.Local.SparseReads += Lanes;
+    C.Local.ScalarOps += Execs * (NF - 1);
+    if (Mode == BMode::Workspace) {
+      // Child reductions per element plus the final store per lane —
+      // exactly the interpreter's def / loop / store accounting.
+      C.Local.Reductions += Execs + Lanes;
+      C.Local.OutputWrites += Lanes;
+    } else {
+      C.Local.Reductions += Execs;
+      C.Local.OutputWrites += Execs;
+    }
+  }
+}
+
 void MicroKernel::run(ExecCtx &C, int64_t Lo, int64_t Hi) {
+  if (Blocked) {
+    Blocked->run(C, Lo, Hi);
+    return;
+  }
   if (Innermost)
     runInner(C, Lo, Hi);
   else

@@ -33,7 +33,14 @@
 ///  - multi-level nest fusion: an outer walker loop whose body is
 ///    scalar defs, once-per-iteration assigns, and already-fused (or
 ///    generic) child loops, executed without per-iteration virtual
-///    dispatch.
+///    dispatch,
+///  - register/cache-blocked output panels (MKBlockedEngine below):
+///    fused nests whose variable strides a dense output mode while the
+///    inner sparse walk is invariant in it tile that mode into
+///    fixed-width column panels — one fiber walk per panel, per-lane
+///    bound operands, and register-resident accumulators for the
+///    workspace/accumulator forms (ExecOptions::EnableBlocking /
+///    BlockWidth).
 ///
 /// Correctness contract: a fused loop is *bit-identical* to the generic
 /// interpreted path (same factor fold order, same reduction order, same
@@ -206,6 +213,108 @@ struct MKDriver {
   std::vector<MKCoWalker> Cos;
 };
 
+/// The register/cache-blocked output engine (paper's ssyrk/syprd/ttm
+/// memory-wall shape). Installed on a fused *nest* loop when
+///
+///  - the nest's driver is a plain Range (no walkers, so every access
+///    position — in particular the inner fiber — is invariant across
+///    the nest variable `u`),
+///  - its body is one unguarded child loop, innermost-fused, driven by
+///    a sparse walk with no co-walkers — either alone (the *direct*
+///    form: the child assignment writes a tensor destination striding
+///    `u` by a nonzero PanelStride, lanes provably disjoint via
+///    DstVStride * (fiber dim - 1) < PanelStride) or in the workspace
+///    triple the pipeline emits for `C[i,u] += A_row(j) * B[j,u]`
+///    (`w = <const>; for j: w R= ...; C[i,u] R= w` — the *workspace*
+///    form: the panel's workspace cells live in registers and the
+///    final store strides `u`), and
+///  - every factor is either per-element in the child driver in a
+///    prebindable way (the driver's value, dense loads with a value
+///    stride) or invariant in it (resolvable once per panel lane:
+///    constants, scalars, walked values, SparseLoads and Luts whose
+///    slots avoid the child variable).
+///
+/// Execution tiles `u` into Width-wide panels anchored at absolute
+/// multiples of Width: each panel binds its lanes once (per-lane child
+/// bounds from the child's Lo/Hi terms, per-lane operand values /
+/// dense bases, per-lane destination pointers), then walks the shared
+/// fiber ONCE, updating every active lane per element — instead of
+/// re-binding and re-walking the fiber once per `u` and re-resolving
+/// row-invariant SparseLoads once per *element* as the unblocked nest
+/// does. When the destination does not depend on the child driver
+/// (DstVStride == 0, the `C[i,k] += A_row(j) * B[j,k]` accumulator
+/// shape), the panel's cells live in registers across the whole walk
+/// and are written back once per panel.
+///
+/// Bit-identity: panel lanes write disjoint cells, and within a cell
+/// the contribution order is the fiber order — exactly the
+/// interpreter's — so results are identical for every Width and every
+/// task-range split, including ragged boundary panels. Counter parity
+/// is exact: each executed element-lane charges the same SparseReads /
+/// ScalarOps / Reductions / OutputWrites the interpreter charges; the
+/// blocked engine's own FusedBlockedPanels / FusedBlockedStores
+/// counters are additive telemetry on top.
+class MKBlockedEngine {
+public:
+  /// Per-factor binding class, precomputed at specialization.
+  enum class FClass : uint8_t {
+    LaneImm,  ///< invariant in the child driver: one value per lane
+    Driver,   ///< the child driver's value at the current position
+    LaneDense ///< dense load: per-lane base pointer, per-element stride
+  };
+
+  unsigned USlot = 0;        ///< nest (panel) variable slot
+  PlanLoop *Child = nullptr; ///< child loop: Lo/Hi terms and extent
+  unsigned ChildSlot = 0;
+  /// Nest driver supplying the panel lanes: Range (lanes are
+  /// consecutive coordinates, anchored at absolute Width multiples) or
+  /// SparseWalk (lanes are consecutive stored coordinates of the nest
+  /// fiber; the lane bind updates the nest access's position so walked
+  /// factors read the lane's value, and charges the driver's
+  /// SparseReads per lane exactly like the generic nest).
+  MKDriver Nest;
+  MKDriver D; ///< child driver (SparseWalk, no co-walkers)
+  OpKind Combine = OpKind::Mul;
+  /// Per-element reduction of the child assignment (into the tensor
+  /// cell directly for the direct form, into the workspace scalar for
+  /// the workspace form). nullopt overwrites.
+  std::optional<OpKind> ElemReduce;
+  /// Workspace form only: the final `dst R= w` store's reduction.
+  std::optional<OpKind> FinalReduce;
+  unsigned OutId = 0;
+  int64_t PanelStride = 0; ///< dst stride of `u` (nonzero)
+  int64_t DstVStride = 0;  ///< dst stride of the child variable (>= 0)
+  /// Destination base terms with `u` removed (invariant across a run).
+  std::vector<std::pair<unsigned, int64_t>> DstInvTerms;
+  std::vector<MKOperand> Factors; ///< child factor list, order kept
+  std::vector<FClass> Classes;    ///< per factor
+  unsigned SparseLoadFactors = 0; ///< factors charging a SparseRead
+
+  /// How panel lanes reach memory. Stream: the child destination
+  /// depends on the child driver — per-element lane stores. Accum: the
+  /// destination cell is invariant across the walk — lanes accumulate
+  /// in registers and store once per panel. Workspace: like Accum, but
+  /// through the pipeline's explicit workspace scalar (register-seeded
+  /// from the def's constant, folded into the tensor cell once per
+  /// lane by the final store).
+  enum class BMode : uint8_t { Stream, Accum, Workspace };
+  BMode Mode = BMode::Stream;
+  unsigned WsSlot = 0; ///< workspace scalar slot (Workspace mode)
+  double WsInit = 0;   ///< the def's constant (Workspace mode)
+  unsigned Width = 4;  ///< panel width, resolved at install
+
+  /// Dedicated panel walks for the two-factor Mul-fold / Add-reduce
+  /// cores (ssyrk's driver * per-column-scalar and the SpMM-style
+  /// driver * dense-row accumulation); every other accepted shape runs
+  /// the generic per-lane fold, still one fiber walk per panel.
+  enum class Fast : uint8_t { None, Axpy2, Accum2 };
+  Fast FastPath = Fast::None;
+
+  static constexpr unsigned MaxWidth = 8;
+
+  void run(ExecCtx &C, int64_t Lo, int64_t Hi);
+};
+
 /// A fused loop. Attached to PlanLoop::Fused by the specializer and run
 /// from PlanLoop::execRange in place of the generic walker dispatch.
 class MicroKernel {
@@ -214,6 +323,10 @@ public:
   bool Innermost = false; ///< no Loop items: tight prebound engine
   MKDriver D;
   std::vector<MKItem> Items;
+  /// Blocked output engine replacing the generic nest dispatch (null
+  /// when the shape does not match or blocking is disabled; the nest
+  /// path below then runs — both are bit-identical to the interpreter).
+  std::unique_ptr<MKBlockedEngine> Blocked;
 
   void run(ExecCtx &C, int64_t Lo, int64_t Hi);
 
@@ -230,11 +343,23 @@ private:
   void runNest(ExecCtx &C, int64_t Lo, int64_t Hi);
 };
 
+/// Specialization-time knobs threaded from ExecOptions, plus the
+/// compile context the blocked-shape matcher needs.
+struct MKSpecializeOptions {
+  bool EnableBlocking = true;
+  unsigned BlockWidth = 0; ///< 0 = auto from the panel mode's extent
+  /// Output tensors registered so far; a dense factor reading an output
+  /// array declines blocking (reordering element visits across lanes
+  /// could otherwise observe the loop's own stores differently).
+  const std::vector<Tensor *> *OutputTensors = nullptr;
+};
+
 /// The PlanSpecializer pass: attempts to fuse \p L (whose body has
 /// already been compiled, with inner loops specialized bottom-up). On
 /// success installs L.Fused and returns true; on any unmatched shape
 /// leaves L untouched (the interpreted path stays authoritative).
-bool specializeLoop(PlanLoop &L, const std::vector<AccessState> &Accesses);
+bool specializeLoop(PlanLoop &L, const std::vector<AccessState> &Accesses,
+                    const MKSpecializeOptions &Opts = MKSpecializeOptions());
 
 } // namespace detail
 } // namespace systec

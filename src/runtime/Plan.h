@@ -244,6 +244,14 @@ public:
   /// path below is then both the implementation and the oracle).
   std::unique_ptr<MicroKernel> Fused;
 
+  /// Block metadata: the output-panel width when this loop runs the
+  /// blocked engine (0 otherwise). Panels anchor at absolute multiples
+  /// of this width, so makeChunks aligns parallel task boundaries to it
+  /// — tasks then split on whole panels instead of cutting boundary
+  /// panels ragged. Purely a performance device: results and counters
+  /// are identical for any task decomposition.
+  unsigned BlockAlign = 0;
+
   /// One privatized output: tasks accumulate into per-task buffers that
   /// merge into the shared array, in task order, after the loop.
   struct PrivTensor {

@@ -34,6 +34,8 @@ struct CounterSnapshot {
   uint64_t LoopsGeneric = 0;
   uint64_t WalkersRecovered = 0;
   uint64_t WalkersRejected = 0;
+  uint64_t FusedBlockedPanels = 0;
+  uint64_t FusedBlockedStores = 0;
 };
 
 /// Aggregate counters for one kernel execution.
@@ -57,6 +59,13 @@ struct ExecCounters {
   /// the ablation metric for the walker algebra.
   std::atomic<uint64_t> WalkersRecovered{0};
   std::atomic<uint64_t> WalkersRejected{0};
+  /// Column panels executed by the blocked output engine and the
+  /// streaming/writeback stores it actually issued. OutputWrites keeps
+  /// the interpreter's per-element accounting (counter parity), so
+  /// OutputWrites - FusedBlockedStores is the store traffic blocking
+  /// removed on register-accumulated panels.
+  std::atomic<uint64_t> FusedBlockedPanels{0};
+  std::atomic<uint64_t> FusedBlockedStores{0};
 
   void reset() {
     SparseReads.store(0, std::memory_order_relaxed);
@@ -67,6 +76,8 @@ struct ExecCounters {
     LoopsGeneric.store(0, std::memory_order_relaxed);
     WalkersRecovered.store(0, std::memory_order_relaxed);
     WalkersRejected.store(0, std::memory_order_relaxed);
+    FusedBlockedPanels.store(0, std::memory_order_relaxed);
+    FusedBlockedStores.store(0, std::memory_order_relaxed);
   }
 
   CounterSnapshot snapshot() const {
@@ -78,7 +89,9 @@ struct ExecCounters {
         LoopsSpecialized.load(std::memory_order_relaxed),
         LoopsGeneric.load(std::memory_order_relaxed),
         WalkersRecovered.load(std::memory_order_relaxed),
-        WalkersRejected.load(std::memory_order_relaxed)};
+        WalkersRejected.load(std::memory_order_relaxed),
+        FusedBlockedPanels.load(std::memory_order_relaxed),
+        FusedBlockedStores.load(std::memory_order_relaxed)};
   }
 };
 

@@ -130,6 +130,7 @@ Tensor Tensor::fromCoo(Coo Entries, TensorFormat Format, double Fill,
         int64_t NextC = 0;
         if (SegIdx < Segments.size() && Segments[SegIdx].ParentPos == P) {
           ForEachGroup(Segments[SegIdx], [&](int64_t C, size_t B, size_t E) {
+            (void)E; // asserted only; optimized builds define NDEBUG
             assert(E - B == 1 && "uncombined duplicate entry");
             if (C > NextC)
               PushRun(C, Fill);

@@ -58,6 +58,13 @@ namespace fuzzharness {
 
 constexpr double Inf = std::numeric_limits<double>::infinity();
 
+/// Panel widths the blocking differentials draw from (0 = auto-select
+/// at specialization). One definition so every harness entry point
+/// samples the same policy space.
+constexpr unsigned BlockWidthSamples[] = {0, 1, 2, 3, 5, 8};
+constexpr size_t NumBlockWidthSamples =
+    sizeof(BlockWidthSamples) / sizeof(BlockWidthSamples[0]);
+
 /// The semiring axis of the differential matrix.
 enum class Semiring { Arith, MinPlus, MaxTimes, Boolean };
 
@@ -317,6 +324,8 @@ inline ExecOptions parallelOptions(uint64_t Seed) {
   if (R.nextBool(0.25))
     O.PrivatizationBudget = 64; // exercise the inner-loop fallback
   O.EnableMicroKernels = R.nextBool(0.5);
+  O.EnableBlocking = R.nextBool(0.5);
+  O.BlockWidth = BlockWidthSamples[R.nextIndex(NumBlockWidthSamples)];
   return O;
 }
 
@@ -371,24 +380,42 @@ inline void expectCountersEqual(const CounterSnapshot &A,
 /// Runs \p K across the {interpreter, micro-kernels} x {Threads 1, 4}
 /// cell matrix: every cell must match \p Ref element for element
 /// (which also makes the cells bit-identical to each other) and the
-/// first cell counter for counter.
+/// first cell counter for counter. \p BlockSeed randomizes the blocked
+/// output engine across the fused cells — a seed-derived toggle and
+/// panel width, plus one extra Threads=1 cell with the toggle flipped —
+/// so every case differentially pins that blocking changes neither a
+/// value bit nor a runtime counter.
 inline void checkCellMatrix(const Kernel &K, FuzzCase &F,
-                            const Tensor &Ref) {
+                            const Tensor &Ref, uint64_t BlockSeed = 0) {
+  Rng BR(BlockSeed ^ 0xB10C6ED5EEDull);
+  const bool Blk = BR.nextBool(0.5);
+  const unsigned Wd = BlockWidthSamples[BR.nextIndex(NumBlockWidthSamples)];
+  const unsigned WdAlt =
+      BlockWidthSamples[BR.nextIndex(NumBlockWidthSamples)];
   struct Cell {
     const char *Name;
     bool Fused;
     unsigned Threads;
+    bool Blocking;
+    unsigned Width;
   };
-  const Cell Cells[] = {{"interp-1", false, 1},
-                        {"fused-1", true, 1},
-                        {"interp-4", false, 4},
-                        {"fused-4", true, 4}};
+  const Cell Cells[] = {{"interp-1", false, 1, true, 0},
+                        {"fused-1", true, 1, Blk, Wd},
+                        {"interp-4", false, 4, true, 0},
+                        {"fused-4", true, 4, Blk, Wd},
+                        {"fused-1-altblock", true, 1, !Blk, WdAlt}};
   CounterSnapshot FirstSnap;
   for (const Cell &C : Cells) {
-    SCOPED_TRACE(C.Name);
+    SCOPED_TRACE(std::string(C.Name) +
+                 (C.Fused ? (C.Blocking ? " blocking width=" +
+                                              std::to_string(C.Width)
+                                        : std::string(" noblocking"))
+                          : std::string()));
     ExecOptions O;
     O.EnableMicroKernels = C.Fused;
     O.Threads = C.Threads;
+    O.EnableBlocking = C.Blocking;
+    O.BlockWidth = C.Width;
     CounterSnapshot Snap;
     Tensor Out = runCounted(K, F, O, Snap);
     ASSERT_EQ(Out.vals().size(), Ref.vals().size());
@@ -412,6 +439,12 @@ inline void checkMicroKernelsBitIdentical(uint64_t Seed) {
   ExecOptions Interp, Fused;
   Interp.EnableMicroKernels = false;
   Fused.EnableMicroKernels = true;
+  // Blocking must be invisible to this differential too: randomize the
+  // toggle and panel width from the seed.
+  Rng BR(Seed ^ 0xB10C6ED5EEDull);
+  Fused.EnableBlocking = BR.nextBool(0.5);
+  Fused.BlockWidth =
+      BlockWidthSamples[BR.nextIndex(NumBlockWidthSamples)];
   for (const Kernel *K : {&R.Naive, &R.Optimized}) {
     SCOPED_TRACE(K == &R.Naive ? "naive" : "optimized");
     CounterSnapshot SI, SF;
@@ -439,7 +472,7 @@ inline void checkDifferentialMatrix(uint64_t Seed) {
   Tensor Ref = oracleEval(F.E, In);
   for (const Kernel *K : {&R.Naive, &R.Optimized}) {
     SCOPED_TRACE(K == &R.Naive ? "naive" : "optimized");
-    checkCellMatrix(*K, F, Ref);
+    checkCellMatrix(*K, F, Ref, Seed);
   }
 }
 
@@ -539,7 +572,7 @@ inline void checkLutDifferential(uint64_t Seed) {
   OracleOpts.EnableSparseWalk = false;
   OracleOpts.EnableMicroKernels = false;
   Tensor Ref = run(K, F, OracleOpts);
-  checkCellMatrix(K, F, Ref);
+  checkCellMatrix(K, F, Ref, Seed);
 }
 
 //===----------------------------------------------------------------------===//

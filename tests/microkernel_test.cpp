@@ -724,3 +724,196 @@ TEST(MicroKernels, LiveScalarReadAfterGuardedWrite) {
       Tensor::dense({4}), "live scalar");
   EXPECT_GT(St.SpecializedLoops, 0u);
 }
+
+//===----------------------------------------------------------------------===//
+// Blocked output engine (register/cache-blocked column panels)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// ssyrk bindings over a symmetric matrix whose dimension is not a
+/// multiple of any panel width, so every run exercises ragged boundary
+/// panels.
+struct SsyrkFixture {
+  CompileResult R;
+  Tensor A;
+  int64_t N;
+  SsyrkFixture(int64_t Dim, uint64_t Seed, bool Quantize) : N(Dim) {
+    Rng Rand(Seed);
+    R = compileEinsum(makeSsyrk());
+    A = generateSymmetricTensor(2, N, 6 * N, Rand, TensorFormat::csf(2));
+    if (Quantize)
+      quantizeIntegers(A);
+  }
+  Tensor run(const Kernel &K, const ExecOptions &O, CounterSnapshot &Snap,
+             MicroKernelStats &Stats) {
+    Executor E(K, O);
+    Tensor Out = Tensor::dense({N, N});
+    E.bind("A", &A).bind("C", &Out);
+    E.prepare();
+    Stats = E.microKernelStats();
+    counters().reset();
+    setCountersEnabled(true);
+    E.run();
+    Snap = counters().snapshot();
+    return Out;
+  }
+};
+
+} // namespace
+
+TEST(BlockedEngine, SsyrkBitIdenticalAcrossPanelWidths) {
+  // The ssyrk triangle nest blocks into column panels; every width —
+  // including 1, widths that do not divide the extent, and the
+  // auto-selected width — must reproduce the interpreter bit for bit
+  // with exactly equal counters. Random (non-integer) data on purpose:
+  // bit-identity must hold because the per-cell fold order is
+  // preserved, not because the sums happen to be exact.
+  SsyrkFixture F(37, 99, /*Quantize=*/false);
+  for (const Kernel *K : {&F.R.Naive, &F.R.Optimized}) {
+    SCOPED_TRACE(K == &F.R.Naive ? "naive" : "optimized");
+    ExecOptions Interp;
+    Interp.EnableMicroKernels = false;
+    CounterSnapshot SI, SB;
+    MicroKernelStats StI, StB;
+    Tensor Ref = F.run(*K, Interp, SI, StI);
+    for (unsigned W : {0u, 1u, 2u, 3u, 5u, 8u}) {
+      SCOPED_TRACE("width " + std::to_string(W));
+      ExecOptions O;
+      O.BlockWidth = W;
+      Tensor Out = F.run(*K, O, SB, StB);
+      EXPECT_GT(StB.BlockedLoops, 0u);
+      EXPECT_GT(SB.FusedBlockedPanels, 0u);
+      expectBitIdentical(Ref, Out, "blocked ssyrk");
+      expectCountersEqual(SI, SB, "blocked ssyrk");
+    }
+    // Ablation: EnableBlocking=false must not install the engine (and
+    // the unblocked nest is still bit-identical — the original
+    // contract).
+    ExecOptions Off;
+    Off.EnableBlocking = false;
+    Tensor Out = F.run(*K, Off, SB, StB);
+    EXPECT_EQ(StB.BlockedLoops, 0u);
+    EXPECT_EQ(SB.FusedBlockedPanels, 0u);
+    expectBitIdentical(Ref, Out, "unblocked ssyrk");
+    expectCountersEqual(SI, SB, "unblocked ssyrk");
+  }
+}
+
+TEST(BlockedEngine, SsyrkDeterministicAcrossThreadsAndSchedules) {
+  // Panel-aligned task splitting: with integer-exact data the blocked
+  // ssyrk must be bit-identical and counter-identical for Threads in
+  // {1, 2, 4} under both the triangle-balanced and dynamic schedules —
+  // each task derives its own panels, and panel boundaries never
+  // change per-cell fold order.
+  SsyrkFixture F(41, 7, /*Quantize=*/true);
+  for (SchedulePolicy Policy :
+       {SchedulePolicy::TriangleBalanced, SchedulePolicy::Dynamic}) {
+    SCOPED_TRACE(schedulePolicyName(Policy));
+    Tensor First;
+    CounterSnapshot FirstSnap;
+    bool Have = false;
+    for (unsigned Threads : {1u, 2u, 4u}) {
+      SCOPED_TRACE("threads " + std::to_string(Threads));
+      ExecOptions O;
+      O.Threads = Threads;
+      O.Schedule = Policy;
+      CounterSnapshot Snap;
+      MicroKernelStats Stats;
+      Tensor Out = F.run(F.R.Optimized, O, Snap, Stats);
+      EXPECT_GT(Stats.BlockedLoops, 0u);
+      if (!Have) {
+        First = std::move(Out);
+        FirstSnap = Snap;
+        Have = true;
+        continue;
+      }
+      expectBitIdentical(First, Out, "blocked thread determinism");
+      expectCountersEqual(FirstSnap, Snap, "blocked thread determinism");
+    }
+  }
+}
+
+TEST(BlockedEngine, EmptyColumnsAndEmptyFiber) {
+  // Empty fibers and all-empty panels: a matrix with empty columns and
+  // rows drives panels whose union range is empty. The direct form
+  // skips them; the engine must still match the interpreter exactly.
+  Tensor A = gappyCsc();
+  CompileResult R = compileEinsum(makeSsyrk());
+  for (unsigned W : {0u, 2u, 8u}) {
+    SCOPED_TRACE("width " + std::to_string(W));
+    ExecOptions Interp, Blk;
+    Interp.EnableMicroKernels = false;
+    Blk.BlockWidth = W;
+    for (const Kernel *K : {&R.Naive, &R.Optimized}) {
+      CounterSnapshot SI, SB;
+      MicroKernelStats StI, StB;
+      Executor EI(*K, Interp), EB(*K, Blk);
+      Tensor OutI = Tensor::dense({4, 4}), OutB = Tensor::dense({4, 4});
+      EI.bind("A", &A).bind("C", &OutI);
+      EB.bind("A", &A).bind("C", &OutB);
+      EI.prepare();
+      EB.prepare();
+      counters().reset();
+      setCountersEnabled(true);
+      EI.run();
+      SI = counters().snapshot();
+      counters().reset();
+      EB.run();
+      SB = counters().snapshot();
+      expectBitIdentical(OutI, OutB, "gappy blocked ssyrk");
+      expectCountersEqual(SI, SB, "gappy blocked ssyrk");
+    }
+  }
+}
+
+TEST(BlockedEngine, WorkspaceNestAccumulatesInRegisters) {
+  // The SpMM-style shape `C[i,k] += A_row(j) * B[j,k]`: the pipeline
+  // emits the workspace triple (w = 0; w += ...; C[i,k] += w), whose
+  // blocked form keeps the whole panel of workspace cells in registers
+  // across the sparse walk and writes each lane back once — the
+  // FusedBlockedStores telemetry equals the per-column writes instead
+  // of the per-element traffic. Bit-identical with exact counters, at
+  // every width, including an extent (13) the widths do not divide.
+  Rng Rand(5);
+  Einsum E = parseEinsum("spmm", "C[i,k] += A[i,j] * B[j,k]");
+  E.LoopOrder = {"i", "k", "j"};
+  E.declare("A", TensorFormat::csf(2));
+  CompileResult R = compileEinsum(E);
+  const int64_t N = 29, KD = 13;
+  Tensor A = generateSymmetricTensor(2, N, 5 * N, Rand,
+                                     TensorFormat::csf(2));
+  Tensor B = generateDenseMatrix(N, KD, Rand);
+  auto RunIt = [&](const ExecOptions &O, CounterSnapshot &Snap,
+                   MicroKernelStats &Stats) {
+    Executor Ex(R.Optimized, O);
+    Tensor Out = Tensor::dense({N, KD});
+    Ex.bind("A", &A).bind("B", &B).bind("C", &Out);
+    Ex.prepare();
+    Stats = Ex.microKernelStats();
+    counters().reset();
+    setCountersEnabled(true);
+    Ex.run();
+    Snap = counters().snapshot();
+    return Out;
+  };
+  ExecOptions Interp;
+  Interp.EnableMicroKernels = false;
+  CounterSnapshot SI, SB;
+  MicroKernelStats StI, StB;
+  Tensor Ref = RunIt(Interp, SI, StI);
+  for (unsigned W : {0u, 1u, 3u, 8u}) {
+    SCOPED_TRACE("width " + std::to_string(W));
+    ExecOptions O;
+    O.BlockWidth = W;
+    Tensor Out = RunIt(O, SB, StB);
+    EXPECT_GT(StB.BlockedLoops, 0u);
+    EXPECT_GT(StB.BlockedAccumLoops, 0u)
+        << "the workspace triple must take the register-accumulator form";
+    EXPECT_GT(SB.FusedBlockedPanels, 0u);
+    // One writeback per lane (column), not one per element.
+    EXPECT_EQ(SB.FusedBlockedStores, SB.OutputWrites);
+    expectBitIdentical(Ref, Out, "blocked spmm");
+    expectCountersEqual(SI, SB, "blocked spmm");
+  }
+}

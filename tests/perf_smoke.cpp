@@ -411,3 +411,79 @@ TEST(PerfSmoke, WalkersRecoveredOnGroupedTwoSparseOperandKernels) {
       EXPECT_EQ(Generic.vals()[I], Fused.vals()[I]) << "element " << I;
   }
 }
+
+TEST(PerfSmoke, BlockedOutputEngineCoversSsyrkAndSpmm) {
+  // The register/cache-blocked output engine (the ssyrk memory-wall
+  // fix): the optimized ssyrk plan must install blocked nests
+  // (BlockedLoops > 0) while staying fully fused (LoopsGeneric == 0),
+  // and actually execute panels at run time (the FusedBlockedPanels
+  // global counter). The SpMM-style workspace shape must take the
+  // register-accumulator form (BlockedAccumLoops > 0). The
+  // EnableBlocking=false ablation must keep everything on the
+  // unblocked nests with zero panels.
+  Rng R(20260801);
+  const int64_t N = 40, Rank = 6;
+
+  struct BlockedCase {
+    std::string Name;
+    Einsum E;
+    std::map<std::string, Tensor> Inputs;
+    std::vector<int64_t> OutDims;
+    std::string OutName;
+    bool ExpectAccum;
+  };
+  std::vector<BlockedCase> Cases;
+  {
+    BlockedCase C{"ssyrk", makeSsyrk(), {}, {N, N}, "C", false};
+    C.Inputs.emplace("A", generateSymmetricTensor(2, N, 4 * N, R,
+                                                  TensorFormat::csf(2)));
+    Cases.push_back(std::move(C));
+  }
+  {
+    Einsum E = parseEinsum("spmm", "C[i,k] += A[i,j] * B[j,k]");
+    E.LoopOrder = {"i", "k", "j"};
+    E.declare("A", TensorFormat::csf(2));
+    BlockedCase C{"spmm", std::move(E), {}, {N, Rank}, "C", true};
+    C.Inputs.emplace("A", generateSymmetricTensor(2, N, 4 * N, R,
+                                                  TensorFormat::csf(2)));
+    C.Inputs.emplace("B", generateDenseMatrix(N, Rank, R));
+    Cases.push_back(std::move(C));
+  }
+
+  for (BlockedCase &C : Cases) {
+    SCOPED_TRACE(C.Name);
+    CompileResult R2 = compileEinsum(C.E);
+    for (bool Blocking : {true, false}) {
+      SCOPED_TRACE(Blocking ? "blocking on" : "blocking off");
+      ExecOptions O;
+      O.EnableBlocking = Blocking;
+      Executor E(R2.Optimized, O);
+      Tensor Out = Tensor::dense(C.OutDims, 0.0);
+      for (auto &[Name, T] : C.Inputs)
+        E.bind(Name, &T);
+      E.bind(C.OutName, &Out);
+      E.prepare();
+      const MicroKernelStats &Stats = E.microKernelStats();
+      EXPECT_EQ(Stats.GenericLoops, 0u)
+          << "blocking must not cost full fusion";
+      if (Blocking) {
+        EXPECT_GT(Stats.BlockedLoops, 0u);
+        if (C.ExpectAccum)
+          EXPECT_GT(Stats.BlockedAccumLoops, 0u);
+      } else {
+        EXPECT_EQ(Stats.BlockedLoops, 0u);
+      }
+      counters().reset();
+      setCountersEnabled(true);
+      E.run();
+      CounterSnapshot Snap = counters().snapshot();
+      if (Blocking) {
+        EXPECT_GT(Snap.FusedBlockedPanels, 0u)
+            << "the blocked engine must actually execute panels";
+        EXPECT_GT(Snap.FusedBlockedStores, 0u);
+      } else {
+        EXPECT_EQ(Snap.FusedBlockedPanels, 0u);
+      }
+    }
+  }
+}

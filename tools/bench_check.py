@@ -1,0 +1,126 @@
+#!/usr/bin/env python3
+"""Bench-regression gate over BENCH_microkernels.json.
+
+Compares a freshly produced benchmark record file against the
+checked-in baseline (bench/baselines/microkernels.json). The gated
+quantity is the
+*fused-over-interpreted speedup ratio* per (kernel, workload) — a pure
+single-process ratio, so it transfers across machines far better than
+wall-clock milliseconds — with a relative tolerance band for machine
+noise. Exits nonzero when any kernel's fresh ratio falls below
+baseline * (1 - tolerance).
+
+Intended uses:
+
+  # after running bench_microkernels in the build tree
+  python3 tools/bench_check.py --fresh build/BENCH_microkernels.json
+
+  # or via the build system
+  cmake --build build --target check_bench
+
+CI runs this as a non-blocking report job (the reference container is
+1-core, so wall-time-derived gating stays advisory there); locally it
+is the pre-merge check that a perf PR actually moved the needle and a
+refactor did not silently give the fused engines back.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+DEFAULT_TOLERANCE = 0.30  # allow a 30% relative drop before failing
+
+
+def load_records(path):
+    with open(path, "r", encoding="utf-8") as fh:
+        data = json.load(fh)
+    if not isinstance(data, list):
+        raise ValueError(f"{path}: expected a JSON array of records")
+    return data
+
+
+def speedup_table(records):
+    """(kernel, workload) -> fused-over-interpreted speedup."""
+    ms = {}
+    for rec in records:
+        key = (rec.get("kernel"), rec.get("workload"))
+        impl = rec.get("impl")
+        if impl in ("interp", "fused") and rec.get("ms", 0) > 0:
+            ms.setdefault(key, {})[impl] = rec["ms"]
+    table = {}
+    for key, impls in ms.items():
+        if "interp" in impls and "fused" in impls:
+            table[key] = impls["interp"] / impls["fused"]
+    return table
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    repo_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    parser.add_argument(
+        "--fresh",
+        default="BENCH_microkernels.json",
+        help="freshly generated record file (default: ./BENCH_microkernels.json)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=os.path.join(repo_root, "bench", "baselines",
+                             "microkernels.json"),
+        help="checked-in baseline record file "
+        "(default: bench/baselines/microkernels.json)",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=DEFAULT_TOLERANCE,
+        help=f"relative speedup-ratio drop allowed (default {DEFAULT_TOLERANCE})",
+    )
+    args = parser.parse_args()
+
+    try:
+        fresh = speedup_table(load_records(args.fresh))
+        base = speedup_table(load_records(args.baseline))
+    except (OSError, ValueError, json.JSONDecodeError) as err:
+        print(f"bench_check: {err}", file=sys.stderr)
+        return 2
+
+    if not fresh:
+        print(f"bench_check: no interp/fused pairs in {args.fresh}", file=sys.stderr)
+        return 2
+
+    header = f"{'kernel':<10} {'workload':<18} {'baseline':>9} {'fresh':>9} {'delta':>8}  status"
+    print(header)
+    print("-" * len(header))
+    regressions = []
+    for key in sorted(base):
+        kernel, workload = key
+        if key not in fresh:
+            print(f"{kernel:<10} {workload:<18} {base[key]:>8.2f}x {'---':>9} {'---':>8}  MISSING")
+            regressions.append(f"{kernel}/{workload}: missing from fresh run")
+            continue
+        b, f = base[key], fresh[key]
+        delta = (f - b) / b
+        ok = f >= b * (1.0 - args.tolerance)
+        status = "ok" if ok else "REGRESSED"
+        print(f"{kernel:<10} {workload:<18} {b:>8.2f}x {f:>8.2f}x {delta:>+7.1%}  {status}")
+        if not ok:
+            regressions.append(
+                f"{kernel}/{workload}: fused-vs-interpreted speedup {f:.2f}x "
+                f"< baseline {b:.2f}x - {args.tolerance:.0%}"
+            )
+    for key in sorted(set(fresh) - set(base)):
+        kernel, workload = key
+        print(f"{kernel:<10} {workload:<18} {'---':>9} {fresh[key]:>8.2f}x {'---':>8}  new")
+
+    if regressions:
+        print("\nbench_check: FAIL", file=sys.stderr)
+        for r in regressions:
+            print(f"  {r}", file=sys.stderr)
+        return 1
+    print("\nbench_check: OK (all fused-vs-interpreted ratios within tolerance)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
