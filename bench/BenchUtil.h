@@ -177,7 +177,31 @@ struct BenchRecord {
   double GFlops = 0;   ///< 0 when the flop count is unknown
   std::string Options; ///< execOptionsSummary() of the run's
                        ///< ExecOptions; empty for native baselines
+  /// Observability attachments from one instrumented post-timing run
+  /// (annotateRecord): the run's exact counter deltas and the
+  /// per-phase timing summary, both as JSON objects. Empty for native
+  /// baselines, which have no executor.
+  std::string CountersJson;
+  std::string PhasesJson;
 };
+
+/// Runs \p E once outside the timed region (counters on) and attaches
+/// its ExecReport to \p R: counter deltas say *what* the configuration
+/// executed, the phase summary says *where* its time goes — next to
+/// the ms column, that is what tools/bench_check.py prints when a
+/// ratio drifts. \p Reset restores the output, leaving workload state
+/// exactly as the timed loop left it.
+inline void annotateRecord(BenchRecord &R, Executor &E,
+                           const std::function<void()> &Reset) {
+  const bool Was = countersEnabled();
+  setCountersEnabled(true);
+  Reset();
+  E.run();
+  setCountersEnabled(Was);
+  const obs::ExecReport &Rep = E.lastReport();
+  R.CountersJson = obs::counterJson(Rep.Counters);
+  R.PhasesJson = Rep.phasesJson();
+}
 
 /// The git SHA recorded with every benchmark row, so BENCH_*.json
 /// entries are attributable across PRs. Resolved from the repository
@@ -233,21 +257,26 @@ inline void writeBenchJson(const std::string &Path,
   Out << "[\n";
   for (size_t I = 0; I < Records.size(); ++I) {
     const BenchRecord &R = Records[I];
-    char Buf[768];
-    std::snprintf(Buf, sizeof(Buf),
-                  "  {\"git_sha\": \"%s\", \"kernel\": \"%s\", "
-                  "\"workload\": \"%s\", "
-                  "\"impl\": \"%s\", \"threads\": %u, "
-                  "\"schedule\": \"%s\", \"ms\": %.6f, "
-                  "\"gflops\": %.6f, \"options\": \"%s\"}%s\n",
-                  jsonEscape(benchGitSha()).c_str(),
-                  jsonEscape(R.Kernel).c_str(),
-                  jsonEscape(R.Workload).c_str(),
-                  jsonEscape(R.Impl).c_str(), R.Threads,
-                  jsonEscape(R.Schedule).c_str(), R.Millis, R.GFlops,
-                  jsonEscape(R.Options).c_str(),
-                  I + 1 < Records.size() ? "," : "");
-    Out << Buf;
+    char Num[96];
+    std::string Line = "  {\"git_sha\": \"" + jsonEscape(benchGitSha()) +
+                       "\", \"kernel\": \"" + jsonEscape(R.Kernel) +
+                       "\", \"workload\": \"" + jsonEscape(R.Workload) +
+                       "\", \"impl\": \"" + jsonEscape(R.Impl) + "\"";
+    std::snprintf(Num, sizeof(Num),
+                  ", \"threads\": %u, \"schedule\": \"%s\", "
+                  "\"ms\": %.6f, \"gflops\": %.6f",
+                  R.Threads, jsonEscape(R.Schedule).c_str(), R.Millis,
+                  R.GFlops);
+    Line += Num;
+    Line += ", \"options\": \"" + jsonEscape(R.Options) + "\"";
+    // Observability attachments are already JSON objects; embed them
+    // verbatim when present so bench_check.py can explain deltas.
+    if (!R.CountersJson.empty())
+      Line += ", \"counters\": " + R.CountersJson;
+    if (!R.PhasesJson.empty())
+      Line += ", \"phases_ms\": " + R.PhasesJson;
+    Line += I + 1 < Records.size() ? "},\n" : "}\n";
+    Out << Line;
   }
   Out << "]\n";
   std::printf("wrote %s (%zu records)\n", Path.c_str(), Records.size());

@@ -20,6 +20,7 @@
 
 #include "core/Compiler.h"
 #include "kernels/Kernels.h"
+#include "observability/Trace.h"
 
 using namespace systec;
 using namespace systec::bench;
@@ -175,22 +176,65 @@ int main(int argc, char **argv) {
   std::printf("%-10s %12s %12s %10s %10s\n", "kernel", "interp(ms)",
               "fused(ms)", "speedup", "target");
   std::vector<BenchRecord> Records;
-  for (const MicroCase &C : Cases) {
+  for (size_t CI = 0; CI < Cases.size(); ++CI) {
+    const MicroCase &C = Cases[CI];
     double TI = Rep.millis("microkernels/" + C.Name + "/interp");
     double TF = Rep.millis("microkernels/" + C.Name + "/fused");
     const bool HasTarget = C.Name == "ssymv" || C.Name == "ssyrk";
     if (TI > 0 && TF > 0)
       std::printf("%-10s %12.3f %12.3f %9.2fx %10s\n", C.Name.c_str(),
                   TI, TF, TI / TF, HasTarget ? ">=2.00x" : "-");
-    for (const char *Impl : {"interp", "fused"}) {
+    for (unsigned Idx = 0; Idx < 2; ++Idx) {
+      const char *Impl = Idx ? "fused" : "interp";
       double Ms = Rep.millis("microkernels/" + C.Name + "/" + Impl);
-      if (Ms > 0)
-        Records.push_back(
-            BenchRecord{C.Name, C.Workload, Impl, 1, "none", Ms, 0,
-                        execOptionsSummary(
-                            implOptions(Impl == std::string("fused")))});
+      if (Ms <= 0)
+        continue;
+      BenchRecord Rec{C.Name, C.Workload, Impl, 1, "none", Ms, 0,
+                      execOptionsSummary(implOptions(Idx == 1)),
+                      "", ""};
+      Tensor *Out = &Holders[CI]->tensor("out");
+      annotateRecord(Rec, *Holders[CI]->Executors[Idx],
+                     [Out] { Out->setAllValues(0.0); });
+      Records.push_back(std::move(Rec));
     }
   }
   writeBenchJson("BENCH_microkernels.json", Records);
+
+  // SYSTEC_TRACE=<path>: rerun every case through fresh executors with
+  // tracing on at Threads=2/Dynamic and export one Chrome trace. The
+  // traced pass is separate from (and after) the gate records above,
+  // so BENCH_microkernels.json stays a tracing-off measurement.
+  if (const char *TraceEnv = std::getenv("SYSTEC_TRACE")) {
+    obs::setThreadName("main");
+    for (size_t CI = 0; CI < Cases.size(); ++CI) {
+      MicroCase &C = Cases[CI];
+      CompileResult Compiled = compileEinsum(C.E);
+      Tensor *Out = &Holders[CI]->tensor("out");
+      for (unsigned Idx = 0; Idx < 2; ++Idx) {
+        ExecOptions O = implOptions(Idx == 1);
+        O.Threads = 2;
+        O.Schedule = SchedulePolicy::Dynamic;
+        O.Tracing = true;
+        Executor E(Compiled.Optimized, O);
+        for (auto &[Name, T] : C.Inputs)
+          E.bind(Name, &T);
+        E.bind(C.OutName, Out);
+        E.prepare();
+        for (int Run = 0; Run < 3; ++Run) {
+          Out->setAllValues(0.0);
+          E.run();
+        }
+      }
+    }
+    const std::string Path =
+        *TraceEnv ? TraceEnv : "bench_microkernels.trace.json";
+    if (obs::writeChromeTrace(Path))
+      std::printf("wrote %s (%llu events, %llu dropped)\n", Path.c_str(),
+                  static_cast<unsigned long long>(obs::traceEventCount()),
+                  static_cast<unsigned long long>(obs::traceDroppedCount()));
+    else
+      std::fprintf(stderr, "cannot write %s\n", Path.c_str());
+    obs::setTracingEnabled(false);
+  }
   return 0;
 }

@@ -110,15 +110,24 @@ int main(int argc, char **argv) {
   // options; the *_gen/taco/mkl rows are native code with no
   // ExecOptions (empty options field).
   const std::string EngineOpts = execOptionsSummary(ExecOptions());
-  for (const Row &RowEntry : Rows)
+  for (size_t RI = 0; RI < Rows.size(); ++RI) {
+    const Row &RowEntry = Rows[RI];
     for (const auto &[Impl, BenchName] : RowEntry.Entries) {
       double Ms = Rep.millis(BenchName);
       const bool Engine = Impl == "naive" || Impl == "systec";
-      if (Ms > 0)
-        Records.push_back(BenchRecord{"ssymv", RowEntry.Label, Impl, 1,
-                                      "none", Ms, 0,
-                                      Engine ? EngineOpts : ""});
+      if (Ms <= 0)
+        continue;
+      BenchRecord Rec{"ssymv", RowEntry.Label, Impl, 1, "none", Ms, 0,
+                      Engine ? EngineOpts : "", "", ""};
+      if (Engine) {
+        // addExecutor order per holder: naive first, then systec.
+        Executor &E = *Holders[RI]->Executors[Impl == "naive" ? 0 : 1];
+        Tensor *Y = &Holders[RI]->tensor("y");
+        annotateRecord(Rec, E, [Y] { Y->setAllValues(0.0); });
+      }
+      Records.push_back(std::move(Rec));
     }
+  }
   writeBenchJson("BENCH_ssymv.json", Records);
   return 0;
 }

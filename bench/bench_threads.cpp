@@ -141,17 +141,23 @@ int main(int argc, char **argv) {
                 W.Kernel.c_str(), W.Label.c_str(), T1);
     std::printf("%-10s %12s %12s %12s\n", "threads", "ms", "speedup",
                 "GFLOP/s");
-    for (const Variant &V : variants()) {
+    const std::vector<Variant> Vars = variants();
+    for (size_t VI = 0; VI < Vars.size(); ++VI) {
+      const Variant &V = Vars[VI];
       double Ms = Rep.millis(Base + variantName(V));
       if (Ms <= 0)
         continue;
       double GFlops = W.Flops / (Ms * 1e6);
       std::printf("%-10s %12.3f %12.2f %12.3f\n", variantName(V).c_str(),
                   Ms, T1 / Ms, GFlops);
-      Records.push_back(
-          BenchRecord{W.Kernel, W.Label, "systec", V.Threads,
+      BenchRecord Rec{W.Kernel, W.Label, "systec", V.Threads,
                       schedulePolicyName(V.Policy), Ms, GFlops,
-                      execOptionsSummary(variantOptions(V))});
+                      execOptionsSummary(variantOptions(V)), "", ""};
+      // Executors were appended in variants() order per workload.
+      Tensor *Out = W.Out;
+      annotateRecord(Rec, *W.H->Executors[VI],
+                     [Out] { Out->setAllValues(0.0); });
+      Records.push_back(std::move(Rec));
     }
     // The acceptance comparison: triangle-balanced vs static blocks.
     double Tri = Rep.millis(

@@ -2,6 +2,8 @@
 
 #include "core/Compiler.h"
 
+#include "observability/Trace.h"
+
 #include <sstream>
 
 namespace systec {
@@ -39,6 +41,10 @@ std::string CompileResult::report() const {
 
 CompileResult compileEinsum(const Einsum &E,
                             const PipelineOptions &Options) {
+  // Trace-only span for the whole front-end lowering (analysis,
+  // symmetrization, passes, both lowerings). Not an ExecReport phase:
+  // lowering happens before any Executor exists.
+  obs::TraceScope Lower("lower", "compile");
   CompileResult R;
   R.Source = E;
   R.Analysis = analyzeSymmetry(E);

@@ -1,0 +1,127 @@
+//===- observability/Histogram.h - Log-bucketed histograms ----*- C++ -*-===//
+///
+/// \file
+/// A fixed-size log2-bucketed histogram of nonnegative integer samples
+/// (task durations in nanoseconds, task element counts). Bucket B holds
+/// samples whose bit width is B, i.e. values in [2^(B-1), 2^B); bucket
+/// 0 holds the value 0. The layout is position-independent, so two
+/// histograms merge by adding counts — merging is associative and
+/// commutative, which is what lets per-worker and per-task histograms
+/// roll up into one report in any order (asserted by
+/// tests/observability_test.cpp).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SYSTEC_OBSERVABILITY_HISTOGRAM_H
+#define SYSTEC_OBSERVABILITY_HISTOGRAM_H
+
+#include <cstdint>
+#include <string>
+
+namespace systec {
+namespace obs {
+
+class LogHistogram {
+public:
+  static constexpr unsigned NumBuckets = 64;
+
+  /// The bucket index \p V falls into (its bit width; 0 for 0).
+  static unsigned bucketOf(uint64_t V) {
+    unsigned B = 0;
+    while (V) {
+      ++B;
+      V >>= 1;
+    }
+    return B;
+  }
+
+  /// Inclusive lower bound of bucket \p B (0, 1, 2, 4, 8, ...).
+  static uint64_t bucketLo(unsigned B) {
+    return B == 0 ? 0 : uint64_t(1) << (B - 1);
+  }
+
+  void add(uint64_t V) {
+    ++Buckets[bucketOf(V)];
+    ++N;
+    Total += V;
+    if (V > MaxV)
+      MaxV = V;
+  }
+
+  /// Adds \p O's samples to this histogram (associative, commutative).
+  void merge(const LogHistogram &O) {
+    for (unsigned B = 0; B < NumBuckets; ++B)
+      Buckets[B] += O.Buckets[B];
+    N += O.N;
+    Total += O.Total;
+    if (O.MaxV > MaxV)
+      MaxV = O.MaxV;
+  }
+
+  uint64_t count() const { return N; }
+  uint64_t total() const { return Total; }
+  uint64_t maxValue() const { return MaxV; }
+  uint64_t bucketCount(unsigned B) const {
+    return B < NumBuckets ? Buckets[B] : 0;
+  }
+  double mean() const { return N ? double(Total) / double(N) : 0.0; }
+
+  /// The samples \p After accumulated beyond \p Before (bucket-wise
+  /// subtraction; valid because counts only grow). Used to window the
+  /// pool's since-process-start task histograms to one run. MaxV is
+  /// not recoverable for a window, so the result keeps After's
+  /// since-start maximum.
+  static LogHistogram windowDelta(const LogHistogram &After,
+                                  const LogHistogram &Before) {
+    LogHistogram Out;
+    for (unsigned B = 0; B < NumBuckets; ++B)
+      Out.Buckets[B] = After.Buckets[B] >= Before.Buckets[B]
+                           ? After.Buckets[B] - Before.Buckets[B]
+                           : 0;
+    Out.N = After.N >= Before.N ? After.N - Before.N : 0;
+    Out.Total = After.Total >= Before.Total ? After.Total - Before.Total : 0;
+    Out.MaxV = After.MaxV;
+    return Out;
+  }
+
+  bool operator==(const LogHistogram &O) const {
+    if (N != O.N || Total != O.Total || MaxV != O.MaxV)
+      return false;
+    for (unsigned B = 0; B < NumBuckets; ++B)
+      if (Buckets[B] != O.Buckets[B])
+        return false;
+    return true;
+  }
+
+  /// Compact JSON: {"count":N,"total":T,"max":M,"buckets":{"8":3,...}}
+  /// (bucket keys are the inclusive lower bound; empty buckets are
+  /// omitted).
+  std::string toJson() const {
+    std::string Out = "{\"count\":" + std::to_string(N) +
+                      ",\"total\":" + std::to_string(Total) +
+                      ",\"max\":" + std::to_string(MaxV) + ",\"buckets\":{";
+    bool First = true;
+    for (unsigned B = 0; B < NumBuckets; ++B) {
+      if (!Buckets[B])
+        continue;
+      if (!First)
+        Out += ',';
+      First = false;
+      Out += '"' + std::to_string(bucketLo(B)) +
+             "\":" + std::to_string(Buckets[B]);
+    }
+    Out += "}}";
+    return Out;
+  }
+
+private:
+  uint64_t Buckets[NumBuckets] = {};
+  uint64_t N = 0;
+  uint64_t Total = 0;
+  uint64_t MaxV = 0;
+};
+
+} // namespace obs
+} // namespace systec
+
+#endif // SYSTEC_OBSERVABILITY_HISTOGRAM_H

@@ -1,0 +1,244 @@
+//===- observability/Trace.cpp - Execution tracing ------------*- C++ -*-===//
+
+#include "observability/Trace.h"
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <set>
+
+namespace systec {
+namespace obs {
+
+namespace {
+
+std::atomic<bool> TracingOn{false};
+
+/// Single-writer append-only event buffer. Storage is a fixed table of
+/// block pointers: the owner thread allocates a block on first use
+/// (release-published), writes the event, then release-publishes the
+/// new count. Readers acquire-load the count and the block pointers,
+/// so every event at index < count is fully visible. No locks, no
+/// reallocation, and a hard capacity cap (drops are counted).
+class TraceBuffer {
+public:
+  static constexpr size_t BlockSize = 4096;
+  static constexpr size_t MaxBlocks = 512; // cap: ~2M events per thread
+
+  explicit TraceBuffer(unsigned Tid) : Tid(Tid) {}
+  ~TraceBuffer() {
+    for (size_t B = 0; B < MaxBlocks; ++B)
+      delete[] Blocks[B].load(std::memory_order_relaxed);
+  }
+
+  void append(const TraceEvent &E) {
+    const size_t N = Count.load(std::memory_order_relaxed);
+    const size_t BI = N / BlockSize;
+    if (BI >= MaxBlocks) {
+      Dropped.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    TraceEvent *Block = Blocks[BI].load(std::memory_order_relaxed);
+    if (!Block) {
+      Block = new TraceEvent[BlockSize];
+      Blocks[BI].store(Block, std::memory_order_release);
+    }
+    Block[N % BlockSize] = E;
+    Count.store(N + 1, std::memory_order_release);
+  }
+
+  size_t size() const { return Count.load(std::memory_order_acquire); }
+
+  TraceEvent get(size_t I) const {
+    return Blocks[I / BlockSize].load(std::memory_order_acquire)
+        [I % BlockSize];
+  }
+
+  /// Tests only; the owner thread must be quiescent.
+  void reset() {
+    Count.store(0, std::memory_order_release);
+    Dropped.store(0, std::memory_order_relaxed);
+  }
+
+  uint64_t dropped() const {
+    return Dropped.load(std::memory_order_relaxed);
+  }
+
+  const unsigned Tid;
+  std::string Name; ///< guarded by the registry mutex
+
+private:
+  std::atomic<size_t> Count{0};
+  std::atomic<uint64_t> Dropped{0};
+  std::atomic<TraceEvent *> Blocks[MaxBlocks] = {};
+};
+
+struct Registry {
+  std::mutex Mu;
+  std::vector<std::unique_ptr<TraceBuffer>> Buffers;
+  std::set<std::string> Names; ///< intern table
+};
+
+/// Leaked on purpose (like ThreadPool::global): worker threads may
+/// still trace during static destruction.
+Registry &registry() {
+  static Registry *R = new Registry();
+  return *R;
+}
+
+TraceBuffer &threadBuffer() {
+  thread_local TraceBuffer *Buf = [] {
+    Registry &R = registry();
+    std::lock_guard<std::mutex> Lock(R.Mu);
+    R.Buffers.push_back(std::make_unique<TraceBuffer>(
+        static_cast<unsigned>(R.Buffers.size())));
+    return R.Buffers.back().get();
+  }();
+  return *Buf;
+}
+
+} // namespace
+
+bool tracingEnabled() {
+  return TracingOn.load(std::memory_order_relaxed);
+}
+
+void setTracingEnabled(bool Enabled) {
+  TracingOn.store(Enabled, std::memory_order_relaxed);
+}
+
+uint64_t nowNs() {
+  using Clock = std::chrono::steady_clock;
+  static const Clock::time_point Origin = Clock::now();
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                           Origin)
+          .count());
+}
+
+const char *internName(const std::string &S) {
+  Registry &R = registry();
+  std::lock_guard<std::mutex> Lock(R.Mu);
+  return R.Names.insert(S).first->c_str();
+}
+
+void emitSpan(const char *Name, const char *Cat, uint64_t StartNs,
+              uint64_t DurNs, int64_t Arg0, int64_t Arg1) {
+  threadBuffer().append(TraceEvent{Name, Cat, StartNs, DurNs, Arg0, Arg1});
+}
+
+void setThreadName(const std::string &Name) {
+  TraceBuffer &B = threadBuffer();
+  Registry &R = registry();
+  std::lock_guard<std::mutex> Lock(R.Mu);
+  if (B.Name.empty())
+    B.Name = Name;
+}
+
+std::vector<ThreadEvents> collectTrace() {
+  Registry &R = registry();
+  std::vector<TraceBuffer *> Bufs;
+  std::vector<ThreadEvents> Out;
+  {
+    std::lock_guard<std::mutex> Lock(R.Mu);
+    for (auto &B : R.Buffers) {
+      Bufs.push_back(B.get());
+      ThreadEvents TE;
+      TE.Tid = B->Tid;
+      TE.Name = B->Name.empty() ? "thread-" + std::to_string(B->Tid)
+                                : B->Name;
+      Out.push_back(std::move(TE));
+    }
+  }
+  for (size_t I = 0; I < Bufs.size(); ++I) {
+    const size_t N = Bufs[I]->size();
+    Out[I].Events.reserve(N);
+    for (size_t E = 0; E < N; ++E)
+      Out[I].Events.push_back(Bufs[I]->get(E));
+  }
+  return Out;
+}
+
+uint64_t traceEventCount() {
+  uint64_t N = 0;
+  Registry &R = registry();
+  std::lock_guard<std::mutex> Lock(R.Mu);
+  for (auto &B : R.Buffers)
+    N += B->size();
+  return N;
+}
+
+uint64_t traceDroppedCount() {
+  uint64_t N = 0;
+  Registry &R = registry();
+  std::lock_guard<std::mutex> Lock(R.Mu);
+  for (auto &B : R.Buffers)
+    N += B->dropped();
+  return N;
+}
+
+void clearTrace() {
+  Registry &R = registry();
+  std::lock_guard<std::mutex> Lock(R.Mu);
+  for (auto &B : R.Buffers)
+    B->reset();
+}
+
+namespace {
+
+void appendJsonEscaped(std::string &Out, const char *S) {
+  for (; S && *S; ++S) {
+    if (*S == '"' || *S == '\\')
+      Out += '\\';
+    Out += *S;
+  }
+}
+
+} // namespace
+
+std::string chromeTraceJson() {
+  std::vector<ThreadEvents> All = collectTrace();
+  std::string Out = "{\"traceEvents\":[\n";
+  bool First = true;
+  char Buf[256];
+  for (const ThreadEvents &TE : All) {
+    // Thread-name metadata event so Perfetto labels the track.
+    if (!First)
+      Out += ",\n";
+    First = false;
+    Out += "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":" +
+           std::to_string(TE.Tid) + ",\"args\":{\"name\":\"";
+    appendJsonEscaped(Out, TE.Name.c_str());
+    Out += "\"}}";
+    for (const TraceEvent &E : TE.Events) {
+      Out += ",\n{\"name\":\"";
+      appendJsonEscaped(Out, E.Name);
+      Out += "\",\"cat\":\"";
+      appendJsonEscaped(Out, E.Cat);
+      // Chrome trace timestamps/durations are microseconds.
+      std::snprintf(Buf, sizeof(Buf),
+                    "\",\"ph\":\"X\",\"pid\":1,\"tid\":%u,"
+                    "\"ts\":%.3f,\"dur\":%.3f,"
+                    "\"args\":{\"a0\":%lld,\"a1\":%lld}}",
+                    TE.Tid, E.StartNs / 1e3, E.DurNs / 1e3,
+                    static_cast<long long>(E.Arg0),
+                    static_cast<long long>(E.Arg1));
+      Out += Buf;
+    }
+  }
+  Out += "\n]}\n";
+  return Out;
+}
+
+bool writeChromeTrace(const std::string &Path) {
+  std::ofstream OutFile(Path);
+  if (!OutFile)
+    return false;
+  OutFile << chromeTraceJson();
+  return static_cast<bool>(OutFile);
+}
+
+} // namespace obs
+} // namespace systec

@@ -2,6 +2,8 @@
 
 #include "parallel/ThreadPool.h"
 
+#include "observability/Trace.h"
+
 #include <algorithm>
 #include <cassert>
 #include <memory>
@@ -15,10 +17,30 @@ namespace {
 thread_local bool InPoolTask = false;
 } // namespace
 
+void ThreadPool::ActivitySlot::recordTask(uint64_t DurNs) {
+  ExecNs.fetch_add(DurNs, std::memory_order_relaxed);
+  Tasks.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> Lock(HistMu);
+  Hist.add(DurNs);
+}
+
+ThreadPool::ActivityCounters ThreadPool::ActivitySlot::read() const {
+  ActivityCounters Out;
+  Out.WaitNs = WaitNs.load(std::memory_order_relaxed);
+  Out.ExecNs = ExecNs.load(std::memory_order_relaxed);
+  Out.Tasks = Tasks.load(std::memory_order_relaxed);
+  std::lock_guard<std::mutex> Lock(HistMu);
+  Out.TaskNs = Hist;
+  return Out;
+}
+
 ThreadPool::ThreadPool(unsigned WorkerCount) {
   Workers.reserve(WorkerCount);
-  for (unsigned W = 0; W < WorkerCount; ++W)
-    Workers.emplace_back([this] { workerLoop(); });
+  for (unsigned W = 0; W < WorkerCount; ++W) {
+    Slots.push_back(std::make_unique<ActivitySlot>());
+    ActivitySlot *Slot = Slots.back().get();
+    Workers.emplace_back([this, W, Slot] { workerLoop(W, *Slot); });
+  }
   NumWorkers.store(WorkerCount, std::memory_order_release);
 }
 
@@ -32,8 +54,10 @@ ThreadPool::~ThreadPool() {
     T.join();
 }
 
-void ThreadPool::workerLoop() {
+void ThreadPool::workerLoop(unsigned Id, ActivitySlot &Slot) {
+  obs::setThreadName("worker-" + std::to_string(Id));
   uint64_t SeenGeneration = 0;
+  uint64_t IdleFrom = obs::nowNs();
   while (true) {
     std::shared_ptr<Batch> B;
     {
@@ -46,15 +70,33 @@ void ThreadPool::workerLoop() {
       SeenGeneration = Generation;
       B = Cur;
     }
+    // WAIT scope: only the stretch after the batch opened counts
+    // (idling between batches is not starvation).
+    const uint64_t Woke = obs::nowNs();
+    const uint64_t WaitFrom = std::max(IdleFrom, B->OpenNs);
+    if (Woke > WaitFrom) {
+      Slot.WaitNs.fetch_add(Woke - WaitFrom, std::memory_order_relaxed);
+      if (obs::tracingEnabled())
+        obs::emitSpan("wait", "pool", WaitFrom, Woke - WaitFrom);
+    }
+    // EXECUTE scope, per claimed task.
     InPoolTask = true;
     unsigned Finished = 0;
     for (unsigned T = B->Next.fetch_add(1, std::memory_order_relaxed);
          T < B->Tasks;
          T = B->Next.fetch_add(1, std::memory_order_relaxed)) {
+      const uint64_t T0 = obs::nowNs();
       (*B->Fn)(T);
+      const uint64_t T1 = obs::nowNs();
+      Slot.recordTask(T1 - T0);
+      if (obs::tracingEnabled())
+        obs::emitSpan("task", "pool", T0, T1 - T0,
+                      static_cast<int64_t>(T),
+                      static_cast<int64_t>(B->Tasks));
       ++Finished;
     }
     InPoolTask = false;
+    IdleFrom = obs::nowNs();
     if (Finished) {
       std::lock_guard<std::mutex> Lock(Mu);
       Pending -= Finished;
@@ -64,20 +106,47 @@ void ThreadPool::workerLoop() {
   }
 }
 
+unsigned ThreadPool::runTasks(Batch &B,
+                              const std::function<void(unsigned)> &Fn) {
+  unsigned Finished = 0;
+  for (unsigned T = B.Next.fetch_add(1, std::memory_order_relaxed);
+       T < B.Tasks; T = B.Next.fetch_add(1, std::memory_order_relaxed)) {
+    const uint64_t T0 = obs::nowNs();
+    Fn(T);
+    const uint64_t T1 = obs::nowNs();
+    CallerSlot.recordTask(T1 - T0);
+    if (obs::tracingEnabled())
+      obs::emitSpan("task", "pool", T0, T1 - T0, static_cast<int64_t>(T),
+                    static_cast<int64_t>(B.Tasks));
+    ++Finished;
+  }
+  return Finished;
+}
+
 void ThreadPool::parallelFor(unsigned Tasks,
                              const std::function<void(unsigned)> &Fn) {
   if (Tasks == 0)
     return;
   if (Tasks == 1 || workerCount() == 0 || InPoolTask) {
     // Inline: trivial batch, no workers, or nested call from a task.
-    for (unsigned T = 0; T < Tasks; ++T)
-      Fn(T);
+    // Nested calls keep their time out of the caller slot — it is
+    // already inside an accounted task of the enclosing batch.
+    if (InPoolTask) {
+      for (unsigned T = 0; T < Tasks; ++T)
+        Fn(T);
+      return;
+    }
+    Batch B;
+    B.Fn = &Fn;
+    B.Tasks = Tasks;
+    runTasks(B, Fn);
     return;
   }
   std::lock_guard<std::mutex> SubmitLock(SubmitMu);
   auto B = std::make_shared<Batch>();
   B->Fn = &Fn;
   B->Tasks = Tasks;
+  B->OpenNs = obs::nowNs();
   {
     std::lock_guard<std::mutex> Lock(Mu);
     assert(Pending == 0 && "overlapping parallelFor batches");
@@ -89,26 +158,49 @@ void ThreadPool::parallelFor(unsigned Tasks,
 
   // The caller participates too.
   InPoolTask = true;
-  unsigned Finished = 0;
-  for (unsigned T = B->Next.fetch_add(1, std::memory_order_relaxed);
-       T < Tasks; T = B->Next.fetch_add(1, std::memory_order_relaxed)) {
-    Fn(T);
-    ++Finished;
-  }
+  unsigned Finished = runTasks(*B, Fn);
   InPoolTask = false;
 
-  std::unique_lock<std::mutex> Lock(Mu);
-  Pending -= Finished;
-  if (Pending == 0)
-    DoneCv.notify_all();
-  DoneCv.wait(Lock, [&] { return Pending == 0; });
-  Cur.reset();
+  // The caller's completion wait is its WAIT scope.
+  const uint64_t W0 = obs::nowNs();
+  {
+    std::unique_lock<std::mutex> Lock(Mu);
+    Pending -= Finished;
+    if (Pending == 0)
+      DoneCv.notify_all();
+    DoneCv.wait(Lock, [&] { return Pending == 0; });
+    Cur.reset();
+  }
+  const uint64_t W1 = obs::nowNs();
+  if (W1 > W0)
+    CallerSlot.WaitNs.fetch_add(W1 - W0, std::memory_order_relaxed);
+  if (obs::tracingEnabled()) {
+    obs::emitSpan("wait", "pool", W0, W1 - W0);
+    obs::emitSpan("batch", "pool", B->OpenNs, W1 - B->OpenNs,
+                  static_cast<int64_t>(Tasks));
+  }
+}
+
+ThreadPool::ActivitySnapshot ThreadPool::activitySnapshot() const {
+  ActivitySnapshot Out;
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    Out.Workers.reserve(Slots.size());
+    for (const std::unique_ptr<ActivitySlot> &S : Slots)
+      Out.Workers.push_back(S->read());
+  }
+  Out.Callers = CallerSlot.read();
+  return Out;
 }
 
 void ThreadPool::ensureWorkers(unsigned Want) {
   std::lock_guard<std::mutex> Lock(Mu);
-  while (Workers.size() < Want)
-    Workers.emplace_back([this] { workerLoop(); });
+  while (Workers.size() < Want) {
+    Slots.push_back(std::make_unique<ActivitySlot>());
+    ActivitySlot *Slot = Slots.back().get();
+    const unsigned Id = static_cast<unsigned>(Workers.size());
+    Workers.emplace_back([this, Id, Slot] { workerLoop(Id, *Slot); });
+  }
   NumWorkers.store(static_cast<unsigned>(Workers.size()),
                    std::memory_order_release);
 }

@@ -18,10 +18,23 @@
 /// parallelism is statically disabled by the plan compiler; this is the
 /// runtime backstop).
 ///
+/// Observability: every participant keeps always-on WAIT/EXECUTE
+/// activity counters in the style of the NBS executor — per-worker
+/// busy time, in-batch wait time, task counts, and a log-bucketed
+/// histogram of task durations — snapshotted by activitySnapshot() and
+/// windowed per run by Executor::lastReport(). Wait is attributed only
+/// from the instant a batch opens (an idle pool waiting between
+/// batches is not "starved"), and the caller's own task execution and
+/// completion wait are pooled under a single caller slot. When tracing
+/// is enabled (observability/Trace.h), workers additionally emit
+/// wait/task spans and the caller emits one batch span.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef SYSTEC_PARALLEL_THREADPOOL_H
 #define SYSTEC_PARALLEL_THREADPOOL_H
+
+#include "observability/Histogram.h"
 
 #include <atomic>
 #include <condition_variable>
@@ -36,6 +49,20 @@ namespace systec {
 
 class ThreadPool {
 public:
+  /// Plain-value activity of one pool participant since process start
+  /// (window two snapshots to measure a run).
+  struct ActivityCounters {
+    uint64_t WaitNs = 0; ///< in-batch wait (batch open -> first claim,
+                         ///< and the caller's completion wait)
+    uint64_t ExecNs = 0; ///< time inside task bodies
+    uint64_t Tasks = 0;
+    obs::LogHistogram TaskNs; ///< log2-bucketed task durations
+  };
+  struct ActivitySnapshot {
+    std::vector<ActivityCounters> Workers; ///< index = worker id
+    ActivityCounters Callers; ///< every submitting thread, pooled
+  };
+
   /// Creates \p Workers background threads (0 is valid: every batch
   /// then runs inline on the caller).
   explicit ThreadPool(unsigned Workers);
@@ -59,6 +86,12 @@ public:
   /// different threads serialize on a submission lock.
   void parallelFor(unsigned Tasks, const std::function<void(unsigned)> &Fn);
 
+  /// Copies every participant's activity counters. Safe to call while
+  /// batches run (counters are atomics; histograms are read under
+  /// their per-slot mutex), so a concurrent executor's report sees a
+  /// consistent-enough window for timing purposes.
+  ActivitySnapshot activitySnapshot() const;
+
   /// The process-wide pool, created on first use with
   /// hardware_concurrency() - 1 workers.
   static ThreadPool &global();
@@ -75,11 +108,35 @@ private:
     const std::function<void(unsigned)> *Fn = nullptr;
     unsigned Tasks = 0;
     std::atomic<unsigned> Next{0};
+    uint64_t OpenNs = 0; ///< obs::nowNs() at submission (wait anchor)
   };
 
-  void workerLoop();
+  /// One participant's accounting. The owner updates the atomics with
+  /// relaxed stores; the histogram is guarded by its own mutex (locked
+  /// once per task by the owner, and by snapshot readers), so the hot
+  /// claim loop never contends.
+  struct ActivitySlot {
+    std::atomic<uint64_t> WaitNs{0};
+    std::atomic<uint64_t> ExecNs{0};
+    std::atomic<uint64_t> Tasks{0};
+    mutable std::mutex HistMu;
+    obs::LogHistogram Hist; ///< guarded by HistMu
+
+    void recordTask(uint64_t DurNs);
+    ActivityCounters read() const;
+  };
+
+  void workerLoop(unsigned Id, ActivitySlot &Slot);
+  /// The caller's claim loop plus its activity/trace accounting;
+  /// shared by the inline and pooled paths of parallelFor.
+  unsigned runTasks(Batch &B, const std::function<void(unsigned)> &Fn);
 
   std::vector<std::thread> Workers; ///< guarded by Mu
+  /// Per-worker activity; parallel to Workers. Slots are heap-stable
+  /// (workers hold direct references), only the vector itself is
+  /// guarded by Mu.
+  std::vector<std::unique_ptr<ActivitySlot>> Slots;
+  ActivitySlot CallerSlot;
   /// Mirror of Workers.size() readable without Mu (parallelFor checks
   /// it while ensureWorkers may be appending threads).
   std::atomic<unsigned> NumWorkers{0};

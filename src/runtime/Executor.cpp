@@ -2,6 +2,7 @@
 
 #include "runtime/Executor.h"
 
+#include "observability/Trace.h"
 #include "parallel/ParallelAnalysis.h"
 #include "parallel/ThreadPool.h"
 #include "runtime/Annihilation.h"
@@ -42,7 +43,11 @@ public:
     E.Ctx->OutPtr.resize(OutTensors.size());
     for (size_t Id = 0; Id < OutTensors.size(); ++Id)
       E.Ctx->OutPtr[Id] = OutTensors[Id]->vals().data();
+    E.Ctx->LoopCalls.assign(NextTraceId, 0);
+    E.Ctx->LoopNs.assign(NextTraceId, 0);
     E.MKStats = Stats;
+    E.SpecializeNs = SpecializeNs;
+    E.LoopMeta = std::move(LoopMeta);
     if (countersEnabled()) {
       counters().LoopsSpecialized += Stats.SpecializedLoops;
       counters().LoopsGeneric += Stats.GenericLoops;
@@ -64,6 +69,9 @@ private:
   std::vector<Tensor *> OutTensors;
   bool InParallel = false; // compiling inside an activated parallel loop
   MicroKernelStats Stats;
+  unsigned NextTraceId = 0; // plan-loop observability ids, in-order
+  uint64_t SpecializeNs = 0; // time inside specializeLoop calls
+  std::vector<obs::LoopStat> LoopMeta; // indexed by trace id
 
   unsigned indexSlot(const std::string &Name) {
     auto [It, New] = IndexSlots.insert({Name, IndexSlots.size()});
@@ -524,8 +532,13 @@ private:
     SpecOpts.EnableBlocking = E.Options.EnableBlocking;
     SpecOpts.BlockWidth = E.Options.BlockWidth;
     SpecOpts.OutputTensors = &OutTensors;
-    if (E.Options.EnableMicroKernels &&
-        specializeLoop(*Loop, AccessStates, SpecOpts)) {
+    bool Specialized = false;
+    if (E.Options.EnableMicroKernels) {
+      const uint64_t S0 = obs::nowNs();
+      Specialized = specializeLoop(*Loop, AccessStates, SpecOpts);
+      SpecializeNs += obs::nowNs() - S0;
+    }
+    if (Specialized) {
       ++Stats.SpecializedLoops;
       if (Loop->Fused->Innermost)
         ++Stats.InnermostFused;
@@ -576,12 +589,71 @@ private:
       ++Stats.GenericLoops;
     }
 
+    assignTraceIdentity(*Loop, Var);
+
     if (Activated)
       InParallel = false;
     for (unsigned Id : WalkerIds)
       --Driven[Id];
     BoundVars.erase(Var);
     return Loop;
+  }
+
+  static const char *driverKindName(MKDriver::Kind K) {
+    switch (K) {
+    case MKDriver::Kind::Range:
+      return "Range";
+    case MKDriver::Kind::DenseWalk:
+      return "DenseWalk";
+    case MKDriver::Kind::SparseWalk:
+      return "SparseWalk";
+    case MKDriver::Kind::RunLengthWalk:
+      return "RunLengthWalk";
+    case MKDriver::Kind::BandedWalk:
+      return "BandedWalk";
+    }
+    unreachable("unknown driver kind");
+  }
+
+  static const char *levelKindName(LevelKind K) {
+    switch (K) {
+    case LevelKind::Dense:
+      return "DenseWalk";
+    case LevelKind::Sparse:
+      return "SparseWalk";
+    case LevelKind::RunLength:
+      return "RunLengthWalk";
+    case LevelKind::Banded:
+      return "BandedWalk";
+    }
+    unreachable("unknown level kind");
+  }
+
+  /// Stamps \p Loop's observability identity (trace id, interned span
+  /// label, engine and driver names) and records the report-side
+  /// metadata row. Runs after specialization so the engine is known.
+  void assignTraceIdentity(PlanLoop &Loop, const std::string &Var) {
+    Loop.TraceId = NextTraceId++;
+    const char *Engine =
+        Loop.Fused ? (Loop.Fused->Blocked ? "Blocked" : "Fused")
+                   : "Interp";
+    const char *Driver =
+        Loop.Fused ? driverKindName(Loop.Fused->D.K)
+        : Loop.Walkers.empty()
+            ? "Range"
+            : levelKindName(AccessStates[Loop.Walkers[0].AccessId]
+                                .T->level(Loop.Walkers[0].Level)
+                                .Kind);
+    Loop.EngineName = Engine;
+    Loop.DriverName = Driver;
+    const std::string Label =
+        "loop " + Var + " [" + Engine + "/" + Driver + "]";
+    Loop.TraceLabel = obs::internName(Label);
+    obs::LoopStat Meta;
+    Meta.Label = Label;
+    Meta.Engine = Engine;
+    Meta.Driver = Driver;
+    LoopMeta.push_back(std::move(Meta));
   }
 
   void collectSubtreeAccesses(const StmtPtr &S, std::vector<ExprPtr> &Out) {
@@ -609,6 +681,7 @@ std::string execOptionsSummary(const ExecOptions &O) {
   Out += std::string(" lift=") + (O.EnableBoundLifting ? "on" : "off");
   Out += std::string(" algebra=") + (O.AnnihilationAlgebra ? "on" : "off");
   Out += " privbudget=" + std::to_string(O.PrivatizationBudget);
+  Out += std::string(" tracing=") + (O.Tracing ? "on" : "off");
   return Out;
 }
 
@@ -631,8 +704,11 @@ Tensor *Executor::lookup(const std::string &Name) const {
 
 void Executor::prepare() {
   assert(!Prepared && "prepare called twice");
+  if (Options.Tracing)
+    obs::setTracingEnabled(true);
   if (Options.Threads > 1)
     ThreadPool::ensureGlobalThreads(Options.Threads);
+  const uint64_t M0 = obs::nowNs();
   // Materialize diagonal splits (both halves from one pass per source).
   std::map<std::string, std::pair<Tensor *, Tensor *>> SplitCache;
   for (const SplitRequest &Req : K.Splits) {
@@ -667,7 +743,16 @@ void Executor::prepare() {
         Src->transposed(Req.ModePerm, Format)));
     Bound[Req.Alias] = Owned.back().get();
   }
+  const uint64_t M1 = obs::nowNs();
   PlanCompiler(*this).compileAll();
+  const uint64_t M2 = obs::nowNs();
+  MaterializeNs = M1 - M0;
+  PlanCompileNs = M2 - M1;
+  if (obs::tracingEnabled()) {
+    obs::emitSpan("materialize", "phase", M0, MaterializeNs);
+    obs::emitSpan("plan-compile", "phase", M1, PlanCompileNs);
+  }
+  Report.Options = execOptionsSummary(Options);
   Prepared = true;
 }
 
@@ -691,6 +776,20 @@ void flushCounters(detail::ExecCtx &C) {
   C.Local = CounterSnapshot{};
 }
 
+/// One participant's activity windowed between two snapshots (counters
+/// are monotone since process start; subtracting is exact).
+obs::WorkerStat windowWorker(const std::string &Name,
+                             const ThreadPool::ActivityCounters &After,
+                             const ThreadPool::ActivityCounters &Before) {
+  obs::WorkerStat W;
+  W.Name = Name;
+  W.WaitNs = After.WaitNs - Before.WaitNs;
+  W.ExecNs = After.ExecNs - Before.ExecNs;
+  W.Tasks = After.Tasks - Before.Tasks;
+  W.TaskNs = obs::LogHistogram::windowDelta(After.TaskNs, Before.TaskNs);
+  return W;
+}
+
 } // namespace
 
 void Executor::run() {
@@ -701,7 +800,56 @@ void Executor::run() {
 void Executor::runBody() {
   assert(Prepared && "prepare() must run before run()");
   Ctx->CountersOn = countersEnabled();
+  Ctx->TraceOn = obs::tracingEnabled();
+  std::fill(Ctx->LoopCalls.begin(), Ctx->LoopCalls.end(), uint64_t(0));
+  std::fill(Ctx->LoopNs.begin(), Ctx->LoopNs.end(), uint64_t(0));
+  Ctx->MergeNs = 0;
+
+  // The pool's activity counters run since process start; window them
+  // to this run. Only the pooled configuration touches the pool at all.
+  const bool Pooled = Options.Threads > 1;
+  ThreadPool::ActivitySnapshot Before;
+  if (Pooled)
+    Before = ThreadPool::global().activitySnapshot();
+
+  const uint64_t T0 = obs::nowNs();
   BodyPlan->exec(*Ctx);
+  const uint64_t T1 = obs::nowNs();
+  if (Ctx->TraceOn)
+    obs::emitSpan("execute", "phase", T0, T1 - T0);
+
+  // Build the report before flushCounters zeroes the context's local
+  // deltas: the report carries exactly this run's counters even with
+  // concurrent executors flushing into the shared globals.
+  Report.Phases.clear();
+  Report.Phases.push_back({"materialize", MaterializeNs});
+  Report.Phases.push_back({"plan-compile", PlanCompileNs});
+  Report.Phases.push_back({"specialize", SpecializeNs});
+  Report.Phases.push_back({"execute", T1 - T0});
+  Report.Phases.push_back({"merge", Ctx->MergeNs});
+  Report.Loops = LoopMeta;
+  for (size_t L = 0; L < Report.Loops.size() && L < Ctx->LoopCalls.size();
+       ++L) {
+    Report.Loops[L].Calls = Ctx->LoopCalls[L];
+    Report.Loops[L].Ns = Ctx->LoopNs[L];
+  }
+  Report.Workers.clear();
+  if (Pooled) {
+    const ThreadPool::ActivitySnapshot After =
+        ThreadPool::global().activitySnapshot();
+    for (size_t W = 0; W < After.Workers.size(); ++W) {
+      const ThreadPool::ActivityCounters B =
+          W < Before.Workers.size() ? Before.Workers[W]
+                                    : ThreadPool::ActivityCounters{};
+      Report.Workers.push_back(windowWorker(
+          "worker-" + std::to_string(W), After.Workers[W], B));
+    }
+    Report.Workers.push_back(
+        windowWorker("caller", After.Callers, Before.Callers));
+  }
+  Report.Counters = Ctx->Local;
+  Report.Options = execOptionsSummary(Options);
+
   flushCounters(*Ctx);
 }
 
@@ -710,7 +858,25 @@ void Executor::runEpilogue() {
   if (!EpiloguePlan)
     return;
   Ctx->CountersOn = countersEnabled();
+  Ctx->TraceOn = obs::tracingEnabled();
+  const uint64_t T0 = obs::nowNs();
   EpiloguePlan->exec(*Ctx);
+  const uint64_t T1 = obs::nowNs();
+  if (Ctx->TraceOn)
+    obs::emitSpan("epilogue", "phase", T0, T1 - T0);
+  // Extend the body's report: append the epilogue phase, refresh the
+  // loop aggregates (epilogue loops kept accumulating into the same
+  // vectors), update merge time, and fold in the epilogue's counters.
+  Report.Phases.push_back({"epilogue", T1 - T0});
+  for (obs::PhaseStat &P : Report.Phases)
+    if (P.Name == "merge")
+      P.Ns = Ctx->MergeNs;
+  for (size_t L = 0; L < Report.Loops.size() && L < Ctx->LoopCalls.size();
+       ++L) {
+    Report.Loops[L].Calls = Ctx->LoopCalls[L];
+    Report.Loops[L].Ns = Ctx->LoopNs[L];
+  }
+  obs::addCounters(Report.Counters, Ctx->Local);
   flushCounters(*Ctx);
 }
 

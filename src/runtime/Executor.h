@@ -21,6 +21,7 @@
 #define SYSTEC_RUNTIME_EXECUTOR_H
 
 #include "ir/Kernel.h"
+#include "observability/Report.h"
 #include "parallel/Schedule.h"
 #include "tensor/Tensor.h"
 
@@ -92,6 +93,13 @@ struct ExecOptions {
   /// (workspace flushes under sparse-topped formats) and accepts
   /// unsound ones (additive bodies over non-annihilating fills).
   bool AnnihilationAlgebra = true;
+  /// Emit execution trace spans (observability/Trace.h): prepare()
+  /// turns the process-wide tracing flag on, after which this executor
+  /// (and anything else running) records phase, plan-loop, and pool
+  /// wait/execute spans exportable as Chrome trace JSON. Orthogonal to
+  /// lastReport(), which is populated on every run regardless — with
+  /// tracing off only the per-loop call/time aggregates stay zero.
+  bool Tracing = false;
 };
 
 /// Result of the plan-specialization pass for one prepared executor
@@ -193,6 +201,12 @@ public:
   /// fused micro-kernels vs. the generic interpreter.
   const MicroKernelStats &microKernelStats() const { return MKStats; }
 
+  /// The structured report of the most recent runBody() (extended by a
+  /// following runEpilogue()): phase timings, per-loop engine/driver
+  /// aggregates, per-worker wait/execute activity, and the run's exact
+  /// counter deltas. Valid until the next run of this executor.
+  const obs::ExecReport &lastReport() const { return Report; }
+
 private:
   friend class PlanCompiler;
 
@@ -206,6 +220,17 @@ private:
   std::unique_ptr<detail::ExecCtx> Ctx;
   MicroKernelStats MKStats;
   bool Prepared = false;
+
+  /// Report of the most recent run (see lastReport()).
+  obs::ExecReport Report;
+  /// Prepare-phase timings, repeated into every run's report.
+  uint64_t MaterializeNs = 0;
+  uint64_t PlanCompileNs = 0;
+  uint64_t SpecializeNs = 0;
+  /// Per plan-loop (indexed by trace id) label/engine/driver metadata
+  /// recorded at plan compilation; cloned into each report with the
+  /// run's call/time aggregates filled in.
+  std::vector<obs::LoopStat> LoopMeta;
 };
 
 } // namespace systec

@@ -2,6 +2,7 @@
 
 #include "runtime/Plan.h"
 
+#include "observability/Trace.h"
 #include "parallel/ThreadPool.h"
 #include "runtime/MicroKernels.h"
 #include "support/Error.h"
@@ -259,8 +260,16 @@ void PlanLoop::execParallel(ExecCtx &C, int64_t Lo, int64_t Hi) {
     Par.TaskCtx[T] = C;
     // Counter deltas are per task: zero after the copy and sum in task
     // order after the join (the parent keeps its own accumulated
-    // deltas).
+    // deltas). The per-loop trace aggregates follow the same
+    // discipline.
     Par.TaskCtx[T].Local = CounterSnapshot{};
+    if (C.TraceOn) {
+      std::fill(Par.TaskCtx[T].LoopCalls.begin(),
+                Par.TaskCtx[T].LoopCalls.end(), uint64_t(0));
+      std::fill(Par.TaskCtx[T].LoopNs.begin(),
+                Par.TaskCtx[T].LoopNs.end(), uint64_t(0));
+      Par.TaskCtx[T].MergeNs = 0;
+    }
   }
   for (unsigned T = 0; T < NT; ++T)
     for (const PrivScalar &S : Par.PrivScalars)
@@ -286,6 +295,7 @@ void PlanLoop::execParallel(ExecCtx &C, int64_t Lo, int64_t Hi) {
   // determines the floating-point result. Accumulators reset to the
   // identity in the same sweep, restoring the between-runs invariant
   // without a separate fill pass.
+  const uint64_t MergeStart = obs::nowNs();
   for (unsigned T = 0; T < NT; ++T) {
     C.Local.SparseReads += Par.TaskCtx[T].Local.SparseReads;
     C.Local.Reductions += Par.TaskCtx[T].Local.Reductions;
@@ -294,6 +304,16 @@ void PlanLoop::execParallel(ExecCtx &C, int64_t Lo, int64_t Hi) {
     C.Local.FusedBlockedPanels += Par.TaskCtx[T].Local.FusedBlockedPanels;
     C.Local.FusedBlockedStores += Par.TaskCtx[T].Local.FusedBlockedStores;
   }
+  if (C.TraceOn)
+    for (unsigned T = 0; T < NT; ++T) {
+      const ExecCtx &TC = Par.TaskCtx[T];
+      for (size_t L = 0; L < C.LoopCalls.size() &&
+                         L < TC.LoopCalls.size(); ++L) {
+        C.LoopCalls[L] += TC.LoopCalls[L];
+        C.LoopNs[L] += TC.LoopNs[L];
+      }
+      C.MergeNs += TC.MergeNs;
+    }
   for (const PrivScalar &S : Par.PrivScalars)
     for (unsigned T = 0; T < NT; ++T)
       C.ScalarVal[S.Slot] = evalOp(S.Op, C.ScalarVal[S.Slot],
@@ -317,9 +337,46 @@ void PlanLoop::execParallel(ExecCtx &C, int64_t Lo, int64_t Hi) {
           }
         });
   }
+  const uint64_t MergeEnd = obs::nowNs();
+  C.MergeNs += MergeEnd - MergeStart;
+  if (obs::tracingEnabled())
+    obs::emitSpan("merge", "exec", MergeStart, MergeEnd - MergeStart,
+                  static_cast<int64_t>(NT), static_cast<int64_t>(NPriv));
 }
 
+namespace {
+/// Depth of traced plan-loop dispatches on this thread. Raw spans are
+/// emitted only at depth 0 (the outermost loop of each dispatch — on a
+/// worker thread, the parallel chunk it executes); inner loops are
+/// covered by the per-loop Calls/Ns aggregates, which keeps trace
+/// volume proportional to chunks rather than iterations.
+thread_local unsigned LoopSpanDepth = 0;
+} // namespace
+
 void PlanLoop::execRange(ExecCtx &C, int64_t Lo, int64_t Hi) {
+  if (C.TraceOn) {
+    tracedRange(C, Lo, Hi);
+    return;
+  }
+  rangeBody(C, Lo, Hi);
+}
+
+void PlanLoop::tracedRange(ExecCtx &C, int64_t Lo, int64_t Hi) {
+  const uint64_t T0 = obs::nowNs();
+  const bool Raw = LoopSpanDepth == 0;
+  ++LoopSpanDepth;
+  rangeBody(C, Lo, Hi);
+  --LoopSpanDepth;
+  const uint64_t Dur = obs::nowNs() - T0;
+  if (Raw && TraceLabel && obs::tracingEnabled())
+    obs::emitSpan(TraceLabel, "loop", T0, Dur, Lo, Hi);
+  if (TraceId < C.LoopCalls.size()) {
+    ++C.LoopCalls[TraceId];
+    C.LoopNs[TraceId] += Dur;
+  }
+}
+
+void PlanLoop::rangeBody(ExecCtx &C, int64_t Lo, int64_t Hi) {
   if (Fused) {
     Fused->run(C, Lo, Hi);
     return;

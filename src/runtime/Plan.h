@@ -75,6 +75,20 @@ struct ExecCtx {
   /// global atomics once per run (or summed into the parent context
   /// after a parallel loop).
   CounterSnapshot Local;
+  /// Snapshot of obs::tracingEnabled() taken once per run, exactly
+  /// like CountersOn: plan-loop instrumentation branches on this plain
+  /// bool instead of the process-wide atomic.
+  bool TraceOn = false;
+  /// Per-plan-loop execution aggregates, indexed by PlanLoop::TraceId
+  /// (sized by the plan compiler, written only when TraceOn, merged in
+  /// task order after parallel loops like the counters). These cover
+  /// inner loops, whose raw trace spans are suppressed to keep event
+  /// volume bounded.
+  std::vector<uint64_t> LoopCalls, LoopNs;
+  /// Nanoseconds spent merging privatized accumulators and task
+  /// deltas after parallel loops (always collected; a subset of the
+  /// run's execute time).
+  uint64_t MergeNs = 0;
 };
 
 /// A compiled comparison between two index slots.
@@ -286,9 +300,25 @@ public:
   };
   ParPlan Par;
 
+  /// Observability identity, assigned at plan compilation: TraceId
+  /// indexes ExecCtx::LoopCalls/LoopNs; TraceLabel is the interned
+  /// span name ("loop i [Fused/SparseWalk]"); EngineName/DriverName
+  /// ("Interp"/"Fused"/"Blocked", "Range"/"SparseWalk"/...) surface in
+  /// ExecReport.
+  unsigned TraceId = 0;
+  const char *TraceLabel = nullptr;
+  const char *EngineName = nullptr;
+  const char *DriverName = nullptr;
+
   void exec(ExecCtx &C) override;
   void execParallel(ExecCtx &C, int64_t Lo, int64_t Hi);
+  /// Dispatch for one contiguous range: forwards to rangeBody, via
+  /// tracedRange (span + aggregate accounting) when C.TraceOn.
   void execRange(ExecCtx &C, int64_t Lo, int64_t Hi);
+  void tracedRange(ExecCtx &C, int64_t Lo, int64_t Hi);
+  /// The actual engine dispatch (fused micro-kernel or walker-driven
+  /// interpretation), free of instrumentation.
+  void rangeBody(ExecCtx &C, int64_t Lo, int64_t Hi);
   std::vector<ChunkRange> makeChunks(int64_t Lo, int64_t Hi) const;
 };
 

@@ -12,6 +12,7 @@
 #include "core/Compiler.h"
 #include "data/Generators.h"
 #include "kernels/Kernels.h"
+#include "observability/Trace.h"
 #include "parallel/ParallelAnalysis.h"
 #include "parallel/Schedule.h"
 #include "parallel/ThreadPool.h"
@@ -22,9 +23,22 @@
 
 #include <atomic>
 #include <cmath>
+#include <cstdlib>
 #include <numeric>
 
 using namespace systec;
+
+namespace {
+// The tsan_smoke target reruns the ThreadPool suite with
+// SYSTEC_TSAN_TRACE=1: tracing stays on for the whole binary, so the
+// sanitizer exercises the trace buffers' single-writer append and
+// release/acquire publish protocol under real pool contention.
+[[maybe_unused]] const bool TraceEnvHook = [] {
+  if (std::getenv("SYSTEC_TSAN_TRACE"))
+    obs::setTracingEnabled(true);
+  return true;
+}();
+} // namespace
 
 //===----------------------------------------------------------------------===//
 // ThreadPool

@@ -11,11 +11,14 @@
 #include "core/Compiler.h"
 #include "data/Generators.h"
 #include "kernels/Kernels.h"
+#include "observability/Trace.h"
 #include "runtime/Executor.h"
 #include "support/Counters.h"
 #include "support/Random.h"
 
 #include <gtest/gtest.h>
+
+#include <algorithm>
 
 using namespace systec;
 
@@ -486,4 +489,54 @@ TEST(PerfSmoke, BlockedOutputEngineCoversSsyrkAndSpmm) {
       }
     }
   }
+}
+
+TEST(PerfSmoke, TracingOverheadBounded) {
+  // The observability layer's cost pin. Two claims: (1) with tracing
+  // off, a run emits zero trace events (the disabled path is a single
+  // relaxed-atomic branch, asserted structurally here and by ratio in
+  // bench_check's tracing-off gate against the checked-in baseline);
+  // (2) even with tracing *on*, a paper kernel's body stays within a
+  // generous multiple of its untraced time — spans are per loop
+  // dispatch and per pool task, never per element. Medians of several
+  // runs and an absolute slack keep this stable on 1-core CI.
+  Rng R(20260801);
+  const int64_t N = 1000;
+  Tensor A = generateSymmetricTensor(2, N, 8 * N, R, TensorFormat::csf(2));
+  Tensor X = generateDenseVector(N, R);
+  Tensor Y = Tensor::dense({N});
+  CompileResult C = compileEinsum(makeSsymv());
+  Executor E(C.Optimized);
+  E.bind("A", &A).bind("x", &X).bind("y", &Y);
+  E.prepare();
+
+  auto MedianMs = [&] {
+    std::vector<double> Ms;
+    for (int I = 0; I < 7; ++I) {
+      Y.setAllValues(0.0);
+      const uint64_t T0 = obs::nowNs();
+      E.runBody();
+      Ms.push_back((obs::nowNs() - T0) / 1e6);
+    }
+    std::sort(Ms.begin(), Ms.end());
+    return Ms[Ms.size() / 2];
+  };
+
+  setCountersEnabled(false); // match the bench methodology
+  ASSERT_FALSE(obs::tracingEnabled());
+  const uint64_t EventsBefore = obs::traceEventCount();
+  const double OffMs = MedianMs();
+  EXPECT_EQ(obs::traceEventCount(), EventsBefore)
+      << "tracing-off runs must emit zero trace events";
+
+  obs::setTracingEnabled(true);
+  const double OnMs = MedianMs();
+  obs::setTracingEnabled(false);
+  setCountersEnabled(true);
+  EXPECT_GT(obs::traceEventCount(), EventsBefore)
+      << "tracing-on runs must emit spans";
+
+  EXPECT_LE(OnMs, OffMs * 8.0 + 5.0)
+      << "traced run " << OnMs << " ms vs untraced " << OffMs
+      << " ms: span emission has grown into the hot path";
 }

@@ -55,6 +55,49 @@ def speedup_table(records):
     return table
 
 
+def phase_table(records):
+    """(kernel, workload, impl) -> phases_ms dict, when records carry
+    the observability attachment (records written before the tracing
+    layer simply have no breakdown)."""
+    table = {}
+    for rec in records:
+        phases = rec.get("phases_ms")
+        if isinstance(phases, dict):
+            key = (rec.get("kernel"), rec.get("workload"), rec.get("impl"))
+            table[key] = phases
+    return table
+
+
+def print_phase_breakdown(fresh_records, keys):
+    """Per-phase timing summary next to the ratio table: where each
+    configuration's time goes (one instrumented run, not the timed
+    average), so a ratio delta points at a phase instead of a rerun."""
+    phases = phase_table(fresh_records)
+    if not phases:
+        return
+    names = []
+    for p in phases.values():
+        for name in p:
+            if name not in names:
+                names.append(name)
+    header = f"{'kernel':<10} {'workload':<18} {'impl':<7}" + "".join(
+        f" {n:>12}" for n in names
+    )
+    print(f"\nper-phase breakdown (ms, one instrumented run):")
+    print(header)
+    print("-" * len(header))
+    for kernel, workload in keys:
+        for impl in ("interp", "fused"):
+            p = phases.get((kernel, workload, impl))
+            if p is None:
+                continue
+            cells = "".join(
+                f" {p[n]:>12.4f}" if n in p else f" {'---':>12}"
+                for n in names
+            )
+            print(f"{kernel:<10} {workload:<18} {impl:<7}{cells}")
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     repo_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
@@ -79,7 +122,8 @@ def main():
     args = parser.parse_args()
 
     try:
-        fresh = speedup_table(load_records(args.fresh))
+        fresh_records = load_records(args.fresh)
+        fresh = speedup_table(fresh_records)
         base = speedup_table(load_records(args.baseline))
     except (OSError, ValueError, json.JSONDecodeError) as err:
         print(f"bench_check: {err}", file=sys.stderr)
@@ -112,6 +156,8 @@ def main():
     for key in sorted(set(fresh) - set(base)):
         kernel, workload = key
         print(f"{kernel:<10} {workload:<18} {'---':>9} {fresh[key]:>8.2f}x {'---':>8}  new")
+
+    print_phase_breakdown(fresh_records, sorted(set(base) | set(fresh)))
 
     if regressions:
         print("\nbench_check: FAIL", file=sys.stderr)
