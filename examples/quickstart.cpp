@@ -63,5 +63,36 @@ int main() {
   std::printf("optimized reads of A: %llu  (expect about half)\n",
               static_cast<unsigned long long>(OptReads));
   std::printf("max |y_naive - y_opt|: %.3e\n", Diff);
-  return Diff < 1e-9 ? 0 : 1;
+
+  // 6. The recoverable error surface (docs/ROBUSTNESS.md): anything
+  //    malformed that comes from *client input* is a typed Status, not
+  //    an abort. A COO entry outside the declared extent:
+  Coo Bad({3, 3});
+  Bad.add({2, 5}, 1.0); // column 5 in a 3x3 matrix
+  Expected<Tensor> Rejected = Tensor::tryFromCoo(std::move(Bad),
+                                                 TensorFormat::csf(2));
+  std::printf("malformed COO -> %s\n", Rejected.status().str().c_str());
+
+  // 7. Cooperative cancellation: a pre-cancelled token makes the run
+  //    abort deterministically with ErrCode::Cancelled before any
+  //    output is written; the token is reusable after reset().
+  CancelToken Stop;
+  Stop.cancel();
+  ExecOptions Opts;
+  Opts.Cancel = &Stop;
+  Tensor YCancelled = Tensor::dense({2000});
+  Executor Cancelled(R.Optimized, Opts);
+  Cancelled.bind("A", &A).bind("x", &X).bind("y", &YCancelled);
+  Status Prep = Cancelled.tryPrepare();
+  Status Run = Prep.ok() ? Cancelled.tryRun() : Status::success();
+  std::printf("cancelled run  -> %s (abort reason: %s)\n",
+              Run.str().c_str(),
+              Cancelled.lastReport().AbortReason.c_str());
+
+  const bool RobustnessOk = !Rejected.ok() &&
+                            Rejected.status().code() ==
+                                ErrCode::InvalidArgument &&
+                            Prep.ok() && !Run.ok() &&
+                            Run.code() == ErrCode::Cancelled;
+  return Diff < 1e-9 && RobustnessOk ? 0 : 1;
 }

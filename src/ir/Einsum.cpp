@@ -3,6 +3,7 @@
 #include "ir/Einsum.h"
 
 #include "support/Error.h"
+#include "support/Status.h"
 #include "support/StringUtils.h"
 
 #include <algorithm>
@@ -142,12 +143,15 @@ std::string Einsum::str() const {
 
 namespace {
 
-/// Minimal recursive-descent parser for einsum text.
+/// Minimal recursive-descent parser for einsum text. The first syntax
+/// error is recorded in Err and parsing short-circuits to termination
+/// (every production bails out when Err is set), so parse() reports it
+/// as a Status instead of aborting mid-descent.
 class EinsumParser {
 public:
   EinsumParser(const std::string &Text) : Text(Text) {}
 
-  Einsum parse(const std::string &Name) {
+  Expected<Einsum> parse(const std::string &Name) {
     Einsum E;
     E.Name = Name;
     ExprPtr Out = parseAccess();
@@ -155,9 +159,10 @@ public:
     E.ReduceOp = parseReduceTok();
     E.Rhs = parseAdditive();
     skipSpace();
-    if (Pos != Text.size())
-      fatalError("einsum syntax: trailing input at '" + Text.substr(Pos) +
-                 "'");
+    if (Err.ok() && Pos != Text.size())
+      fail("einsum syntax: trailing input at '" + Text.substr(Pos) + "'");
+    if (!Err.ok())
+      return std::move(Err);
     E.Output = Out;
     // Auto-declare tensors densely; clients refine formats afterwards.
     declareFrom(E, Out, /*IsOutput=*/true);
@@ -165,6 +170,8 @@ public:
     Expr::collectAccesses(E.Rhs, Accesses);
     for (const ExprPtr &A : Accesses)
       declareFrom(E, A, /*IsOutput=*/false);
+    if (!Err.ok())
+      return std::move(Err);
     // Default loop order: contraction indices then output indices,
     // outermost-first in reverse appearance order; clients usually
     // override.
@@ -174,12 +181,19 @@ public:
   }
 
 private:
+  /// Records the first error; later failures keep it (the root cause).
+  void fail(const std::string &Message) {
+    if (Err.ok())
+      Err = Status::error(ErrCode::InvalidArgument, Message);
+  }
+
   void declareFrom(Einsum &E, const ExprPtr &A, bool IsOutput) {
     auto It = E.Decls.find(A->tensorName());
     if (It != E.Decls.end()) {
-      if (It->second.Order != A->indices().size())
-        fatalError("tensor " + A->tensorName() +
-                   " used with inconsistent arity");
+      if (It->second.Order != A->indices().size()) {
+        fail("tensor " + A->tensorName() + " used with inconsistent arity");
+        return;
+      }
       It->second.IsOutput |= IsOutput;
       return;
     }
@@ -205,37 +219,51 @@ private:
   }
 
   std::string parseIdent() {
+    if (!Err.ok())
+      return "";
     skipSpace();
     size_t Start = Pos;
     while (Pos < Text.size() &&
            (std::isalnum(static_cast<unsigned char>(Text[Pos])) ||
             Text[Pos] == '_'))
       ++Pos;
-    if (Pos == Start)
-      fatalError("einsum syntax: expected identifier at '" +
-                 Text.substr(Start) + "'");
+    if (Pos == Start) {
+      fail("einsum syntax: expected identifier at '" + Text.substr(Start) +
+           "'");
+      return "";
+    }
     return Text.substr(Start, Pos - Start);
   }
 
   ExprPtr parseAccess() {
     std::string Tensor = parseIdent();
-    if (!consume("["))
-      fatalError("einsum syntax: expected '[' after " + Tensor);
+    if (!Err.ok())
+      return Expr::lit(0);
+    if (!consume("[")) {
+      fail("einsum syntax: expected '[' after " + Tensor);
+      return Expr::lit(0);
+    }
     std::vector<std::string> Indices;
     skipSpace();
     if (!consume("]")) {
       while (true) {
         Indices.push_back(parseIdent());
+        if (!Err.ok())
+          return Expr::lit(0);
         if (consume("]"))
           break;
-        if (!consume(","))
-          fatalError("einsum syntax: expected ',' or ']' in access");
+        if (!consume(",")) {
+          fail("einsum syntax: expected ',' or ']' in access");
+          return Expr::lit(0);
+        }
       }
     }
     return Expr::access(std::move(Tensor), std::move(Indices));
   }
 
   OpKind parseReduceTok() {
+    if (!Err.ok())
+      return OpKind::Add;
     if (consume("+="))
       return OpKind::Add;
     if (consume("*="))
@@ -246,13 +274,14 @@ private:
       return OpKind::Max;
     if (consume("="))
       return OpKind::Add; // plain '=' treated as += into a zero output
-    fatalError("einsum syntax: expected an assignment operator");
+    fail("einsum syntax: expected an assignment operator");
+    return OpKind::Add;
   }
 
   ExprPtr parseAdditive() {
     ExprPtr Lhs = parseMultiplicative();
     std::vector<ExprPtr> Terms{Lhs};
-    while (consume("+"))
+    while (Err.ok() && consume("+"))
       Terms.push_back(parseMultiplicative());
     if (Terms.size() == 1)
       return Terms[0];
@@ -262,7 +291,7 @@ private:
   ExprPtr parseMultiplicative() {
     ExprPtr Lhs = parsePrimary();
     std::vector<ExprPtr> Factors{Lhs};
-    while (consume("*"))
+    while (Err.ok() && consume("*"))
       Factors.push_back(parsePrimary());
     if (Factors.size() == 1)
       return Factors[0];
@@ -270,6 +299,8 @@ private:
   }
 
   ExprPtr parsePrimary() {
+    if (!Err.ok())
+      return Expr::lit(0);
     skipSpace();
     if (Pos < Text.size() &&
         (std::isdigit(static_cast<unsigned char>(Text[Pos])) ||
@@ -279,26 +310,37 @@ private:
              (std::isdigit(static_cast<unsigned char>(Text[End])) ||
               Text[End] == '.' || Text[End] == 'e' || Text[End] == '-'))
         ++End;
-      double Value = std::stod(Text.substr(Pos, End - Pos));
+      // stod throws on tokens the scan accepts but the grammar does not
+      // ("1e-", ".e"); the library is exception-free, so translate.
+      double Value = 0;
+      try {
+        Value = std::stod(Text.substr(Pos, End - Pos));
+      } catch (...) {
+        fail("einsum syntax: invalid numeric literal '" +
+             Text.substr(Pos, End - Pos) + "'");
+        return Expr::lit(0);
+      }
       Pos = End;
       return Expr::lit(Value);
     }
     if (consume("(")) {
       ExprPtr E = parseAdditive();
-      if (!consume(")"))
-        fatalError("einsum syntax: expected ')'");
+      if (Err.ok() && !consume(")"))
+        fail("einsum syntax: expected ')'");
       return E;
     }
     // "min(" / "max(" calls, else a tensor access.
     size_t Save = Pos;
     std::string Ident = parseIdent();
+    if (!Err.ok())
+      return Expr::lit(0);
     if ((Ident == "min" || Ident == "max") && consume("(")) {
       std::vector<ExprPtr> Args;
       Args.push_back(parseAdditive());
-      while (consume(","))
+      while (Err.ok() && consume(","))
         Args.push_back(parseAdditive());
-      if (!consume(")"))
-        fatalError("einsum syntax: expected ')' after " + Ident);
+      if (Err.ok() && !consume(")"))
+        fail("einsum syntax: expected ')' after " + Ident);
       return Expr::call(Ident == "min" ? OpKind::Min : OpKind::Max,
                         std::move(Args));
     }
@@ -308,12 +350,24 @@ private:
 
   const std::string &Text;
   size_t Pos = 0;
+  Status Err = Status::success();
 };
 
 } // namespace
 
 Einsum parseEinsum(const std::string &Name, const std::string &Text) {
-  return EinsumParser(Text).parse(Name);
+  Expected<Einsum> E = tryParseEinsum(Name, Text);
+  if (!E)
+    fatalError(E.status().str());
+  return std::move(*E);
+}
+
+Expected<Einsum> tryParseEinsum(const std::string &Name,
+                                const std::string &Text) {
+  Expected<Einsum> E = EinsumParser(Text).parse(Name);
+  if (!E)
+    return E.takeStatus().withContext("einsum '" + Name + "'");
+  return E;
 }
 
 std::map<std::string, std::vector<std::pair<std::string, unsigned>>>

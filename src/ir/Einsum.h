@@ -14,6 +14,7 @@
 #define SYSTEC_IR_EINSUM_H
 
 #include "ir/Expr.h"
+#include "support/Status.h"
 #include "symmetry/Partition.h"
 
 #include <map>
@@ -99,8 +100,15 @@ struct Einsum {
 /// The rhs supports `+` and `*` with usual precedence, `min(a,b)` /
 /// `max(a,b)` calls, numeric literals, and tensor accesses. Tensors are
 /// auto-declared with dense formats; callers adjust formats and
-/// symmetries afterwards. Aborts on syntax errors (tool input).
+/// symmetries afterwards. Aborts on syntax errors (tool input); use
+/// tryParseEinsum when the text comes from a client.
 Einsum parseEinsum(const std::string &Name, const std::string &Text);
+
+/// Status-returning variant of parseEinsum: syntax errors (including
+/// inconsistent tensor arity) come back as ErrCode::InvalidArgument
+/// with the offending token in the message, never an abort.
+Expected<Einsum> tryParseEinsum(const std::string &Name,
+                                const std::string &Text);
 
 /// Infers each index's dimension sites: tensor/mode pairs where the
 /// index appears, used by harnesses to check shape agreement.

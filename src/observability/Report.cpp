@@ -85,7 +85,10 @@ std::string ExecReport::toJson() const {
       Out += ',';
   }
   Out += "],\"counters\":" + counterJson(Counters) + ",\"options\":\"" +
-         Options + "\"}";
+         Options + "\"";
+  if (!AbortReason.empty())
+    Out += ",\"abort_reason\":\"" + AbortReason + "\"";
+  Out += '}';
   return Out;
 }
 

@@ -71,6 +71,12 @@ struct ExecReport {
   /// bleed into each other).
   CounterSnapshot Counters;
   std::string Options; ///< execOptionsSummary() of the run's options
+  /// Empty on a completed run; the errCodeName() of the stop reason
+  /// ("cancelled", "deadline-exceeded") when the run was aborted.
+  /// Deliberately excluded from structureKey(): whether a deadline
+  /// fired is timing-dependent, and the key must stay invariant across
+  /// Threads/Schedule for a fixed plan.
+  std::string AbortReason;
 
   /// Ns of the named phase; 0 when absent.
   uint64_t phaseNs(const std::string &Name) const;

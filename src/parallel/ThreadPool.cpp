@@ -85,6 +85,13 @@ void ThreadPool::workerLoop(unsigned Id, ActivitySlot &Slot) {
     for (unsigned T = B->Next.fetch_add(1, std::memory_order_relaxed);
          T < B->Tasks;
          T = B->Next.fetch_add(1, std::memory_order_relaxed)) {
+      // A tripped stop predicate drains the index without running the
+      // body; it still counts as finished below (Pending accounting
+      // requires every claimed index reported exactly once).
+      if (B->Stop && (*B->Stop)()) {
+        ++Finished;
+        continue;
+      }
       const uint64_t T0 = obs::nowNs();
       (*B->Fn)(T);
       const uint64_t T1 = obs::nowNs();
@@ -111,6 +118,10 @@ unsigned ThreadPool::runTasks(Batch &B,
   unsigned Finished = 0;
   for (unsigned T = B.Next.fetch_add(1, std::memory_order_relaxed);
        T < B.Tasks; T = B.Next.fetch_add(1, std::memory_order_relaxed)) {
+    if (B.Stop && (*B.Stop)()) {
+      ++Finished;
+      continue;
+    }
     const uint64_t T0 = obs::nowNs();
     Fn(T);
     const uint64_t T1 = obs::nowNs();
@@ -124,7 +135,8 @@ unsigned ThreadPool::runTasks(Batch &B,
 }
 
 void ThreadPool::parallelFor(unsigned Tasks,
-                             const std::function<void(unsigned)> &Fn) {
+                             const std::function<void(unsigned)> &Fn,
+                             const std::function<bool()> *Stop) {
   if (Tasks == 0)
     return;
   if (Tasks == 1 || workerCount() == 0 || InPoolTask) {
@@ -132,12 +144,16 @@ void ThreadPool::parallelFor(unsigned Tasks,
     // Nested calls keep their time out of the caller slot — it is
     // already inside an accounted task of the enclosing batch.
     if (InPoolTask) {
-      for (unsigned T = 0; T < Tasks; ++T)
+      for (unsigned T = 0; T < Tasks; ++T) {
+        if (Stop && (*Stop)())
+          break;
         Fn(T);
+      }
       return;
     }
     Batch B;
     B.Fn = &Fn;
+    B.Stop = Stop;
     B.Tasks = Tasks;
     runTasks(B, Fn);
     return;
@@ -145,6 +161,7 @@ void ThreadPool::parallelFor(unsigned Tasks,
   std::lock_guard<std::mutex> SubmitLock(SubmitMu);
   auto B = std::make_shared<Batch>();
   B->Fn = &Fn;
+  B->Stop = Stop;
   B->Tasks = Tasks;
   B->OpenNs = obs::nowNs();
   {

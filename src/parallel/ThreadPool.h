@@ -84,7 +84,20 @@ public:
   /// thread; returns when every task has finished. Task order is
   /// unspecified; each index runs exactly once. Concurrent calls from
   /// different threads serialize on a submission lock.
-  void parallelFor(unsigned Tasks, const std::function<void(unsigned)> &Fn);
+  void parallelFor(unsigned Tasks, const std::function<void(unsigned)> &Fn) {
+    parallelFor(Tasks, Fn, nullptr);
+  }
+
+  /// parallelFor with a cooperative stop predicate, polled at every
+  /// task-claim boundary: once \p Stop returns true, remaining
+  /// unclaimed indices are drained without invoking Fn (tasks already
+  /// inside Fn run to completion — cancellation never interrupts a
+  /// body mid-flight). Drained indices still count toward batch
+  /// completion, so the call returns normally. \p Stop must stay valid
+  /// until the call returns and be safe to invoke from any participant
+  /// thread; null behaves exactly like the two-argument overload.
+  void parallelFor(unsigned Tasks, const std::function<void(unsigned)> &Fn,
+                   const std::function<bool()> *Stop);
 
   /// Copies every participant's activity counters. Safe to call while
   /// batches run (counters are atomics; histograms are read under
@@ -106,6 +119,9 @@ private:
   /// the batch it saw instead of misinterpreting a newer batch's state.
   struct Batch {
     const std::function<void(unsigned)> *Fn = nullptr;
+    /// Optional cancellation predicate; claimed indices are drained
+    /// (counted finished, Fn skipped) once it fires.
+    const std::function<bool()> *Stop = nullptr;
     unsigned Tasks = 0;
     std::atomic<unsigned> Next{0};
     uint64_t OpenNs = 0; ///< obs::nowNs() at submission (wait anchor)

@@ -13,7 +13,9 @@
 
 #include <algorithm>
 #include <cassert>
+#include <functional>
 #include <set>
+#include <thread>
 
 namespace systec {
 
@@ -43,6 +45,7 @@ public:
     E.Ctx->OutPtr.resize(OutTensors.size());
     for (size_t Id = 0; Id < OutTensors.size(); ++Id)
       E.Ctx->OutPtr[Id] = OutTensors[Id]->vals().data();
+    E.Outputs = OutTensors;
     E.Ctx->LoopCalls.assign(NextTraceId, 0);
     E.Ctx->LoopNs.assign(NextTraceId, 0);
     E.MKStats = Stats;
@@ -380,6 +383,10 @@ private:
     }
     if (PrivElems * TaskCount > E.Options.PrivatizationBudget)
       return false; // too much accumulator memory; try an inner loop
+    if (E.Options.MemoryBudgetBytes &&
+        PrivElems * TaskCount * sizeof(double) > E.Options.MemoryBudgetBytes)
+      return false; // hard resource ceiling; degrade to an inner
+                    // disjoint-write loop instead of allocating
     std::vector<PlanLoop::PrivScalar> PrivS;
     for (const auto &[Name, Op] : LP.ScalarMergeOps)
       PrivS.push_back(PlanLoop::PrivScalar{scalarSlot(Name), Op,
@@ -681,6 +688,16 @@ std::string execOptionsSummary(const ExecOptions &O) {
   Out += std::string(" lift=") + (O.EnableBoundLifting ? "on" : "off");
   Out += std::string(" algebra=") + (O.AnnihilationAlgebra ? "on" : "off");
   Out += " privbudget=" + std::to_string(O.PrivatizationBudget);
+  Out += std::string(" validate=") +
+         (O.ValidateInputs == ValidationLevel::None      ? "none"
+          : O.ValidateInputs == ValidationLevel::Shallow ? "shallow"
+                                                         : "deep");
+  if (O.DeadlineMs > 0)
+    Out += " deadline_ms=" + std::to_string(O.DeadlineMs);
+  if (O.Cancel)
+    Out += " cancel=on";
+  if (O.MemoryBudgetBytes)
+    Out += " membudget=" + std::to_string(O.MemoryBudgetBytes);
   Out += std::string(" tracing=") + (O.Tracing ? "on" : "off");
   return Out;
 }
@@ -703,7 +720,201 @@ Tensor *Executor::lookup(const std::string &Name) const {
 }
 
 void Executor::prepare() {
-  assert(!Prepared && "prepare called twice");
+  if (Status S = tryPrepare(); !S.ok())
+    fatalError(S.str());
+}
+
+Status Executor::sanitizeOptions() {
+  Clamps.clear();
+  if (Options.DeadlineMs < 0)
+    return Status::error(ErrCode::InvalidOptions,
+                         "DeadlineMs must be non-negative (got " +
+                             std::to_string(Options.DeadlineMs) + ")");
+  if (Options.Threads == 0) {
+    Clamps.push_back("threads 0 -> 1 (zero lanes cannot run)");
+    Options.Threads = 1;
+  }
+  unsigned HW = std::thread::hardware_concurrency();
+  if (HW == 0)
+    HW = 1;
+  const unsigned MaxThreads = HW * 4;
+  if (Options.Threads > MaxThreads) {
+    Clamps.push_back("threads " + std::to_string(Options.Threads) + " -> " +
+                     std::to_string(MaxThreads) +
+                     " (4x hardware concurrency)");
+    Options.Threads = MaxThreads;
+  }
+  // Widths 1..8 are all supported (the fuzz matrix exercises them);
+  // only out-of-engine values clamp. 0 stays: it means "pick at
+  // specialization".
+  if (Options.BlockWidth > 8) {
+    Clamps.push_back("blockwidth " + std::to_string(Options.BlockWidth) +
+                     " -> 8 (engine maximum)");
+    Options.BlockWidth = 8;
+  }
+  return Status::success();
+}
+
+Status Executor::validateKernel() const {
+  // Mirrors every malformed-input abort of plan compilation as a
+  // Status-returning pre-pass ("validate then trust"): once this pass
+  // accepts, the compiler's remaining fatalError sites are genuine
+  // internal invariants.
+  std::map<std::string, int64_t> Extents;
+  Status Err = Status::success();
+  auto Fail = [&Err](ErrCode C, const std::string &M) {
+    if (Err.ok())
+      Err = Status::error(C, M);
+  };
+
+  auto CheckAccesses = [&](const StmtPtr &Root) {
+    Stmt::walk(Root, [&](const StmtPtr &Node) {
+      std::vector<ExprPtr> Accesses;
+      if (Node->kind() == StmtKind::Assign) {
+        Expr::collectAccesses(Node->rhs(), Accesses);
+        if (Node->lhs()->kind() == ExprKind::Access)
+          Accesses.push_back(Node->lhs());
+      } else if (Node->kind() == StmtKind::DefScalar) {
+        Expr::collectAccesses(Node->rhs(), Accesses);
+      } else if (Node->kind() == StmtKind::Replicate) {
+        Tensor *T = lookup(Node->tensorName());
+        if (!T)
+          Fail(ErrCode::UnboundTensor, "kernel '" + K.Name +
+                                           "' replicates unbound tensor " +
+                                           Node->tensorName());
+        else if (!T->format().isAllDense())
+          Fail(ErrCode::InvalidArgument,
+               "replicate requires a dense output (tensor " +
+                   Node->tensorName() + " is " + T->format().str() + ")");
+      }
+      for (const ExprPtr &A : Accesses) {
+        Tensor *T = lookup(A->tensorName());
+        if (!T) {
+          Fail(ErrCode::UnboundTensor, "kernel '" + K.Name +
+                                           "' uses unbound tensor " +
+                                           A->tensorName());
+          continue;
+        }
+        if (A->indices().empty())
+          continue; // 0-d access: one-element dense tensor
+        if (T->order() != A->indices().size()) {
+          Fail(ErrCode::InvalidArgument,
+               "access " + A->str() + " arity mismatch (tensor " +
+                   A->tensorName() + " has order " +
+                   std::to_string(T->order()) + ")");
+          continue;
+        }
+        for (unsigned M = 0; M < A->indices().size(); ++M) {
+          const std::string &Idx = A->indices()[M];
+          auto [It, New] = Extents.insert({Idx, T->dim(M)});
+          if (!New && It->second != T->dim(M))
+            Fail(ErrCode::InvalidArgument,
+                 "index " + Idx + " has inconsistent extents (" +
+                     std::to_string(It->second) + " vs " +
+                     std::to_string(T->dim(M)) + " at " + A->str() + ")");
+        }
+      }
+      if (Node->kind() == StmtKind::Assign &&
+          Node->lhs()->kind() == ExprKind::Access) {
+        Tensor *T = lookup(Node->lhs()->tensorName());
+        if (T && !T->format().isAllDense())
+          Fail(ErrCode::InvalidArgument,
+               "output tensor " + Node->lhs()->tensorName() +
+                   " must be dense for writes");
+      }
+    });
+  };
+  CheckAccesses(K.Body);
+  if (K.Epilogue)
+    CheckAccesses(K.Epilogue);
+  if (!Err.ok())
+    return Err;
+
+  // Scoped checks: loop extents and condition bindability (a condition
+  // referencing indices no enclosing or inner loop ever binds cannot
+  // be placed anywhere).
+  auto AllBoundIn = [](const Cond &C, const std::set<std::string> &B) {
+    for (const Conj &D : C.disjuncts())
+      for (const CmpAtom &A : D.Atoms)
+        if (!B.count(A.Lhs) || !B.count(A.Rhs))
+          return false;
+    return true;
+  };
+  std::function<bool(const Cond &, const StmtPtr &, std::set<std::string> &)>
+      CondBindable = [&](const Cond &C, const StmtPtr &Body,
+                         std::set<std::string> &B) -> bool {
+    if (AllBoundIn(C, B))
+      return true;
+    switch (Body->kind()) {
+    case StmtKind::Loop: {
+      const bool New = B.insert(Body->loopIndex()).second;
+      const bool Ok = CondBindable(C, Body->body(), B);
+      if (New)
+        B.erase(Body->loopIndex());
+      return Ok;
+    }
+    case StmtKind::If:
+      return CondBindable(C, Body->body(), B);
+    case StmtKind::Block:
+      for (const StmtPtr &Child : Body->stmts())
+        if (!CondBindable(C, Child, B))
+          return false;
+      return true;
+    default:
+      return false;
+    }
+  };
+  std::function<void(const StmtPtr &, std::set<std::string> &)>
+      CheckStructure = [&](const StmtPtr &S, std::set<std::string> &B) {
+        switch (S->kind()) {
+        case StmtKind::Block:
+          for (const StmtPtr &Child : S->stmts())
+            CheckStructure(Child, B);
+          return;
+        case StmtKind::If:
+          if (!CondBindable(S->condition(), S->body(), B))
+            Fail(ErrCode::InvalidArgument,
+                 "condition references indices that are never bound");
+          CheckStructure(S->body(), B);
+          return;
+        case StmtKind::Loop: {
+          if (!Extents.count(S->loopIndex()))
+            Fail(ErrCode::InvalidArgument, "loop index " + S->loopIndex() +
+                                               " has no known extent");
+          const bool New = B.insert(S->loopIndex()).second;
+          CheckStructure(S->body(), B);
+          if (New)
+            B.erase(S->loopIndex());
+          return;
+        }
+        default:
+          return;
+        }
+      };
+  std::set<std::string> BoundV;
+  CheckStructure(K.Body, BoundV);
+  if (K.Epilogue)
+    CheckStructure(K.Epilogue, BoundV);
+  return Err;
+}
+
+Status Executor::tryPrepare() {
+  if (Prepared)
+    return Status::error(ErrCode::InvalidArgument, "prepare called twice");
+  if (Status S = sanitizeOptions(); !S.ok())
+    return std::move(S).withContext("kernel '" + K.Name + "'");
+  // Client tensors are validated before anything dereferences their
+  // level arrays — in particular before split/transpose
+  // materialization walks them.
+  if (Options.ValidateInputs != ValidationLevel::None) {
+    const uint64_t V0 = obs::nowNs();
+    for (const auto &[Name, T] : Bound)
+      if (Status S = T->validate(Options.ValidateInputs); !S.ok())
+        return std::move(S)
+            .withContext("tensor '" + Name + "'")
+            .withContext("kernel '" + K.Name + "'");
+    ValidateNs = obs::nowNs() - V0;
+  }
   if (Options.Tracing)
     obs::setTracingEnabled(true);
   if (Options.Threads > 1)
@@ -716,10 +927,14 @@ void Executor::prepare() {
     if (It == SplitCache.end()) {
       Tensor *Src = lookup(Req.Source);
       if (!Src)
-        fatalError("split source " + Req.Source + " not bound");
+        return Status::error(ErrCode::UnboundTensor,
+                             "split source " + Req.Source + " not bound")
+            .withContext("kernel '" + K.Name + "'");
       auto DeclIt = K.Decls.find(Req.Source);
       if (DeclIt == K.Decls.end())
-        fatalError("split source " + Req.Source + " not declared");
+        return Status::error(ErrCode::InvalidArgument,
+                             "split source " + Req.Source + " not declared")
+            .withContext("kernel '" + K.Name + "'");
       auto [OffDiag, Diag] = Src->splitDiagonal(DeclIt->second.Symmetry);
       Owned.push_back(std::make_unique<Tensor>(std::move(OffDiag)));
       Tensor *OffPtr = Owned.back().get();
@@ -734,7 +949,9 @@ void Executor::prepare() {
   for (const TransposeRequest &Req : K.Transposes) {
     Tensor *Src = lookup(Req.Source);
     if (!Src)
-      fatalError("transpose source " + Req.Source + " not bound");
+      return Status::error(ErrCode::UnboundTensor,
+                           "transpose source " + Req.Source + " not bound")
+          .withContext("kernel '" + K.Name + "'");
     TensorFormat Format = TensorFormat::dense(Src->order());
     auto DeclIt = K.Decls.find(Req.Alias);
     if (DeclIt != K.Decls.end())
@@ -744,6 +961,10 @@ void Executor::prepare() {
     Bound[Req.Alias] = Owned.back().get();
   }
   const uint64_t M1 = obs::nowNs();
+  // With aliases materialized every access is resolvable; reject
+  // malformed kernels here so plan compilation can trust its input.
+  if (Status S = validateKernel(); !S.ok())
+    return S;
   PlanCompiler(*this).compileAll();
   const uint64_t M2 = obs::nowNs();
   MaterializeNs = M1 - M0;
@@ -754,6 +975,7 @@ void Executor::prepare() {
   }
   Report.Options = execOptionsSummary(Options);
   Prepared = true;
+  return Status::success();
 }
 
 namespace {
@@ -797,13 +1019,54 @@ void Executor::run() {
   runEpilogue();
 }
 
+Status Executor::tryRun() {
+  if (Status S = tryRunBody(); !S.ok())
+    return S;
+  return tryRunEpilogue();
+}
+
 void Executor::runBody() {
-  assert(Prepared && "prepare() must run before run()");
+  if (Status S = tryRunBody(); !S.ok())
+    fatalError(S.str());
+}
+
+Status Executor::tryRunBody() {
+  if (!Prepared)
+    return Status::error(ErrCode::InvalidArgument,
+                         "runBody called before prepare");
   Ctx->CountersOn = countersEnabled();
   Ctx->TraceOn = obs::tracingEnabled();
   std::fill(Ctx->LoopCalls.begin(), Ctx->LoopCalls.end(), uint64_t(0));
   std::fill(Ctx->LoopNs.begin(), Ctx->LoopNs.end(), uint64_t(0));
   Ctx->MergeNs = 0;
+  Report.AbortReason.clear();
+
+  // Controlled runs (cancel token or deadline) arm the shared stop
+  // state and snapshot the outputs so an abort can discard partial
+  // writes; uncontrolled runs skip all of it — Ctx->Ctrl stays null
+  // and every checkpoint is a single pointer test.
+  const bool Controlled = Options.Cancel != nullptr || Options.DeadlineMs > 0;
+  std::vector<std::vector<double>> Snapshots;
+  if (Controlled) {
+    if (!Ctl)
+      Ctl = std::make_unique<RunControl>();
+    Ctl->arm(Options.Cancel,
+             Options.DeadlineMs > 0
+                 ? obs::nowNs() +
+                       static_cast<uint64_t>(Options.DeadlineMs) * 1000000
+                 : 0);
+    // Trip immediately for a pre-cancelled token or an already-expired
+    // deadline: the engines' periodic polls (every 64th checkpoint)
+    // could otherwise let a short kernel run to completion first.
+    Ctl->check();
+    Ctx->Ctrl = Ctl.get();
+    Ctx->PollTick = 0;
+    Snapshots.reserve(Outputs.size());
+    for (Tensor *T : Outputs)
+      Snapshots.push_back(T->vals());
+  } else {
+    Ctx->Ctrl = nullptr;
+  }
 
   // The pool's activity counters run since process start; window them
   // to this run. Only the pooled configuration touches the pool at all.
@@ -825,6 +1088,8 @@ void Executor::runBody() {
   Report.Phases.push_back({"materialize", MaterializeNs});
   Report.Phases.push_back({"plan-compile", PlanCompileNs});
   Report.Phases.push_back({"specialize", SpecializeNs});
+  if (Options.ValidateInputs != ValidationLevel::None)
+    Report.Phases.push_back({"validate", ValidateNs});
   Report.Phases.push_back({"execute", T1 - T0});
   Report.Phases.push_back({"merge", Ctx->MergeNs});
   Report.Loops = LoopMeta;
@@ -847,10 +1112,43 @@ void Executor::runBody() {
     Report.Workers.push_back(
         windowWorker("caller", After.Callers, Before.Callers));
   }
-  Report.Counters = Ctx->Local;
   Report.Options = execOptionsSummary(Options);
 
+  if (Controlled && Ctl->stopped()) {
+    // Aborted: restore the outputs in place (Ctx->OutPtr aliases the
+    // buffers, so copy element-wise rather than swapping storage) and
+    // discard this run's counter deltas — an aborted run contributes
+    // nothing, locally or to the process-wide counters.
+    for (size_t I = 0; I < Outputs.size(); ++I) {
+      std::vector<double> &V = Outputs[I]->vals();
+      std::copy(Snapshots[I].begin(), Snapshots[I].end(), V.begin());
+    }
+    Ctx->Local = CounterSnapshot{};
+    Report.Counters = CounterSnapshot{};
+    const ErrCode Reason = Ctl->reason();
+    Report.AbortReason = errCodeName(Reason);
+    Ctx->Ctrl = nullptr;
+    return Status::error(
+               Reason,
+               Reason == ErrCode::DeadlineExceeded
+                   ? "deadline of " + std::to_string(Options.DeadlineMs) +
+                         " ms expired"
+                   : "run cancelled")
+        .withContext("kernel '" + K.Name + "'");
+  }
+
+  Report.Counters = Ctx->Local;
   flushCounters(*Ctx);
+  Ctx->Ctrl = nullptr;
+  return Status::success();
+}
+
+Status Executor::tryRunEpilogue() {
+  if (!Prepared)
+    return Status::error(ErrCode::InvalidArgument,
+                         "runEpilogue called before prepare");
+  runEpilogue();
+  return Status::success();
 }
 
 void Executor::runEpilogue() {

@@ -23,9 +23,11 @@
 #include "ir/Kernel.h"
 #include "observability/Report.h"
 #include "parallel/Schedule.h"
+#include "support/Status.h"
 #include "tensor/Tensor.h"
 
 #include <cstddef>
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <string>
@@ -36,6 +38,7 @@ namespace systec {
 namespace detail {
 class PlanNode;
 struct ExecCtx;
+struct RunControl;
 } // namespace detail
 
 /// Execution options (ablation switches).
@@ -93,6 +96,33 @@ struct ExecOptions {
   /// (workspace flushes under sparse-topped formats) and accepts
   /// unsound ones (additive bodies over non-annihilating fills).
   bool AnnihilationAlgebra = true;
+  /// Structural integrity checks run by prepare() on every bound
+  /// tensor before anything dereferences its level arrays (Shallow:
+  /// O(levels) size/endpoint agreement; Deep: O(nnz) fiber scans; see
+  /// Tensor::validate). None keeps the hot path untouched — no check,
+  /// no extra report phase. A failing tensor surfaces as
+  /// ErrCode::InvalidTensor from tryPrepare(), naming the tensor.
+  ValidationLevel ValidateInputs = ValidationLevel::None;
+  /// Wall-clock budget for one runBody() in milliseconds; 0 = none.
+  /// The deadline is polled cooperatively (task-claim boundaries and
+  /// every iteration of plan/kernel driver loops, with clock reads
+  /// decimated), so overshoot is bounded by one loop-body execution.
+  /// An expired run aborts with ErrCode::DeadlineExceeded: outputs are
+  /// restored to their pre-run values, the run's counters are
+  /// discarded, and lastReport().AbortReason records the reason.
+  int64_t DeadlineMs = 0;
+  /// Optional cooperative cancellation token, polled at the same
+  /// checkpoints as the deadline. The caller keeps ownership (the
+  /// token must outlive every run that uses it) and may cancel() from
+  /// any thread; a cancelled run aborts with ErrCode::Cancelled under
+  /// the same discard-partial-results contract as deadlines.
+  CancelToken *Cancel = nullptr;
+  /// Hard ceiling, in bytes, on privatized-accumulator storage for one
+  /// parallel loop (all tasks summed); 0 = unlimited. Distinct from
+  /// PrivatizationBudget (elements, a performance heuristic): this is
+  /// a resource bound — a loop that would exceed it degrades to the
+  /// inner disjoint-write parallelization instead of allocating.
+  size_t MemoryBudgetBytes = 0;
   /// Emit execution trace spans (observability/Trace.h): prepare()
   /// turns the process-wide tracing flag on, after which this executor
   /// (and anything else running) records phase, plan-loop, and pool
@@ -182,7 +212,10 @@ public:
   Executor &bind(const std::string &Name, Tensor *T);
 
   /// Materializes transposes/splits requested by the kernel and compiles
-  /// the execution plan. Call after all binds.
+  /// the execution plan. Call after all binds. Aborts on client-input
+  /// errors (legacy entry point — tool/test call sites where malformed
+  /// input is a bug); use tryPrepare when the kernel or tensors come
+  /// from a client.
   void prepare();
 
   /// Runs the main loop nest followed by the epilogue.
@@ -191,6 +224,36 @@ public:
   void runBody();
   /// Runs only the replication epilogue.
   void runEpilogue();
+
+  /// Status-returning variant of prepare(). Sanitizes the options
+  /// (recoverable absurdities — Threads=0, oversubscription beyond
+  /// 4x the hardware, BlockWidth>8 — are clamped and recorded in
+  /// optionClamps(); a negative deadline is ErrCode::InvalidOptions),
+  /// validates the kernel against the bound tensors (unbound accesses,
+  /// arity mismatches, inconsistent extents, non-dense write targets —
+  /// every malformed-input abort of plan compilation surfaces here as
+  /// a typed Status instead), and, when ValidateInputs != None, runs
+  /// Tensor::validate on every bound tensor before any level array is
+  /// dereferenced. On error the executor stays unprepared.
+  [[nodiscard]] Status tryPrepare();
+
+  /// Status-returning variants of run()/runBody(): complete normally,
+  /// or abort with ErrCode::Cancelled / DeadlineExceeded when the
+  /// run's Cancel token fires or DeadlineMs expires. Aborted runs
+  /// restore every output tensor to its pre-run values and discard the
+  /// run's counter deltas; lastReport().AbortReason records the
+  /// reason. With no token and no deadline these never fail and add
+  /// zero per-iteration cost.
+  [[nodiscard]] Status tryRun();
+  [[nodiscard]] Status tryRunBody();
+  /// The epilogue (symmetric replication) is not cancellable: it is a
+  /// cheap deterministic copy pass, and interrupting it would leave
+  /// half-replicated outputs. Always returns ok after running.
+  [[nodiscard]] Status tryRunEpilogue();
+
+  /// Human-readable notes for every option value tryPrepare() clamped
+  /// ("threads 0 -> 1", ...). Empty when the options were sane.
+  const std::vector<std::string> &optionClamps() const { return Clamps; }
 
   const Kernel &kernel() const { return K; }
 
@@ -221,12 +284,28 @@ private:
   MicroKernelStats MKStats;
   bool Prepared = false;
 
+  /// Option values tryPrepare() clamped (see optionClamps()).
+  std::vector<std::string> Clamps;
+  /// Output tensors in OutPtr-slot order (from plan compilation);
+  /// snapshotted/restored around controlled runs so an aborted run
+  /// leaves no partial writes behind.
+  std::vector<Tensor *> Outputs;
+  /// Shared stop state for controlled runs (cancel token + deadline),
+  /// lazily created; the plan's execution contexts point at it.
+  std::unique_ptr<detail::RunControl> Ctl;
+
+  [[nodiscard]] Status sanitizeOptions();
+  [[nodiscard]] Status validateKernel() const;
+
   /// Report of the most recent run (see lastReport()).
   obs::ExecReport Report;
   /// Prepare-phase timings, repeated into every run's report.
   uint64_t MaterializeNs = 0;
   uint64_t PlanCompileNs = 0;
   uint64_t SpecializeNs = 0;
+  /// Input-validation time; the "validate" phase is reported only when
+  /// ValidateInputs != None, so default runs keep their structureKey.
+  uint64_t ValidateNs = 0;
   /// Per plan-loop (indexed by trace id) label/engine/driver metadata
   /// recorded at plan compilation; cloned into each report with the
   /// run's call/time aggregates filled in.

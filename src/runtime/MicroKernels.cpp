@@ -982,6 +982,11 @@ void MicroKernel::runNest(ExecCtx &C, int64_t Lo, int64_t Hi) {
   iterateDriver(
       C, D, Slot, B, Lo, Hi, /*UpdateState=*/true, N,
       [&](int64_t V, int64_t K1, int64_t, const int64_t *CoPos) {
+        // Cancellation drains the remaining driver elements without
+        // executing them; the aborted run's partial output is discarded
+        // by the executor, so skipping is safe.
+        if (checkpointStop(C))
+          return;
         for (MKItem &Item : Items) {
           if (Item.HasGuard && !Item.Guard.eval(C))
             continue;
@@ -1721,6 +1726,8 @@ void MKBlockedEngine::run(ExecCtx &C, int64_t Lo, int64_t Hi) {
     // fiber order regardless of the panel partition).
     const int64_t WP = Width;
     for (int64_t P0 = Lo; P0 <= Hi;) {
+      if (checkpointStop(C))
+        break;
       const int64_t PEnd = std::min(Hi, (P0 / WP + 1) * WP - 1);
       const unsigned W = static_cast<unsigned>(PEnd - P0 + 1);
       UnionLo = std::numeric_limits<int64_t>::max();
@@ -1744,6 +1751,8 @@ void MKBlockedEngine::run(ExecCtx &C, int64_t Lo, int64_t Hi) {
     if (Lo > 0)
       NK = std::lower_bound(NCrd + NK, NCrd + NE, Lo) - NCrd;
     while (NK < NE && NCrd[NK] <= Hi) {
+      if (checkpointStop(C))
+        break;
       unsigned W = 0;
       UnionLo = std::numeric_limits<int64_t>::max();
       UnionHi = -1;
@@ -1787,6 +1796,8 @@ void MKBlockedEngine::run(ExecCtx &C, int64_t Lo, int64_t Hi) {
 }
 
 void MicroKernel::run(ExecCtx &C, int64_t Lo, int64_t Hi) {
+  if (C.Ctrl && C.Ctrl->stopped())
+    return;
   if (Blocked) {
     Blocked->run(C, Lo, Hi);
     return;

@@ -179,6 +179,10 @@ PlanLoop::PlanLoop() = default;
 PlanLoop::~PlanLoop() = default;
 
 void PlanLoop::exec(ExecCtx &C) {
+  // Cancellation checkpoint between loops: a tripped run unwinds the
+  // whole plan tree without entering another range.
+  if (C.Ctrl && C.Ctrl->stopped())
+    return;
   int64_t Lo = 0, Hi = Extent - 1;
   for (const auto &[S, D] : LoTerms)
     Lo = std::max(Lo, C.IndexVal[S] + D);
@@ -277,19 +281,43 @@ void PlanLoop::execParallel(ExecCtx &C, int64_t Lo, int64_t Hi) {
   if (Par.Buffers.size() < size_t(NT) * NPriv)
     Par.Buffers.resize(size_t(NT) * NPriv);
 
-  Par.Pool->parallelFor(NT, [&](unsigned T) {
-    ExecCtx &TC = Par.TaskCtx[T];
-    // First-use accumulator fill runs inside the task so the
-    // identity fill of large buffers is itself parallel.
-    for (size_t P = 0; P < NPriv; ++P) {
-      const PrivTensor &PT = Par.PrivTensors[P];
-      std::vector<double> &B = Par.Buffers[size_t(T) * NPriv + P];
-      if (B.size() != PT.Elems)
-        B.assign(PT.Elems, PT.Identity);
-      TC.OutPtr[PT.OutId] = B.data();
-    }
-    execRange(TC, Chunks[T].Lo, Chunks[T].Hi);
-  });
+  // Controlled runs poll the token/deadline at every task-claim
+  // boundary (the pool drains remaining chunks once tripped) and once
+  // more at chunk entry, for chunks claimed before the trip landed.
+  std::function<bool()> StopFn;
+  const std::function<bool()> *Stop = nullptr;
+  if (C.Ctrl) {
+    StopFn = [Ctl = C.Ctrl] { return Ctl->check(); };
+    Stop = &StopFn;
+  }
+  Par.Pool->parallelFor(
+      NT,
+      [&](unsigned T) {
+        ExecCtx &TC = Par.TaskCtx[T];
+        if (TC.Ctrl && TC.Ctrl->stopped())
+          return;
+        // First-use accumulator fill runs inside the task so the
+        // identity fill of large buffers is itself parallel.
+        for (size_t P = 0; P < NPriv; ++P) {
+          const PrivTensor &PT = Par.PrivTensors[P];
+          std::vector<double> &B = Par.Buffers[size_t(T) * NPriv + P];
+          if (B.size() != PT.Elems)
+            B.assign(PT.Elems, PT.Identity);
+          TC.OutPtr[PT.OutId] = B.data();
+        }
+        execRange(TC, Chunks[T].Lo, Chunks[T].Hi);
+      },
+      Stop);
+
+  if (C.Ctrl && C.Ctrl->stopped()) {
+    // Abort: discard the partial privatized results instead of merging
+    // them. Dropping the buffers (instead of re-filling) keeps the
+    // between-runs identity invariant — the next execution re-fills on
+    // first use. The Executor discards the shared output arrays.
+    for (std::vector<double> &B : Par.Buffers)
+      B.clear();
+    return;
+  }
 
   // Merge in task order: the decomposition (not the thread schedule)
   // determines the floating-point result. Accumulators reset to the
@@ -383,6 +411,8 @@ void PlanLoop::rangeBody(ExecCtx &C, int64_t Lo, int64_t Hi) {
   }
   if (Walkers.empty()) {
     for (int64_t V = Lo; V <= Hi; ++V) {
+      if (checkpointStop(C))
+        return;
       C.IndexVal[Slot] = V;
       Body->exec(C);
     }
@@ -421,8 +451,11 @@ void PlanLoop::rangeBody(ExecCtx &C, int64_t Lo, int64_t Hi) {
 
   switch (Lev.Kind) {
   case LevelKind::Dense: {
-    for (int64_t V = Lo; V <= Hi; ++V)
+    for (int64_t V = Lo; V <= Hi; ++V) {
+      if (checkpointStop(C))
+        return;
       Step(V, Parent * Lev.Dim + V);
+    }
     return;
   }
   case LevelKind::Sparse: {
@@ -432,7 +465,7 @@ void PlanLoop::rangeBody(ExecCtx &C, int64_t Lo, int64_t Hi) {
           Lev.Crd.begin();
     for (int64_t KPos = B; KPos < E; ++KPos) {
       int64_t Coord = Lev.Crd[KPos];
-      if (Coord > Hi)
+      if (Coord > Hi || checkpointStop(C))
         break;
       Step(Coord, KPos);
     }
@@ -444,7 +477,7 @@ void PlanLoop::rangeBody(ExecCtx &C, int64_t Lo, int64_t Hi) {
          ++KPos) {
       int64_t End = Lev.RunEnd[KPos];
       for (int64_t V = std::max(Start, Lo); V < End; ++V) {
-        if (V > Hi)
+        if (V > Hi || checkpointStop(C))
           return;
         Step(V, KPos);
       }
@@ -457,8 +490,11 @@ void PlanLoop::rangeBody(ExecCtx &C, int64_t Lo, int64_t Hi) {
   case LevelKind::Banded: {
     int64_t B = std::max(Lo, Lev.Lo[Parent]);
     int64_t E = std::min(Hi, Lev.Hi[Parent] - 1);
-    for (int64_t V = B; V <= E; ++V)
+    for (int64_t V = B; V <= E; ++V) {
+      if (checkpointStop(C))
+        return;
       Step(V, Lev.Off[Parent] + (V - Lev.Lo[Parent]));
+    }
     return;
   }
   }

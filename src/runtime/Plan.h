@@ -23,11 +23,14 @@
 
 #include "ir/Cond.h"
 #include "ir/Ops.h"
+#include "observability/Trace.h"
 #include "parallel/Schedule.h"
 #include "support/Counters.h"
+#include "support/Status.h"
 #include "symmetry/Partition.h"
 #include "tensor/Tensor.h"
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <optional>
@@ -42,6 +45,51 @@ class ThreadPool;
 namespace detail {
 
 class MicroKernel;
+
+/// Shared cooperative-stop state of one controlled run (cancellation
+/// token and/or absolute deadline). One instance per Executor, armed
+/// per run and pointed at by every execution context of that run —
+/// tasks observe a trip through the relaxed atomic, which is enough:
+/// cancellation is best-effort by design and the Executor discards all
+/// partial output on abort.
+struct RunControl {
+  CancelToken *Token = nullptr;
+  uint64_t DeadlineNs = 0; ///< absolute obs::nowNs() deadline; 0 = none
+  /// First ErrCode that stopped the run (0 while running). Set once by
+  /// compare-exchange so the surfaced reason is the actual trigger.
+  std::atomic<uint32_t> StopCode{0};
+
+  void arm(CancelToken *Tok, uint64_t Deadline) {
+    Token = Tok;
+    DeadlineNs = Deadline;
+    StopCode.store(0, std::memory_order_relaxed);
+  }
+  bool stopped() const {
+    return StopCode.load(std::memory_order_relaxed) != 0;
+  }
+  ErrCode reason() const {
+    return static_cast<ErrCode>(StopCode.load(std::memory_order_relaxed));
+  }
+  void trip(ErrCode C) {
+    uint32_t Expected = 0;
+    StopCode.compare_exchange_strong(Expected, static_cast<uint32_t>(C),
+                                     std::memory_order_relaxed);
+  }
+  /// Full poll: token, then deadline clock. Returns whether to stop.
+  bool check() {
+    if (stopped())
+      return true;
+    if (Token && Token->cancelled()) {
+      trip(ErrCode::Cancelled);
+      return true;
+    }
+    if (DeadlineNs && obs::nowNs() > DeadlineNs) {
+      trip(ErrCode::DeadlineExceeded);
+      return true;
+    }
+    return false;
+  }
+};
 
 /// Runtime state of one distinct tensor access: the fibertree position
 /// at which each level was entered. Pos[L] is the parent position for
@@ -89,7 +137,27 @@ struct ExecCtx {
   /// deltas after parallel loops (always collected; a subset of the
   /// run's execute time).
   uint64_t MergeNs = 0;
+  /// Cooperative stop state of the run; null when uncontrolled (no
+  /// token, no deadline), so the hot path pays one pointer test per
+  /// checkpoint. Copied into task contexts with the rest of the
+  /// context, so all tasks share the run's state.
+  RunControl *Ctrl = nullptr;
+  /// Per-context decimation tick for checkpointStop's clock reads.
+  uint32_t PollTick = 0;
 };
+
+/// Cancellation checkpoint for per-iteration polling: free when the
+/// run is uncontrolled; otherwise a relaxed flag test per call with a
+/// full token/deadline poll every 64th (decimating the clock reads
+/// that a deadline check needs).
+inline bool checkpointStop(ExecCtx &C) {
+  RunControl *Ctl = C.Ctrl;
+  if (!Ctl)
+    return false;
+  if ((++C.PollTick & 63u) == 0)
+    return Ctl->check();
+  return Ctl->stopped();
+}
 
 /// A compiled comparison between two index slots.
 struct CAtom {

@@ -2,9 +2,11 @@
 ///
 /// \file
 /// Fatal error handling for SySTeC. Library code does not use exceptions;
-/// violated invariants abort with a message (LLVM-style programmatic
-/// errors), and user-facing recoverable conditions are reported through
-/// return values at API boundaries.
+/// violated *internal* invariants abort with a message (LLVM-style
+/// programmatic errors). User-facing recoverable conditions — malformed
+/// client input, failed tensor validation, cancellation — are reported
+/// through `Status`/`Expected<T>` (support/Status.h) at API boundaries;
+/// the policy split is documented in docs/ROBUSTNESS.md.
 ///
 //===----------------------------------------------------------------------===//
 

@@ -29,9 +29,38 @@ struct Segment {
 
 Tensor Tensor::fromCoo(Coo Entries, TensorFormat Format, double Fill,
                        OpKind Combine) {
+  Expected<Tensor> T =
+      tryFromCoo(std::move(Entries), std::move(Format), Fill, Combine);
+  if (!T)
+    fatalError(T.status().str());
+  return std::move(*T);
+}
+
+Expected<Tensor> Tensor::tryFromCoo(Coo Entries, TensorFormat Format,
+                                    double Fill, OpKind Combine) {
   const unsigned N = Entries.order();
   if (Format.order() != N)
-    fatalError("format order does not match coordinate order");
+    return Status::error(ErrCode::InvalidArgument,
+                         "format order " + std::to_string(Format.order()) +
+                             " does not match coordinate order " +
+                             std::to_string(N));
+  for (unsigned L = 0; L + 1 < N; ++L)
+    if (Format.Levels[L] == LevelKind::RunLength)
+      return Status::error(ErrCode::InvalidArgument,
+                           "RunLength levels are only supported at the "
+                           "bottom");
+  // Entries outside the declared box would silently corrupt the level
+  // build (positions computed from coordinates index past the arrays).
+  for (size_t I = 0; I < Entries.size(); ++I)
+    for (unsigned M = 0; M < N; ++M) {
+      const int64_t C = Entries.coord(I, M);
+      if (C < 0 || C >= Entries.dims()[M])
+        return Status::error(
+            ErrCode::InvalidArgument,
+            "entry " + std::to_string(I) + " coordinate " +
+                std::to_string(C) + " outside mode " + std::to_string(M) +
+                " extent " + std::to_string(Entries.dims()[M]));
+    }
   Entries.sortAndCombine(Combine);
 
   Tensor T;
@@ -111,8 +140,7 @@ Tensor Tensor::fromCoo(Coo Entries, TensorFormat Format, double Fill,
       break;
     }
     case LevelKind::RunLength: {
-      if (!Bottom)
-        fatalError("RunLength levels are only supported at the bottom");
+      assert(Bottom && "non-bottom RunLength rejected above");
       Lev.Ptr.assign(static_cast<size_t>(PosCount) + 1, 0);
       size_t SegIdx = 0;
       for (int64_t P = 0; P < PosCount; ++P) {
@@ -179,6 +207,10 @@ Tensor Tensor::fromCoo(Coo Entries, TensorFormat Format, double Fill,
     }
     Segments = std::move(NewSegments);
   }
+  // Self-check: a shallow failure here is a builder bug, but surfacing
+  // it as a status keeps the recoverable entry point abort-free.
+  if (Status S = T.validate(ValidationLevel::Shallow); !S.ok())
+    return std::move(S).withContext("fromCoo self-check");
   return T;
 }
 
@@ -197,6 +229,187 @@ Tensor Tensor::dense(std::vector<int64_t> Dims, double Fill) {
   }
   T.Vals.assign(Total, Fill);
   return T;
+}
+
+namespace {
+
+/// Error helper naming the offending level, so a failed validation
+/// localizes without a debugger: "level 1 (Sparse): ...".
+Status levelError(unsigned L, LevelKind K, const std::string &Message) {
+  const char *Name = K == LevelKind::Dense       ? "Dense"
+                     : K == LevelKind::Sparse    ? "Sparse"
+                     : K == LevelKind::RunLength ? "RunLength"
+                                                 : "Banded";
+  return Status::error(ErrCode::InvalidTensor,
+                       "level " + std::to_string(L) + " (" + Name +
+                           "): " + Message);
+}
+
+} // namespace
+
+Status Tensor::validate(ValidationLevel VL) const {
+  if (VL == ValidationLevel::None)
+    return Status::success();
+  const unsigned N = order();
+  if (Levels.size() != N || Format.order() != N)
+    return Status::error(ErrCode::InvalidTensor,
+                         "level count disagrees with tensor order");
+  const bool Deep = VL == ValidationLevel::Deep;
+  // Walk top-down tracking the position count the next level must
+  // cover; every per-level array size is a function of it.
+  int64_t PosCount = 1;
+  for (unsigned L = 0; L < N; ++L) {
+    const Level &Lev = Levels[L];
+    const int64_t Dim = Dims[N - 1 - L];
+    if (Lev.Kind != Format.Levels[L])
+      return levelError(L, Lev.Kind, "kind disagrees with the format");
+    if (Lev.Dim != Dim)
+      return levelError(L, Lev.Kind,
+                        "extent " + std::to_string(Lev.Dim) +
+                            " disagrees with mode extent " +
+                            std::to_string(Dim));
+    switch (Lev.Kind) {
+    case LevelKind::Dense: {
+      if (Dim < 0)
+        return levelError(L, Lev.Kind, "negative extent");
+      PosCount *= Dim;
+      break;
+    }
+    case LevelKind::Sparse: {
+      if (Lev.Ptr.size() != static_cast<size_t>(PosCount) + 1)
+        return levelError(L, Lev.Kind,
+                          "Ptr size " + std::to_string(Lev.Ptr.size()) +
+                              ", expected " + std::to_string(PosCount + 1));
+      const int64_t Total = static_cast<int64_t>(Lev.Crd.size());
+      if (Lev.Ptr.front() != 0 || Lev.Ptr.back() != Total)
+        return levelError(L, Lev.Kind,
+                          "Ptr endpoints do not cover the Crd array");
+      if (Deep) {
+        for (int64_t P = 0; P < PosCount; ++P) {
+          // Range before monotonicity: the fiber scan below indexes Crd
+          // with Ptr values, so an interior Ptr past the array must be
+          // rejected before it is ever used as a bound.
+          if (Lev.Ptr[P + 1] < 0 || Lev.Ptr[P + 1] > Total)
+            return levelError(L, Lev.Kind,
+                              "Ptr value " + std::to_string(Lev.Ptr[P + 1]) +
+                                  " outside [0, " + std::to_string(Total) +
+                                  "] at position " + std::to_string(P + 1));
+          if (Lev.Ptr[P] > Lev.Ptr[P + 1])
+            return levelError(L, Lev.Kind,
+                              "Ptr not monotone at position " +
+                                  std::to_string(P));
+          for (int64_t K = Lev.Ptr[P]; K < Lev.Ptr[P + 1]; ++K) {
+            if (Lev.Crd[K] < 0 || Lev.Crd[K] >= Dim)
+              return levelError(L, Lev.Kind,
+                                "coordinate " + std::to_string(Lev.Crd[K]) +
+                                    " outside [0, " + std::to_string(Dim) +
+                                    ")");
+            if (K > Lev.Ptr[P] && Lev.Crd[K] <= Lev.Crd[K - 1])
+              return levelError(L, Lev.Kind,
+                                "coordinates not strictly increasing in "
+                                "the fiber of position " +
+                                    std::to_string(P));
+          }
+        }
+      }
+      PosCount = Total;
+      break;
+    }
+    case LevelKind::RunLength: {
+      if (L + 1 != N)
+        return levelError(L, Lev.Kind, "only supported at the bottom");
+      if (Lev.Ptr.size() != static_cast<size_t>(PosCount) + 1)
+        return levelError(L, Lev.Kind,
+                          "Ptr size " + std::to_string(Lev.Ptr.size()) +
+                              ", expected " + std::to_string(PosCount + 1));
+      const int64_t Total = static_cast<int64_t>(Lev.RunEnd.size());
+      if (Lev.Ptr.front() != 0 || Lev.Ptr.back() != Total)
+        return levelError(L, Lev.Kind,
+                          "Ptr endpoints do not cover the RunEnd array");
+      if (Deep) {
+        for (int64_t P = 0; P < PosCount; ++P) {
+          if (Lev.Ptr[P + 1] < 0 || Lev.Ptr[P + 1] > Total)
+            return levelError(L, Lev.Kind,
+                              "Ptr value " + std::to_string(Lev.Ptr[P + 1]) +
+                                  " outside [0, " + std::to_string(Total) +
+                                  "] at position " + std::to_string(P + 1));
+          if (Lev.Ptr[P] > Lev.Ptr[P + 1])
+            return levelError(L, Lev.Kind,
+                              "Ptr not monotone at position " +
+                                  std::to_string(P));
+          const int64_t Begin = Lev.Ptr[P], End = Lev.Ptr[P + 1];
+          if (Dim > 0 && Begin == End)
+            return levelError(L, Lev.Kind,
+                              "no runs cover the fiber of position " +
+                                  std::to_string(P));
+          int64_t Prev = 0;
+          for (int64_t K = Begin; K < End; ++K) {
+            if (Lev.RunEnd[K] <= Prev || Lev.RunEnd[K] > Dim)
+              return levelError(
+                  L, Lev.Kind,
+                  "run ends not strictly increasing within (0, " +
+                      std::to_string(Dim) + "] in the fiber of position " +
+                      std::to_string(P));
+            Prev = Lev.RunEnd[K];
+          }
+          if (End > Begin && Lev.RunEnd[End - 1] != Dim)
+            return levelError(L, Lev.Kind,
+                              "runs do not tile [0, " + std::to_string(Dim) +
+                                  ") in the fiber of position " +
+                                  std::to_string(P));
+        }
+      }
+      PosCount = Total;
+      break;
+    }
+    case LevelKind::Banded: {
+      if (Lev.Lo.size() != static_cast<size_t>(PosCount) ||
+          Lev.Hi.size() != static_cast<size_t>(PosCount) ||
+          Lev.Off.size() != static_cast<size_t>(PosCount) + 1)
+        return levelError(L, Lev.Kind, "Lo/Hi/Off sizes disagree with the "
+                                       "parent position count");
+      if (PosCount > 0 && Lev.Off.front() != 0)
+        return levelError(L, Lev.Kind, "Off does not start at 0");
+      if (Deep) {
+        for (int64_t P = 0; P < PosCount; ++P) {
+          const int64_t Lo = Lev.Lo[P], Hi = Lev.Hi[P];
+          if (Lo > Hi)
+            return levelError(L, Lev.Kind,
+                              "inverted interval [" + std::to_string(Lo) +
+                                  ", " + std::to_string(Hi) +
+                                  ") at position " + std::to_string(P));
+          if (Lo < 0 || Hi > Dim)
+            return levelError(L, Lev.Kind,
+                              "interval [" + std::to_string(Lo) + ", " +
+                                  std::to_string(Hi) + ") outside [0, " +
+                                  std::to_string(Dim) + ") at position " +
+                                  std::to_string(P));
+          if (Lev.Off[P + 1] - Lev.Off[P] != Hi - Lo)
+            return levelError(L, Lev.Kind,
+                              "Off delta disagrees with the band width "
+                              "at position " +
+                                  std::to_string(P));
+        }
+      }
+      PosCount = Lev.Off[static_cast<size_t>(PosCount)];
+      if (PosCount < 0)
+        return levelError(L, Lev.Kind, "negative Off endpoint");
+      break;
+    }
+    }
+  }
+  if (Vals.size() != static_cast<size_t>(PosCount))
+    return Status::error(ErrCode::InvalidTensor,
+                         "value array holds " + std::to_string(Vals.size()) +
+                             " entries, bottom level expects " +
+                             std::to_string(PosCount));
+  if (Deep)
+    for (size_t I = 0; I < Vals.size(); ++I)
+      if (std::isnan(Vals[I]))
+        return Status::error(ErrCode::InvalidTensor,
+                             "NaN value at position " + std::to_string(I) +
+                                 " (semiring folds are not NaN-clean)");
+  return Status::success();
 }
 
 int64_t Tensor::locate(unsigned L, int64_t Pos, int64_t C) const {

@@ -21,6 +21,7 @@
 #define SYSTEC_TENSOR_TENSOR_H
 
 #include "ir/Einsum.h"
+#include "support/Status.h"
 #include "symmetry/Partition.h"
 #include "tensor/Coo.h"
 
@@ -51,15 +52,35 @@ struct Level {
   std::vector<int64_t> Lo, Hi, Off;
 };
 
+/// How much of a tensor's structural integrity to check (see
+/// Tensor::validate and docs/ROBUSTNESS.md for the exact invariants and
+/// costs).
+enum class ValidationLevel {
+  None,    ///< no checks (the hot-path default)
+  Shallow, ///< O(levels): array sizes and endpoint agreement
+  Deep,    ///< O(nnz): full per-fiber scans plus NaN rejection
+};
+
 /// An immutable-shape, mutable-value tensor in a fibertree format.
 class Tensor {
 public:
   Tensor() = default;
 
   /// Builds from coordinate data (sorted/combined internally).
-  /// \p Combine resolves duplicate coordinates.
+  /// \p Combine resolves duplicate coordinates. Aborts on malformed
+  /// input (format/order mismatch, out-of-range coordinates); use
+  /// tryFromCoo for the recoverable path.
   static Tensor fromCoo(Coo Entries, TensorFormat Format, double Fill = 0.0,
                         OpKind Combine = OpKind::Add);
+
+  /// Status-returning construction: rejects a format whose order does
+  /// not match the coordinate order, RunLength levels above the bottom,
+  /// and entries with coordinates outside the declared dims — with
+  /// ErrCode::InvalidArgument — instead of aborting, then self-checks
+  /// the built structure with validate(Shallow).
+  static Expected<Tensor> tryFromCoo(Coo Entries, TensorFormat Format,
+                                     double Fill = 0.0,
+                                     OpKind Combine = OpKind::Add);
 
   /// An all-dense tensor filled with \p Fill (used for outputs,
   /// vectors, and oracle references).
@@ -76,6 +97,22 @@ public:
   /// Access mode held by level \p L.
   unsigned modeOfLevel(unsigned L) const { return order() - 1 - L; }
   const Level &level(unsigned L) const { return Levels[L]; }
+
+  /// Mutable level access. Exists for test harnesses (fault injection
+  /// deliberately breaks the structural invariants that validate()
+  /// checks); production code treats level structure as immutable.
+  Level &mutableLevel(unsigned L) { return Levels[L]; }
+
+  /// Checks the structural invariants of every level against the
+  /// declared dims and format: Ptr monotone and in-bounds, Crd sorted
+  /// and deduplicated per fiber and < the mode extent, RunLength runs
+  /// tiling [0, Dim), Banded Lo/Hi/Off interval sanity, and the value
+  /// array agreeing with the bottom level's position count. Shallow
+  /// checks sizes and endpoints in O(levels); Deep scans every fiber in
+  /// O(nnz) and additionally rejects NaN values (the semiring fold
+  /// order is not NaN-clean). Returns ErrCode::InvalidTensor with a
+  /// message naming the offending level.
+  [[nodiscard]] Status validate(ValidationLevel VL) const;
 
   /// Number of stored values (explicit entries / positions at bottom).
   size_t storedCount() const { return Vals.size(); }

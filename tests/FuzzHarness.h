@@ -296,11 +296,33 @@ inline std::string caseTrace(const FuzzCase &F) {
   return Out;
 }
 
+/// Validation tier requested via the SYSTEC_VALIDATE env var ("deep" /
+/// "shallow"; anything else means none). CI's sanitizer replay sets
+/// "deep" so every checked-in seed also exercises Tensor::validate on
+/// the way in; read once, applied at the single run() choke point.
+inline ValidationLevel envValidationLevel() {
+  static const ValidationLevel V = [] {
+    const char *E = std::getenv("SYSTEC_VALIDATE");
+    if (!E)
+      return ValidationLevel::None;
+    const std::string S(E);
+    if (S == "deep")
+      return ValidationLevel::Deep;
+    if (S == "shallow")
+      return ValidationLevel::Shallow;
+    return ValidationLevel::None;
+  }();
+  return V;
+}
+
 inline Tensor run(const Kernel &K, FuzzCase &F,
                   const ExecOptions &O = ExecOptions()) {
   Tensor Out = Tensor::dense(F.OutDims, 0.0);
   Out.setAllValues(F.OutInit);
-  Executor E(K, O);
+  ExecOptions Opts = O;
+  if (Opts.ValidateInputs == ValidationLevel::None)
+    Opts.ValidateInputs = envValidationLevel();
+  Executor E(K, Opts);
   for (auto &[Name, T] : F.Inputs)
     E.bind(Name, &T);
   E.bind("O", &Out);

@@ -608,3 +608,94 @@ TEST(ParallelRuntime, ReplicateEpilogueThreadedViaExecutor) {
     EXPECT_EQ(Tensor::maxAbsDiff(Seq, Par), 0.0) << "threads " << Threads;
   }
 }
+
+//===----------------------------------------------------------------------===//
+// ExecOptions sanitization (docs/ROBUSTNESS.md): absurd-but-runnable
+// values clamp with a recorded note; genuinely meaningless ones are a
+// typed InvalidOptions error from tryPrepare.
+//===----------------------------------------------------------------------===//
+
+namespace {
+/// One prepared-ready ssyrk setup shared by the sanitization tests.
+struct SanitizeSetup {
+  CompileResult C = compileEinsum(makeSsyrk());
+  Tensor A, Out;
+  SanitizeSetup() : Out(Tensor::dense({12, 12})) {
+    Rng R(99);
+    A = generateSymmetricTensor(2, 12, 40, R, TensorFormat::csf(2));
+  }
+  void bindInto(Executor &E) { E.bind("A", &A).bind("C", &Out); }
+};
+
+bool anyClampContains(const Executor &E, const std::string &Needle) {
+  for (const std::string &Note : E.optionClamps())
+    if (Note.find(Needle) != std::string::npos)
+      return true;
+  return false;
+}
+} // namespace
+
+TEST(ExecOptionsSanitize, ZeroThreadsClampsToOneAndRuns) {
+  SanitizeSetup S;
+  ExecOptions O;
+  O.Threads = 0;
+  Executor E(S.C.Optimized, O);
+  S.bindInto(E);
+  ASSERT_TRUE(E.tryPrepare().ok());
+  EXPECT_TRUE(anyClampContains(E, "threads 0 -> 1")) << "no clamp recorded";
+  EXPECT_TRUE(E.tryRun().ok());
+}
+
+TEST(ExecOptionsSanitize, AbsurdThreadCountClampsToHardwareMultiple) {
+  SanitizeSetup S;
+  ExecOptions O;
+  O.Threads = 1u << 20; // a million lanes: oversubscription, not an error
+  Executor E(S.C.Optimized, O);
+  S.bindInto(E);
+  ASSERT_TRUE(E.tryPrepare().ok());
+  EXPECT_TRUE(anyClampContains(E, "4x hardware concurrency"));
+  EXPECT_TRUE(E.tryRun().ok());
+}
+
+TEST(ExecOptionsSanitize, OversizedBlockWidthClampsToEngineMaximum) {
+  SanitizeSetup S;
+  ExecOptions O;
+  O.EnableMicroKernels = true;
+  O.EnableBlocking = true;
+  O.BlockWidth = 4096;
+  Executor E(S.C.Optimized, O);
+  S.bindInto(E);
+  ASSERT_TRUE(E.tryPrepare().ok());
+  EXPECT_TRUE(anyClampContains(E, "blockwidth 4096 -> 8"));
+  EXPECT_TRUE(E.tryRun().ok());
+}
+
+TEST(ExecOptionsSanitize, SupportedValuesRecordNoClamps) {
+  // Widths 1..8 and any Threads up to 4x hardware concurrency are part
+  // of the supported contract (the fuzz matrix samples them); none may
+  // produce a note.
+  SanitizeSetup S;
+  ExecOptions O;
+  O.Threads = 4;
+  O.EnableMicroKernels = true;
+  O.EnableBlocking = true;
+  O.BlockWidth = 8;
+  Executor E(S.C.Optimized, O);
+  S.bindInto(E);
+  ASSERT_TRUE(E.tryPrepare().ok());
+  EXPECT_TRUE(E.optionClamps().empty());
+}
+
+TEST(ExecOptionsSanitize, NegativeDeadlineIsInvalidOptions) {
+  // A negative deadline has no sane clamp (0 means "no deadline", so
+  // clamping would silently drop the caller's intent): typed error.
+  SanitizeSetup S;
+  ExecOptions O;
+  O.DeadlineMs = -5;
+  Executor E(S.C.Optimized, O);
+  S.bindInto(E);
+  Status St = E.tryPrepare();
+  ASSERT_FALSE(St.ok());
+  EXPECT_EQ(St.code(), ErrCode::InvalidOptions);
+  EXPECT_NE(St.str().find("DeadlineMs"), std::string::npos) << St.str();
+}

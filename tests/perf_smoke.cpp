@@ -540,3 +540,63 @@ TEST(PerfSmoke, TracingOverheadBounded) {
       << "traced run " << OnMs << " ms vs untraced " << OffMs
       << " ms: span emission has grown into the hot path";
 }
+
+TEST(PerfSmoke, ValidationOffHasZeroHotPathCost) {
+  // The integrity-validation cost pin (docs/ROBUSTNESS.md). Three
+  // claims: (1) with ValidateInputs=None — the default — the report
+  // carries no "validate" phase at all: the check is structurally
+  // absent, not merely fast; (2) Deep validation is a prepare-time
+  // pre-pass, so it changes neither the results nor a single runtime
+  // counter of the body; (3) the body's wall time is unaffected by the
+  // validation tier (median-of-runs with generous slack, same
+  // methodology as the tracing pin above).
+  Rng R(20260801);
+  const int64_t N = 1000;
+  Tensor A = generateSymmetricTensor(2, N, 8 * N, R, TensorFormat::csf(2));
+  Tensor X = generateDenseVector(N, R);
+  CompileResult C = compileEinsum(makeSsymv());
+
+  auto Median = [](std::vector<double> Ms) {
+    std::sort(Ms.begin(), Ms.end());
+    return Ms[Ms.size() / 2];
+  };
+  auto Setup = [&](ValidationLevel VL, Tensor &Y, CounterSnapshot &Snap,
+                   std::vector<double> &Ms) {
+    ExecOptions O;
+    O.ValidateInputs = VL;
+    Executor E(C.Optimized, O);
+    E.bind("A", &A).bind("x", &X).bind("y", &Y);
+    E.prepare();
+    for (const obs::PhaseStat &P : E.lastReport().Phases)
+      if (VL == ValidationLevel::None)
+        EXPECT_NE(P.Name, "validate")
+            << "hot-path default must not even time a validation phase";
+    counters().reset();
+    setCountersEnabled(true);
+    for (int I = 0; I < 7; ++I) {
+      Y.setAllValues(0.0);
+      const uint64_t T0 = obs::nowNs();
+      E.runBody();
+      Ms.push_back((obs::nowNs() - T0) / 1e6);
+    }
+    Snap = counters().snapshot();
+  };
+
+  Tensor YOff = Tensor::dense({N}), YDeep = Tensor::dense({N});
+  CounterSnapshot SOff, SDeep;
+  std::vector<double> MsOff, MsDeep;
+  Setup(ValidationLevel::None, YOff, SOff, MsOff);
+  Setup(ValidationLevel::Deep, YDeep, SDeep, MsDeep);
+
+  ASSERT_EQ(YOff.vals().size(), YDeep.vals().size());
+  for (size_t I = 0; I < YOff.vals().size(); ++I)
+    EXPECT_EQ(YOff.vals()[I], YDeep.vals()[I]) << "element " << I;
+  EXPECT_EQ(SOff.SparseReads, SDeep.SparseReads);
+  EXPECT_EQ(SOff.Reductions, SDeep.Reductions);
+  EXPECT_EQ(SOff.ScalarOps, SDeep.ScalarOps);
+  EXPECT_EQ(SOff.OutputWrites, SDeep.OutputWrites);
+
+  EXPECT_LE(Median(MsDeep), Median(MsOff) * 4.0 + 5.0)
+      << "Deep validation must stay out of the execution loops "
+         "(prepare-time only)";
+}

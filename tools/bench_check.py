@@ -37,17 +37,42 @@ def load_records(path):
         data = json.load(fh)
     if not isinstance(data, list):
         raise ValueError(f"{path}: expected a JSON array of records")
+    for idx, rec in enumerate(data):
+        if not isinstance(rec, dict):
+            raise ValueError(
+                f"{path}: record {idx} is {type(rec).__name__}, "
+                "expected an object"
+            )
     return data
 
 
-def speedup_table(records):
-    """(kernel, workload) -> fused-over-interpreted speedup."""
+def _numeric(value):
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def speedup_table(records, skipped=None):
+    """(kernel, workload) -> fused-over-interpreted speedup.
+
+    Records with a missing or non-numeric "ms" are skipped (and
+    reported via ``skipped`` when given) rather than crashing the
+    gate: a truncated benchmark run should produce a readable verdict,
+    not a traceback."""
     ms = {}
-    for rec in records:
-        key = (rec.get("kernel"), rec.get("workload"))
+    for idx, rec in enumerate(records):
         impl = rec.get("impl")
-        if impl in ("interp", "fused") and rec.get("ms", 0) > 0:
-            ms.setdefault(key, {})[impl] = rec["ms"]
+        if impl not in ("interp", "fused"):
+            continue
+        value = rec.get("ms")
+        if not _numeric(value) or value <= 0:
+            if skipped is not None:
+                skipped.append(
+                    f"record {idx} ({rec.get('kernel')}/"
+                    f"{rec.get('workload')}/{impl}): "
+                    f"missing or non-positive ms: {value!r}"
+                )
+            continue
+        key = (rec.get("kernel"), rec.get("workload"))
+        ms.setdefault(key, {})[impl] = value
     table = {}
     for key, impls in ms.items():
         if "interp" in impls and "fused" in impls:
@@ -119,18 +144,36 @@ def main():
         default=DEFAULT_TOLERANCE,
         help=f"relative speedup-ratio drop allowed (default {DEFAULT_TOLERANCE})",
     )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="CI mode: also fail on skipped (malformed-ms) records and "
+        "on kernels present in the fresh run but absent from the "
+        "baseline (a new kernel must land with its baseline entry)",
+    )
     args = parser.parse_args()
 
+    skipped = []
     try:
         fresh_records = load_records(args.fresh)
-        fresh = speedup_table(fresh_records)
-        base = speedup_table(load_records(args.baseline))
-    except (OSError, ValueError, json.JSONDecodeError) as err:
-        print(f"bench_check: {err}", file=sys.stderr)
+        fresh = speedup_table(fresh_records, skipped)
+        base = speedup_table(load_records(args.baseline), skipped)
+    except OSError as err:
+        print(
+            f"bench_check: cannot read record file: {err}\n"
+            "  (run bench_microkernels first, or pass --fresh/--baseline "
+            "explicitly)",
+            file=sys.stderr,
+        )
+        return 2
+    except (ValueError, json.JSONDecodeError) as err:
+        print(f"bench_check: malformed record file: {err}", file=sys.stderr)
         return 2
 
     if not fresh:
         print(f"bench_check: no interp/fused pairs in {args.fresh}", file=sys.stderr)
+        for note in skipped:
+            print(f"  {note}", file=sys.stderr)
         return 2
 
     header = f"{'kernel':<10} {'workload':<18} {'baseline':>9} {'fresh':>9} {'delta':>8}  status"
@@ -156,6 +199,18 @@ def main():
     for key in sorted(set(fresh) - set(base)):
         kernel, workload = key
         print(f"{kernel:<10} {workload:<18} {'---':>9} {fresh[key]:>8.2f}x {'---':>8}  new")
+        if args.strict:
+            regressions.append(
+                f"{kernel}/{workload}: present in fresh run but not in the "
+                "baseline (--strict: add it to bench/baselines)"
+            )
+
+    if skipped:
+        print("\nbench_check: skipped records:", file=sys.stderr)
+        for note in skipped:
+            print(f"  {note}", file=sys.stderr)
+        if args.strict:
+            regressions.extend(skipped)
 
     print_phase_breakdown(fresh_records, sorted(set(base) | set(fresh)))
 
