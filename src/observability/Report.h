@@ -53,7 +53,9 @@ struct LoopStat {
 
 /// Wait/execute activity of one pool participant over the run (the
 /// delta of the ThreadPool's always-on accounting between run start
-/// and run end). The "caller" entry pools every submitting thread.
+/// and run end). The "caller" entry is the submitting thread's own
+/// per-caller slot, so concurrent requests see their own wait/execute
+/// split.
 struct WorkerStat {
   std::string Name; ///< "worker-0", ..., or "caller"
   uint64_t WaitNs = 0;

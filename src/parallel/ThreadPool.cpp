@@ -15,6 +15,21 @@ namespace {
 /// from such a thread run inline instead of deadlocking on the batch
 /// they are part of.
 thread_local bool InPoolTask = false;
+
+/// Pool identities for the thread-local caller-slot cache. Strictly
+/// increasing, so a pool constructed at a freed pool's address never
+/// matches a cache entry left by its predecessor.
+std::atomic<uint64_t> NextPoolEpoch{1};
+
+/// One thread's cached caller registration (pool + epoch validate it;
+/// Slot/Id are only meaningful when they match).
+struct CallerCache {
+  const void *Pool = nullptr;
+  uint64_t Epoch = 0;
+  void *Slot = nullptr;
+  unsigned Id = 0;
+};
+thread_local CallerCache TlsCaller;
 } // namespace
 
 void ThreadPool::ActivitySlot::recordTask(uint64_t DurNs) {
@@ -34,7 +49,20 @@ ThreadPool::ActivityCounters ThreadPool::ActivitySlot::read() const {
   return Out;
 }
 
-ThreadPool::ThreadPool(unsigned WorkerCount) {
+ThreadPool::ActivityCounters
+ThreadPool::ActivitySnapshot::callersTotal() const {
+  ActivityCounters Out;
+  for (const ActivityCounters &C : Callers) {
+    Out.WaitNs += C.WaitNs;
+    Out.ExecNs += C.ExecNs;
+    Out.Tasks += C.Tasks;
+    Out.TaskNs.merge(C.TaskNs);
+  }
+  return Out;
+}
+
+ThreadPool::ThreadPool(unsigned WorkerCount)
+    : Epoch(NextPoolEpoch.fetch_add(1, std::memory_order_relaxed)) {
   Workers.reserve(WorkerCount);
   for (unsigned W = 0; W < WorkerCount; ++W) {
     Slots.push_back(std::make_unique<ActivitySlot>());
@@ -113,8 +141,27 @@ void ThreadPool::workerLoop(unsigned Id, ActivitySlot &Slot) {
   }
 }
 
+ThreadPool::ActivitySlot &ThreadPool::callerSlot() {
+  if (TlsCaller.Pool == this && TlsCaller.Epoch == Epoch)
+    return *static_cast<ActivitySlot *>(TlsCaller.Slot);
+  std::lock_guard<std::mutex> Lock(Mu);
+  auto [It, New] = CallerIds.insert(
+      {std::this_thread::get_id(), static_cast<unsigned>(CallerSlots.size())});
+  if (New)
+    CallerSlots.push_back(std::make_unique<ActivitySlot>());
+  ActivitySlot *Slot = CallerSlots[It->second].get();
+  TlsCaller = CallerCache{this, Epoch, Slot, It->second};
+  return *Slot;
+}
+
+unsigned ThreadPool::currentCallerId() {
+  callerSlot();
+  return TlsCaller.Id;
+}
+
 unsigned ThreadPool::runTasks(Batch &B,
-                              const std::function<void(unsigned)> &Fn) {
+                              const std::function<void(unsigned)> &Fn,
+                              ActivitySlot &Caller) {
   unsigned Finished = 0;
   for (unsigned T = B.Next.fetch_add(1, std::memory_order_relaxed);
        T < B.Tasks; T = B.Next.fetch_add(1, std::memory_order_relaxed)) {
@@ -125,7 +172,7 @@ unsigned ThreadPool::runTasks(Batch &B,
     const uint64_t T0 = obs::nowNs();
     Fn(T);
     const uint64_t T1 = obs::nowNs();
-    CallerSlot.recordTask(T1 - T0);
+    Caller.recordTask(T1 - T0);
     if (obs::tracingEnabled())
       obs::emitSpan("task", "pool", T0, T1 - T0, static_cast<int64_t>(T),
                     static_cast<int64_t>(B.Tasks));
@@ -155,27 +202,36 @@ void ThreadPool::parallelFor(unsigned Tasks,
     B.Fn = &Fn;
     B.Stop = Stop;
     B.Tasks = Tasks;
-    runTasks(B, Fn);
+    runTasks(B, Fn, callerSlot());
     return;
   }
-  std::lock_guard<std::mutex> SubmitLock(SubmitMu);
+  ActivitySlot &Caller = callerSlot();
   auto B = std::make_shared<Batch>();
   B->Fn = &Fn;
   B->Stop = Stop;
   B->Tasks = Tasks;
-  B->OpenNs = obs::nowNs();
+  // FIFO admission: draw a ticket, publish when served. The queue wait
+  // (arrival -> publication) is caller WAIT — under concurrent
+  // submitters it is exactly the time this request spent waiting for
+  // other requests' batches, which the per-caller slots keep truthful.
+  const uint64_t Q0 = obs::nowNs();
   {
-    std::lock_guard<std::mutex> Lock(Mu);
+    std::unique_lock<std::mutex> Lock(Mu);
+    const uint64_t MyTicket = TicketNext++;
+    TicketCv.wait(Lock, [&] { return TicketServing == MyTicket; });
     assert(Pending == 0 && "overlapping parallelFor batches");
+    B->OpenNs = obs::nowNs();
     Cur = B;
     Pending = Tasks;
     ++Generation;
   }
+  if (B->OpenNs > Q0)
+    Caller.WaitNs.fetch_add(B->OpenNs - Q0, std::memory_order_relaxed);
   WakeCv.notify_all();
 
   // The caller participates too.
   InPoolTask = true;
-  unsigned Finished = runTasks(*B, Fn);
+  unsigned Finished = runTasks(*B, Fn, Caller);
   InPoolTask = false;
 
   // The caller's completion wait is its WAIT scope.
@@ -187,10 +243,12 @@ void ThreadPool::parallelFor(unsigned Tasks,
       DoneCv.notify_all();
     DoneCv.wait(Lock, [&] { return Pending == 0; });
     Cur.reset();
+    ++TicketServing;
   }
+  TicketCv.notify_all();
   const uint64_t W1 = obs::nowNs();
   if (W1 > W0)
-    CallerSlot.WaitNs.fetch_add(W1 - W0, std::memory_order_relaxed);
+    Caller.WaitNs.fetch_add(W1 - W0, std::memory_order_relaxed);
   if (obs::tracingEnabled()) {
     obs::emitSpan("wait", "pool", W0, W1 - W0);
     obs::emitSpan("batch", "pool", B->OpenNs, W1 - B->OpenNs,
@@ -200,13 +258,13 @@ void ThreadPool::parallelFor(unsigned Tasks,
 
 ThreadPool::ActivitySnapshot ThreadPool::activitySnapshot() const {
   ActivitySnapshot Out;
-  {
-    std::lock_guard<std::mutex> Lock(Mu);
-    Out.Workers.reserve(Slots.size());
-    for (const std::unique_ptr<ActivitySlot> &S : Slots)
-      Out.Workers.push_back(S->read());
-  }
-  Out.Callers = CallerSlot.read();
+  std::lock_guard<std::mutex> Lock(Mu);
+  Out.Workers.reserve(Slots.size());
+  for (const std::unique_ptr<ActivitySlot> &S : Slots)
+    Out.Workers.push_back(S->read());
+  Out.Callers.reserve(CallerSlots.size());
+  for (const std::unique_ptr<ActivitySlot> &S : CallerSlots)
+    Out.Callers.push_back(S->read());
   return Out;
 }
 

@@ -22,12 +22,22 @@
 /// activity counters in the style of the NBS executor — per-worker
 /// busy time, in-batch wait time, task counts, and a log-bucketed
 /// histogram of task durations — snapshotted by activitySnapshot() and
-/// windowed per run by Executor::lastReport(). Wait is attributed only
+/// windowed per run by the Executor's report. Wait is attributed only
 /// from the instant a batch opens (an idle pool waiting between
-/// batches is not "starved"), and the caller's own task execution and
-/// completion wait are pooled under a single caller slot. When tracing
-/// is enabled (observability/Trace.h), workers additionally emit
-/// wait/task spans and the caller emits one batch span.
+/// batches is not "starved"). Each submitting thread gets its own
+/// caller slot (registered on first submission, id returned by
+/// currentCallerId()), so concurrent requests see their own task
+/// execution, submission-queue wait, and completion wait instead of
+/// one pooled bucket. When tracing is enabled (observability/Trace.h),
+/// workers additionally emit wait/task spans and the caller emits one
+/// batch span.
+///
+/// Fairness: batches from different submitting threads are serialized
+/// in strict arrival order (a ticket queue), so many concurrent
+/// requests interleave at batch granularity instead of one caller
+/// winning a mutex convoy. The fairness unit is one batch: a request
+/// that decomposes its loops into batches shares the pool
+/// round-robin-by-arrival with every other in-flight request.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -40,6 +50,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <thread>
@@ -60,7 +71,14 @@ public:
   };
   struct ActivitySnapshot {
     std::vector<ActivityCounters> Workers; ///< index = worker id
-    ActivityCounters Callers; ///< every submitting thread, pooled
+    /// One entry per submitting thread, indexed by the caller id
+    /// returned by currentCallerId(). A thread that never submitted
+    /// has no entry; entries never move once assigned, so windowing
+    /// two snapshots by index is exact.
+    std::vector<ActivityCounters> Callers;
+
+    /// All caller slots pooled (the pre-per-caller aggregate view).
+    ActivityCounters callersTotal() const;
   };
 
   /// Creates \p Workers background threads (0 is valid: every batch
@@ -105,6 +123,13 @@ public:
   /// consistent-enough window for timing purposes.
   ActivitySnapshot activitySnapshot() const;
 
+  /// The calling thread's caller-slot index in ActivitySnapshot::
+  /// Callers, registering the thread on first use. Stable for the
+  /// thread's lifetime; an executor windows exactly its own slot, so
+  /// concurrent submitters never pollute each other's wait/execute
+  /// split.
+  unsigned currentCallerId();
+
   /// The process-wide pool, created on first use with
   /// hardware_concurrency() - 1 workers.
   static ThreadPool &global();
@@ -144,23 +169,41 @@ private:
 
   void workerLoop(unsigned Id, ActivitySlot &Slot);
   /// The caller's claim loop plus its activity/trace accounting;
-  /// shared by the inline and pooled paths of parallelFor.
-  unsigned runTasks(Batch &B, const std::function<void(unsigned)> &Fn);
+  /// shared by the inline and pooled paths of parallelFor. Charges
+  /// \p Caller, the submitting thread's own slot.
+  unsigned runTasks(Batch &B, const std::function<void(unsigned)> &Fn,
+                    ActivitySlot &Caller);
+  /// The calling thread's caller slot, registering it on first use.
+  /// Cached thread-locally (validated against the pool's epoch, so a
+  /// reused pool address never resurrects a stale slot); the slow path
+  /// takes Mu once per (thread, pool).
+  ActivitySlot &callerSlot();
 
   std::vector<std::thread> Workers; ///< guarded by Mu
   /// Per-worker activity; parallel to Workers. Slots are heap-stable
   /// (workers hold direct references), only the vector itself is
   /// guarded by Mu.
   std::vector<std::unique_ptr<ActivitySlot>> Slots;
-  ActivitySlot CallerSlot;
+  /// Per-submitting-thread activity, indexed by caller id; heap-stable
+  /// like Slots, vector + id map guarded by Mu.
+  std::vector<std::unique_ptr<ActivitySlot>> CallerSlots;
+  std::map<std::thread::id, unsigned> CallerIds; ///< guarded by Mu
+  /// Process-unique pool identity for the thread-local caller cache
+  /// (distinguishes a new pool constructed at a freed pool's address).
+  const uint64_t Epoch;
   /// Mirror of Workers.size() readable without Mu (parallelFor checks
   /// it while ensureWorkers may be appending threads).
   std::atomic<unsigned> NumWorkers{0};
 
-  std::mutex SubmitMu; ///< serializes whole batches across callers
   mutable std::mutex Mu;
   std::condition_variable WakeCv;  ///< workers wait for a new batch
   std::condition_variable DoneCv;  ///< caller waits for batch completion
+  /// FIFO submission tickets (guarded by Mu): a submitter draws
+  /// TicketNext and publishes its batch when TicketServing reaches it,
+  /// so concurrent callers interleave batches in arrival order.
+  std::condition_variable TicketCv;
+  uint64_t TicketNext = 0;
+  uint64_t TicketServing = 0;
   uint64_t Generation = 0;         ///< bumped per batch
   bool Stopping = false;
   std::shared_ptr<Batch> Cur;      ///< batch being executed, if any

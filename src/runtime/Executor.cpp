@@ -699,6 +699,10 @@ std::string execOptionsSummary(const ExecOptions &O) {
   if (O.MemoryBudgetBytes)
     Out += " membudget=" + std::to_string(O.MemoryBudgetBytes);
   Out += std::string(" tracing=") + (O.Tracing ? "on" : "off");
+  // Appended only when off so default-option strings (and everything
+  // keyed on them) are unchanged.
+  if (!O.GlobalCounterFlush)
+    Out += " globalflush=off";
   return Out;
 }
 
@@ -920,46 +924,12 @@ Status Executor::tryPrepare() {
   if (Options.Threads > 1)
     ThreadPool::ensureGlobalThreads(Options.Threads);
   const uint64_t M0 = obs::nowNs();
-  // Materialize diagonal splits (both halves from one pass per source).
-  std::map<std::string, std::pair<Tensor *, Tensor *>> SplitCache;
-  for (const SplitRequest &Req : K.Splits) {
-    auto It = SplitCache.find(Req.Source);
-    if (It == SplitCache.end()) {
-      Tensor *Src = lookup(Req.Source);
-      if (!Src)
-        return Status::error(ErrCode::UnboundTensor,
-                             "split source " + Req.Source + " not bound")
-            .withContext("kernel '" + K.Name + "'");
-      auto DeclIt = K.Decls.find(Req.Source);
-      if (DeclIt == K.Decls.end())
-        return Status::error(ErrCode::InvalidArgument,
-                             "split source " + Req.Source + " not declared")
-            .withContext("kernel '" + K.Name + "'");
-      auto [OffDiag, Diag] = Src->splitDiagonal(DeclIt->second.Symmetry);
-      Owned.push_back(std::make_unique<Tensor>(std::move(OffDiag)));
-      Tensor *OffPtr = Owned.back().get();
-      Owned.push_back(std::make_unique<Tensor>(std::move(Diag)));
-      Tensor *DiagPtr = Owned.back().get();
-      It = SplitCache.insert({Req.Source, {OffPtr, DiagPtr}}).first;
-    }
-    Bound[Req.Alias] = Req.DiagonalPart ? It->second.second
-                                        : It->second.first;
-  }
-  // Materialize transposes (possibly of split aliases).
-  for (const TransposeRequest &Req : K.Transposes) {
-    Tensor *Src = lookup(Req.Source);
-    if (!Src)
-      return Status::error(ErrCode::UnboundTensor,
-                           "transpose source " + Req.Source + " not bound")
-          .withContext("kernel '" + K.Name + "'");
-    TensorFormat Format = TensorFormat::dense(Src->order());
-    auto DeclIt = K.Decls.find(Req.Alias);
-    if (DeclIt != K.Decls.end())
-      Format = DeclIt->second.Format;
-    Owned.push_back(std::make_unique<Tensor>(
-        Src->transposed(Req.ModePerm, Format)));
-    Bound[Req.Alias] = Owned.back().get();
-  }
+  UserBound = Bound;
+  UserSig.clear();
+  for (const auto &[Name, T] : UserBound)
+    UserSig[Name] = BindingSig{T->format(), T->dims(), T->fill()};
+  if (Status S = materializeAliases(Bound, Owned); !S.ok())
+    return S;
   const uint64_t M1 = obs::nowNs();
   // With aliases materialized every access is resolvable; reject
   // malformed kernels here so plan compilation can trust its input.
@@ -975,6 +945,171 @@ Status Executor::tryPrepare() {
   }
   Report.Options = execOptionsSummary(Options);
   Prepared = true;
+  return Status::success();
+}
+
+Status Executor::materializeAliases(std::map<std::string, Tensor *> &B,
+                                    std::vector<std::unique_ptr<Tensor>> &O) {
+  auto Find = [&B](const std::string &Name) -> Tensor * {
+    auto It = B.find(Name);
+    return It == B.end() ? nullptr : It->second;
+  };
+  // Materialize diagonal splits (both halves from one pass per source).
+  std::map<std::string, std::pair<Tensor *, Tensor *>> SplitCache;
+  for (const SplitRequest &Req : K.Splits) {
+    auto It = SplitCache.find(Req.Source);
+    if (It == SplitCache.end()) {
+      Tensor *Src = Find(Req.Source);
+      if (!Src)
+        return Status::error(ErrCode::UnboundTensor,
+                             "split source " + Req.Source + " not bound")
+            .withContext("kernel '" + K.Name + "'");
+      auto DeclIt = K.Decls.find(Req.Source);
+      if (DeclIt == K.Decls.end())
+        return Status::error(ErrCode::InvalidArgument,
+                             "split source " + Req.Source + " not declared")
+            .withContext("kernel '" + K.Name + "'");
+      auto [OffDiag, Diag] = Src->splitDiagonal(DeclIt->second.Symmetry);
+      O.push_back(std::make_unique<Tensor>(std::move(OffDiag)));
+      Tensor *OffPtr = O.back().get();
+      O.push_back(std::make_unique<Tensor>(std::move(Diag)));
+      Tensor *DiagPtr = O.back().get();
+      It = SplitCache.insert({Req.Source, {OffPtr, DiagPtr}}).first;
+    }
+    B[Req.Alias] = Req.DiagonalPart ? It->second.second
+                                    : It->second.first;
+  }
+  // Materialize transposes (possibly of split aliases).
+  for (const TransposeRequest &Req : K.Transposes) {
+    Tensor *Src = Find(Req.Source);
+    if (!Src)
+      return Status::error(ErrCode::UnboundTensor,
+                           "transpose source " + Req.Source + " not bound")
+          .withContext("kernel '" + K.Name + "'");
+    TensorFormat Format = TensorFormat::dense(Src->order());
+    auto DeclIt = K.Decls.find(Req.Alias);
+    if (DeclIt != K.Decls.end())
+      Format = DeclIt->second.Format;
+    O.push_back(std::make_unique<Tensor>(
+        Src->transposed(Req.ModePerm, Format)));
+    B[Req.Alias] = O.back().get();
+  }
+  return Status::success();
+}
+
+Status Executor::rebind(const std::map<std::string, Tensor *> &NewBindings,
+                        const ExecOptions &RunOptions) {
+  if (!Prepared)
+    return Status::error(ErrCode::InvalidArgument,
+                         "rebind called before prepare");
+  if (RunOptions.DeadlineMs < 0)
+    return Status::error(ErrCode::InvalidOptions,
+                         "deadline must be non-negative, got " +
+                             std::to_string(RunOptions.DeadlineMs))
+        .withContext("kernel '" + K.Name + "'");
+  // Structural identity: every originally-bound name needs a
+  // replacement whose format, dims, and fill match the tensor the plan
+  // was compiled against (the compiled walkers, strides, and fused
+  // engines are only valid for that structure). The check runs against
+  // the signature captured at prepare, never the previous tensors —
+  // those only had to outlive their own run and may be gone.
+  for (const auto &[Name, Sig] : UserSig) {
+    auto It = NewBindings.find(Name);
+    if (It == NewBindings.end() || !It->second)
+      return Status::error(ErrCode::UnboundTensor,
+                           "rebind missing tensor " + Name)
+          .withContext("kernel '" + K.Name + "'");
+    const Tensor *New = It->second;
+    const bool FillEq = New->fill() == Sig.Fill ||
+                        (New->fill() != New->fill() &&
+                         Sig.Fill != Sig.Fill); // both NaN
+    if (!(New->format() == Sig.Format) || New->dims() != Sig.Dims ||
+        !FillEq)
+      return Status::error(ErrCode::InvalidArgument,
+                           "rebind structure mismatch for tensor " + Name)
+          .withContext("kernel '" + K.Name + "'");
+  }
+  // New client tensors are validated before anything dereferences
+  // their level arrays, exactly like tryPrepare.
+  uint64_t NewValidateNs = 0;
+  if (RunOptions.ValidateInputs != ValidationLevel::None) {
+    const uint64_t V0 = obs::nowNs();
+    for (const auto &[Name, Old] : UserBound) {
+      Tensor *New = NewBindings.at(Name);
+      if (Status S = New->validate(RunOptions.ValidateInputs); !S.ok())
+        return std::move(S)
+            .withContext("tensor '" + Name + "'")
+            .withContext("kernel '" + K.Name + "'");
+    }
+    NewValidateNs = obs::nowNs() - V0;
+  }
+  const uint64_t R0 = obs::nowNs();
+  // Rebuild the name map and materialized aliases over the new
+  // tensors; the kernel's split/transpose requests are deterministic,
+  // so the alias name set matches the compiled one exactly.
+  std::map<std::string, Tensor *> NewUserBound;
+  for (const auto &[Name, Old] : UserBound)
+    NewUserBound[Name] = NewBindings.at(Name);
+  std::map<std::string, Tensor *> NewBound = NewUserBound;
+  std::vector<std::unique_ptr<Tensor>> NewOwned;
+  if (Status S = materializeAliases(NewBound, NewOwned); !S.ok())
+    return S;
+  // Old-pointer -> new-pointer map over every name the plan may have
+  // baked (user bindings and materialized aliases alike).
+  std::map<Tensor *, Tensor *> Map;
+  for (const auto &[Name, Old] : Bound) {
+    auto NewIt = NewBound.find(Name);
+    if (NewIt == NewBound.end())
+      return Status::error(ErrCode::Internal,
+                           "alias " + Name + " vanished on rebind")
+          .withContext("kernel '" + K.Name + "'");
+    auto [MIt, Inserted] = Map.insert({Old, NewIt->second});
+    if (!Inserted && MIt->second != NewIt->second)
+      return Status::error(ErrCode::InvalidArgument,
+                           "ambiguous rebind: one tensor was bound under "
+                           "multiple names with different replacements")
+          .withContext("kernel '" + K.Name + "'");
+  }
+  // Point of no return: adopt the per-request knobs (every structural
+  // option is key-identical by the caller's contract) and repatch.
+  Options.Cancel = RunOptions.Cancel;
+  Options.DeadlineMs = RunOptions.DeadlineMs;
+  Options.Tracing = RunOptions.Tracing;
+  Options.ValidateInputs = RunOptions.ValidateInputs;
+  Options.GlobalCounterFlush = RunOptions.GlobalCounterFlush;
+  if (Options.Tracing)
+    obs::setTracingEnabled(true);
+  Bound = std::move(NewBound);
+  UserBound = std::move(NewUserBound);
+  for (AccessState &A : Ctx->Accesses) {
+    auto It = Map.find(A.T);
+    if (It != Map.end())
+      A.T = It->second;
+    // Reset run-scoped cursor state exactly as plan compilation
+    // initialized it.
+    std::fill(A.Pos.begin(), A.Pos.end(), int64_t(0));
+    std::fill(A.LocParent.begin(), A.LocParent.end(), int64_t(-1));
+    std::fill(A.LocIdx.begin(), A.LocIdx.end(), int64_t(0));
+  }
+  for (size_t I = 0; I < Outputs.size(); ++I) {
+    auto It = Map.find(Outputs[I]);
+    if (It != Map.end())
+      Outputs[I] = It->second;
+    Ctx->OutPtr[I] = Outputs[I]->vals().data();
+  }
+  RebindCtx RC{Map, Ctx->Accesses};
+  BodyPlan->rebind(RC);
+  if (EpiloguePlan)
+    EpiloguePlan->rebind(RC);
+  Owned = std::move(NewOwned);
+  // The repatch is this "run"'s materialization work; plan compilation
+  // and specialization were skipped outright — which is the whole
+  // point, and what the phase timers pin in reports of rebound runs.
+  ValidateNs = NewValidateNs;
+  MaterializeNs = obs::nowNs() - R0;
+  PlanCompileNs = 0;
+  SpecializeNs = 0;
+  Report.Options = execOptionsSummary(Options);
   return Status::success();
 }
 
@@ -1019,10 +1154,10 @@ void Executor::run() {
   runEpilogue();
 }
 
-Status Executor::tryRun() {
-  if (Status S = tryRunBody(); !S.ok())
+Status Executor::tryRun(obs::ExecReport *Out) {
+  if (Status S = tryRunBody(Out); !S.ok())
     return S;
-  return tryRunEpilogue();
+  return tryRunEpilogue(Out);
 }
 
 void Executor::runBody() {
@@ -1030,7 +1165,7 @@ void Executor::runBody() {
     fatalError(S.str());
 }
 
-Status Executor::tryRunBody() {
+Status Executor::tryRunBody(obs::ExecReport *Out) {
   if (!Prepared)
     return Status::error(ErrCode::InvalidArgument,
                          "runBody called before prepare");
@@ -1070,10 +1205,17 @@ Status Executor::tryRunBody() {
 
   // The pool's activity counters run since process start; window them
   // to this run. Only the pooled configuration touches the pool at all.
+  // The caller windows exactly its own slot (registered here, before
+  // the Before snapshot, so the slot exists in both snapshots) —
+  // concurrent submitters never pollute each other's wait/execute
+  // split.
   const bool Pooled = Options.Threads > 1;
   ThreadPool::ActivitySnapshot Before;
-  if (Pooled)
+  unsigned CallerId = 0;
+  if (Pooled) {
+    CallerId = ThreadPool::global().currentCallerId();
     Before = ThreadPool::global().activitySnapshot();
+  }
 
   const uint64_t T0 = obs::nowNs();
   BodyPlan->exec(*Ctx);
@@ -1109,8 +1251,13 @@ Status Executor::tryRunBody() {
       Report.Workers.push_back(windowWorker(
           "worker-" + std::to_string(W), After.Workers[W], B));
     }
-    Report.Workers.push_back(
-        windowWorker("caller", After.Callers, Before.Callers));
+    const ThreadPool::ActivityCounters CallerB =
+        CallerId < Before.Callers.size() ? Before.Callers[CallerId]
+                                         : ThreadPool::ActivityCounters{};
+    const ThreadPool::ActivityCounters CallerA =
+        CallerId < After.Callers.size() ? After.Callers[CallerId]
+                                        : ThreadPool::ActivityCounters{};
+    Report.Workers.push_back(windowWorker("caller", CallerA, CallerB));
   }
   Report.Options = execOptionsSummary(Options);
 
@@ -1128,6 +1275,8 @@ Status Executor::tryRunBody() {
     const ErrCode Reason = Ctl->reason();
     Report.AbortReason = errCodeName(Reason);
     Ctx->Ctrl = nullptr;
+    if (Out)
+      *Out = Report;
     return Status::error(
                Reason,
                Reason == ErrCode::DeadlineExceeded
@@ -1138,16 +1287,27 @@ Status Executor::tryRunBody() {
   }
 
   Report.Counters = Ctx->Local;
-  flushCounters(*Ctx);
+  // The run's exact deltas live in the report either way; flushing
+  // them into the process-global atomics is opt-out for concurrent
+  // executors (interleaved flushes make the globals attribute deltas
+  // to no one in particular).
+  if (Options.GlobalCounterFlush)
+    flushCounters(*Ctx);
+  else
+    Ctx->Local = CounterSnapshot{};
   Ctx->Ctrl = nullptr;
+  if (Out)
+    *Out = Report;
   return Status::success();
 }
 
-Status Executor::tryRunEpilogue() {
+Status Executor::tryRunEpilogue(obs::ExecReport *Out) {
   if (!Prepared)
     return Status::error(ErrCode::InvalidArgument,
                          "runEpilogue called before prepare");
   runEpilogue();
+  if (Out)
+    *Out = Report;
   return Status::success();
 }
 
@@ -1175,7 +1335,10 @@ void Executor::runEpilogue() {
     Report.Loops[L].Ns = Ctx->LoopNs[L];
   }
   obs::addCounters(Report.Counters, Ctx->Local);
-  flushCounters(*Ctx);
+  if (Options.GlobalCounterFlush)
+    flushCounters(*Ctx);
+  else
+    Ctx->Local = CounterSnapshot{};
 }
 
 } // namespace systec

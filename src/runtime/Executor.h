@@ -130,6 +130,15 @@ struct ExecOptions {
   /// lastReport(), which is populated on every run regardless — with
   /// tracing off only the per-loop call/time aggregates stay zero.
   bool Tracing = false;
+  /// Flush the run's counter deltas into the process-global
+  /// support/Counters atomics after each run (the historical behavior,
+  /// kept as the default for tools and tests that read the globals).
+  /// Concurrent executors interleave their flushes, so an aggregate
+  /// read mid-traffic attributes deltas to no one in particular; the
+  /// kernel service turns this off — every run's exact deltas are in
+  /// its ExecReport::Counters regardless, and the service aggregates
+  /// those per-request snapshots itself.
+  bool GlobalCounterFlush = true;
 };
 
 /// Result of the plan-specialization pass for one prepared executor
@@ -244,12 +253,41 @@ public:
   /// run's counter deltas; lastReport().AbortReason records the
   /// reason. With no token and no deadline these never fail and add
   /// zero per-iteration cost.
-  [[nodiscard]] Status tryRun();
-  [[nodiscard]] Status tryRunBody();
+  ///
+  /// When \p Out is non-null it receives this run's report by value —
+  /// a snapshot the caller owns outright, valid forever (including an
+  /// aborted run's report, with AbortReason set). Concurrent callers
+  /// and anyone holding a report across runs must use these overloads;
+  /// lastReport() below is a reference into executor state the next
+  /// run overwrites.
+  [[nodiscard]] Status tryRun(obs::ExecReport *Out);
+  [[nodiscard]] Status tryRunBody(obs::ExecReport *Out);
   /// The epilogue (symmetric replication) is not cancellable: it is a
   /// cheap deterministic copy pass, and interrupting it would leave
   /// half-replicated outputs. Always returns ok after running.
-  [[nodiscard]] Status tryRunEpilogue();
+  [[nodiscard]] Status tryRunEpilogue(obs::ExecReport *Out);
+  [[nodiscard]] Status tryRun() { return tryRun(nullptr); }
+  [[nodiscard]] Status tryRunBody() { return tryRunBody(nullptr); }
+  [[nodiscard]] Status tryRunEpilogue() { return tryRunEpilogue(nullptr); }
+
+  /// Repatches this prepared executor onto fresh tensors of identical
+  /// structure — the plan-cache hit path, skipping einsum parsing,
+  /// lowering, plan compilation, and specialization entirely (the
+  /// rebound run's report shows plan-compile and specialize phases at
+  /// 0). Every originally-bound name must appear in \p NewBindings
+  /// with the same format descriptor, dims, and fill value as the
+  /// tensor the plan was compiled against; \p RunOptions must agree
+  /// with the compiled options on every structural knob (threads,
+  /// schedule, engines — the plan-cache key guarantees this) and
+  /// supplies the per-request knobs the plan adopts: Cancel,
+  /// DeadlineMs, Tracing, ValidateInputs, GlobalCounterFlush.
+  /// Materialized aliases (diagonal splits, transposes) are rebuilt
+  /// from the new tensors. On error the executor keeps its previous
+  /// bindings and stays runnable. Fails with InvalidArgument when two
+  /// originally-distinct names were bound to one tensor and the new
+  /// bindings disagree (the rebind would be ambiguous; compile fresh).
+  [[nodiscard]] Status rebind(const std::map<std::string, Tensor *> &NewBindings,
+                              const ExecOptions &RunOptions);
 
   /// Human-readable notes for every option value tryPrepare() clamped
   /// ("threads 0 -> 1", ...). Empty when the options were sane.
@@ -267,7 +305,11 @@ public:
   /// The structured report of the most recent runBody() (extended by a
   /// following runEpilogue()): phase timings, per-loop engine/driver
   /// aggregates, per-worker wait/execute activity, and the run's exact
-  /// counter deltas. Valid until the next run of this executor.
+  /// counter deltas. Single-caller convenience ONLY: this is a
+  /// reference into executor state the next run overwrites in place —
+  /// holding it across runs (or reading it while another request runs
+  /// this executor) reads torn data. Callers that outlive the next run
+  /// take a by-value snapshot via tryRun(&Report) instead.
   const obs::ExecReport &lastReport() const { return Report; }
 
 private:
@@ -276,6 +318,20 @@ private:
   Kernel K;
   ExecOptions Options;
   std::map<std::string, Tensor *> Bound;
+  /// The caller's bindings as of tryPrepare() entry, before alias
+  /// materialization replaced split/transposed names in Bound. The
+  /// pointer values feed rebind()'s old->new repatch map; they are
+  /// never dereferenced after the run (bound tensors only have to
+  /// outlive their own run, not the executor's stay in a plan cache).
+  std::map<std::string, Tensor *> UserBound;
+  /// Structural signature of one user binding, captured while the
+  /// tensor was alive — what rebind() checks replacements against.
+  struct BindingSig {
+    TensorFormat Format;
+    std::vector<int64_t> Dims;
+    double Fill = 0.0;
+  };
+  std::map<std::string, BindingSig> UserSig;
   std::vector<std::unique_ptr<Tensor>> Owned;
 
   std::unique_ptr<detail::PlanNode> BodyPlan;
@@ -296,6 +352,12 @@ private:
 
   [[nodiscard]] Status sanitizeOptions();
   [[nodiscard]] Status validateKernel() const;
+  /// Materializes the kernel's diagonal splits and transposes over the
+  /// bindings in \p B, replacing split/transposed names and appending
+  /// the materialized tensors to \p O. Shared by tryPrepare() and
+  /// rebind() so both paths build aliases identically.
+  [[nodiscard]] Status materializeAliases(std::map<std::string, Tensor *> &B,
+                                          std::vector<std::unique_ptr<Tensor>> &O);
 
   /// Report of the most recent run (see lastReport()).
   obs::ExecReport Report;

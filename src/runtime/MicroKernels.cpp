@@ -203,6 +203,7 @@ operandFor(const VInstr &I, MatchState &M,
   case VKind::DenseLoad: {
     Op.K = MKOperand::Kind::Dense;
     Op.Arr = I.T->valsData();
+    Op.ArrT = I.T;
     for (const auto &[Slot, Stride] : I.SlotStride) {
       if (Slot == M.L.Slot)
         Op.VStride += Stride;
@@ -1806,6 +1807,81 @@ void MicroKernel::run(ExecCtx &C, int64_t Lo, int64_t Hi) {
     runInner(C, Lo, Hi);
   else
     runNest(C, Lo, Hi);
+}
+
+//===----------------------------------------------------------------------===//
+// Rebind (plan-cache hit path)
+//===----------------------------------------------------------------------===//
+// Mirrors the baking code above: every raw pointer a kernel cached at
+// specialization is re-derived from the repatched access table, so a
+// rebound plan reads the replacement tensors' level arrays. Re-derivation
+// is idempotent — structure was validated identical before repatching.
+
+namespace {
+
+void rebindCoWalker(MKCoWalker &Co, const std::vector<AccessState> &Accesses) {
+  const AccessState &A = Accesses[Co.AccessId];
+  const Level &Lev = A.T->level(Co.Level);
+  Co.Ptr = Lev.Ptr.data();
+  Co.Crd = Lev.Crd.data();
+  Co.RunEnd = Lev.RunEnd.data();
+  Co.BLo = Lev.Lo.data();
+  Co.BHi = Lev.Hi.data();
+  Co.BOff = Lev.Off.data();
+  Co.Vals = A.T->valsData();
+  Co.Dim = Lev.Dim;
+}
+
+void rebindDriver(MKDriver &D, const std::vector<AccessState> &Accesses) {
+  if (D.K != MKDriver::Kind::Range) {
+    const AccessState &A = Accesses[D.AccessId];
+    const Level &Lev = A.T->level(D.Level);
+    D.Ptr = Lev.Ptr.data();
+    D.Crd = Lev.Crd.data();
+    D.RunEnd = Lev.RunEnd.data();
+    D.BLo = Lev.Lo.data();
+    D.BHi = Lev.Hi.data();
+    D.BOff = Lev.Off.data();
+    D.Vals = A.T->valsData();
+    D.Dim = Lev.Dim;
+  }
+  for (MKCoWalker &Co : D.Cos)
+    rebindCoWalker(Co, Accesses);
+}
+
+void rebindOperand(MKOperand &Op, const RebindCtx &R) {
+  if (Op.K != MKOperand::Kind::Dense || !Op.ArrT)
+    return;
+  auto It = R.Map.find(Op.ArrT);
+  if (It == R.Map.end())
+    return;
+  Op.ArrT = It->second;
+  Op.Arr = Op.ArrT->valsData();
+}
+
+} // namespace
+
+void MicroKernel::rebind(const RebindCtx &R) {
+  rebindDriver(D, R.Accesses);
+  for (MKItem &I : Items) {
+    if (I.K == MKItem::Kind::Loop)
+      continue; // owned by the enclosing Body tree, which rebinds it
+    for (MKOperand &Op : I.S.Factors)
+      rebindOperand(Op, R);
+  }
+  if (Blocked) {
+    rebindDriver(Blocked->Nest, R.Accesses);
+    rebindDriver(Blocked->D, R.Accesses);
+    for (MKOperand &Op : Blocked->Factors)
+      rebindOperand(Op, R);
+  }
+}
+
+void PlanLoop::rebind(const RebindCtx &R) {
+  if (Body)
+    Body->rebind(R);
+  if (Fused)
+    Fused->rebind(R);
 }
 
 } // namespace detail

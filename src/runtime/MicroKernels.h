@@ -101,6 +101,9 @@ struct MKOperand {
   const double *Arr = nullptr; ///< Dense: cached valsData() of the
                                ///< accessed tensor (stable for a live
                                ///< tensor)
+  Tensor *ArrT = nullptr;      ///< Dense: the tensor Arr was cached
+                               ///< from, so rebind can re-derive Arr
+                               ///< for a replacement tensor
   std::vector<std::pair<unsigned, int64_t>> BaseTerms; ///< Dense
   int64_t VStride = 0;                                 ///< Dense
   /// SparseLoad: per level (top first), the index slot providing that
@@ -329,6 +332,13 @@ public:
   std::unique_ptr<MKBlockedEngine> Blocked;
 
   void run(ExecCtx &C, int64_t Lo, int64_t Hi);
+
+  /// Re-derives every raw pointer this kernel baked at specialization
+  /// (driver/co-walker level arrays, dense operand bases, blocked-engine
+  /// state) from the repatched access table and tensor map in \p R.
+  /// Does NOT recurse into Loop items' children: those PlanLoops are
+  /// owned by the enclosing Body tree, which rebinds them itself.
+  void rebind(const RebindCtx &R);
 
   /// Caps enforced by the specializer so the innermost engine can bind
   /// into fixed-size stack arrays.

@@ -35,6 +35,16 @@ void VProgram::finalize() {
   MaxDepth = static_cast<unsigned>(Max);
 }
 
+void VProgram::rebind(const std::map<Tensor *, Tensor *> &Map) {
+  for (VInstr &I : Code) {
+    if (!I.T)
+      continue;
+    auto It = Map.find(I.T);
+    if (It != Map.end())
+      I.T = It->second;
+  }
+}
+
 /// Random access through the fibertree with a movable per-level cursor
 /// (the SparseLoad locator). Equivalent to Tensor::at but exploits the
 /// sorted iteration order of the surrounding loops: repeated lookups

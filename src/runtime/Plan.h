@@ -32,6 +32,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <optional>
 #include <string>
@@ -146,6 +147,18 @@ struct ExecCtx {
   uint32_t PollTick = 0;
 };
 
+/// Context for PlanNode::rebind — repatching a compiled plan onto new
+/// tensors of identical structure (Executor::rebind, the plan-cache
+/// hit path). Map sends every tensor pointer the plan may have baked
+/// (user bindings and materialized aliases alike) to its replacement;
+/// Accesses is the execution context's access-state table *after* its
+/// own tensors were repatched, so fused engines can re-derive raw
+/// level-array pointers from it.
+struct RebindCtx {
+  const std::map<Tensor *, Tensor *> &Map;      ///< old -> new
+  const std::vector<AccessState> &Accesses;     ///< already repatched
+};
+
 /// Cancellation checkpoint for per-iteration polling: free when the
 /// run is uncontrolled; otherwise a relaxed flag test per call with a
 /// full token/deadline poll every 64th (decimating the clock reads
@@ -239,6 +252,10 @@ struct VProgram {
   /// Recomputes MaxDepth from Code (call after appending instructions).
   void finalize();
 
+  /// Repatches baked Tensor pointers (DenseLoad/SparseLoad) through
+  /// \p Map; instructions whose tensor is not in the map are untouched.
+  void rebind(const std::map<Tensor *, Tensor *> &Map);
+
   double eval(ExecCtx &C) const;
 };
 
@@ -250,6 +267,11 @@ class PlanNode {
 public:
   virtual ~PlanNode() = default;
   virtual void exec(ExecCtx &C) = 0;
+  /// Repatches any Tensor pointers this node (or its children) baked at
+  /// plan compilation onto the replacement tensors in \p R — the
+  /// plan-cache hit path. Structure (slots, bounds, conditions, fused
+  /// engines) is untouched; only data pointers move.
+  virtual void rebind(const RebindCtx &R) { (void)R; }
 };
 
 using PlanPtr = std::unique_ptr<PlanNode>;
@@ -261,6 +283,10 @@ public:
     for (PlanPtr &Child : Children)
       Child->exec(C);
   }
+  void rebind(const RebindCtx &R) override {
+    for (PlanPtr &Child : Children)
+      Child->rebind(R);
+  }
 };
 
 class PlanIf final : public PlanNode {
@@ -271,6 +297,7 @@ public:
     if (Cond.eval(C))
       Body->exec(C);
   }
+  void rebind(const RebindCtx &R) override { Body->rebind(R); }
 };
 
 class PlanDef final : public PlanNode {
@@ -278,6 +305,7 @@ public:
   unsigned Slot = 0;
   VProgram Init;
   void exec(ExecCtx &C) override { C.ScalarVal[Slot] = Init.eval(C); }
+  void rebind(const RebindCtx &R) override { Init.rebind(R.Map); }
 };
 
 class PlanAssign final : public PlanNode {
@@ -291,6 +319,7 @@ public:
   std::vector<std::pair<unsigned, int64_t>> SlotStride;
 
   void exec(ExecCtx &C) override;
+  void rebind(const RebindCtx &R) override { Rhs.rebind(R.Map); }
 };
 
 class PlanReplicate final : public PlanNode {
@@ -300,6 +329,11 @@ public:
   unsigned Threads = 1;
 
   void exec(ExecCtx &C) override;
+  void rebind(const RebindCtx &R) override {
+    auto It = R.Map.find(T);
+    if (It != R.Map.end())
+      T = It->second;
+  }
 };
 
 class PlanLoop final : public PlanNode {
@@ -379,6 +413,10 @@ public:
   const char *DriverName = nullptr;
 
   void exec(ExecCtx &C) override;
+  /// Forwards to Body, then re-derives the fused engine's baked raw
+  /// pointers (implemented in MicroKernels.cpp next to the baking
+  /// code it mirrors).
+  void rebind(const RebindCtx &R) override;
   void execParallel(ExecCtx &C, int64_t Lo, int64_t Hi);
   /// Dispatch for one contiguous range: forwards to rangeBody, via
   /// tracedRange (span + aggregate accounting) when C.TraceOn.

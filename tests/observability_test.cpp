@@ -271,10 +271,12 @@ TEST(PoolActivity, TasksAndBusyTimeAreAccounted) {
   const uint64_t Wall = obs::nowNs() - W0;
 
   const auto After = Pool.activitySnapshot();
-  uint64_t Tasks = After.Callers.Tasks - Before.Callers.Tasks;
-  uint64_t Exec = After.Callers.ExecNs - Before.Callers.ExecNs;
-  obs::LogHistogram Rolled = obs::LogHistogram::windowDelta(
-      After.Callers.TaskNs, Before.Callers.TaskNs);
+  const auto CallersB = Before.callersTotal();
+  const auto CallersA = After.callersTotal();
+  uint64_t Tasks = CallersA.Tasks - CallersB.Tasks;
+  uint64_t Exec = CallersA.ExecNs - CallersB.ExecNs;
+  obs::LogHistogram Rolled =
+      obs::LogHistogram::windowDelta(CallersA.TaskNs, CallersB.TaskNs);
   for (size_t W = 0; W < After.Workers.size(); ++W) {
     const uint64_t WTasks =
         After.Workers[W].Tasks - Before.Workers[W].Tasks;
@@ -303,7 +305,7 @@ TEST(PoolActivity, InlinePoolAccountsTheCaller) {
   const auto Before = Pool.activitySnapshot();
   Pool.parallelFor(5, [](unsigned) {});
   const auto After = Pool.activitySnapshot();
-  EXPECT_EQ(After.Callers.Tasks - Before.Callers.Tasks, 5u);
+  EXPECT_EQ(After.callersTotal().Tasks - Before.callersTotal().Tasks, 5u);
   EXPECT_TRUE(After.Workers.empty());
 }
 

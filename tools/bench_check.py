@@ -1,8 +1,8 @@
 #!/usr/bin/env python3
-"""Bench-regression gate over BENCH_microkernels.json.
+"""Bench-regression gate over BENCH_microkernels.json / BENCH_service.json.
 
 Compares a freshly produced benchmark record file against the
-checked-in baseline (bench/baselines/microkernels.json). The gated
+checked-in baseline (bench/baselines/*.json). The gated
 quantity is the
 *fused-over-interpreted speedup ratio* per (kernel, workload) — a pure
 single-process ratio, so it transfers across machines far better than
@@ -10,13 +10,24 @@ wall-clock milliseconds — with a relative tolerance band for machine
 noise. Exits nonzero when any kernel's fresh ratio falls below
 baseline * (1 - tolerance).
 
+With --service the gated records come from bench_service instead: the
+ratio is the *cold-over-warm latency ratio* per kernel (the plan-cache
+hit speedup — first request pays the full front end, warm requests only
+the rebind repatch), and the open-loop p99 latency is additionally
+checked as an absolute guard with its own wide tolerance (wall-clock
+transfers poorly across machines; the ratio gate is the strict one).
+
 Intended uses:
 
   # after running bench_microkernels in the build tree
   python3 tools/bench_check.py --fresh build/BENCH_microkernels.json
 
+  # after running bench_service
+  python3 tools/bench_check.py --service --fresh build/BENCH_service.json
+
   # or via the build system
   cmake --build build --target check_bench
+  cmake --build build --target check_service
 
 CI runs this as a non-blocking report job (the reference container is
 1-core, so wall-time-derived gating stays advisory there); locally it
@@ -30,6 +41,12 @@ import os
 import sys
 
 DEFAULT_TOLERANCE = 0.30  # allow a 30% relative drop before failing
+# The service mode's defaults: the hit-speedup ratio bounces more than
+# the fused-vs-interp ratio (the warm path is sub-millisecond, so timer
+# and scheduler noise is a larger fraction), and p99 is wall-clock on a
+# 1-core CI runner, so its band is deliberately wide.
+SERVICE_TOLERANCE = 0.45
+SERVICE_P99_TOLERANCE = 2.0  # p99 may grow up to 3x baseline
 
 
 def load_records(path):
@@ -50,17 +67,21 @@ def _numeric(value):
     return isinstance(value, (int, float)) and not isinstance(value, bool)
 
 
-def speedup_table(records, skipped=None):
-    """(kernel, workload) -> fused-over-interpreted speedup.
+def speedup_table(records, skipped=None, impls=("interp", "fused")):
+    """(kernel, workload) -> slow-over-fast speedup ratio, where
+    ``impls`` names the (slow, fast) implementation pair — by default
+    interp/fused (the micro-kernel gate), cold/warm in --service mode
+    (the plan-cache hit speedup).
 
     Records with a missing or non-numeric "ms" are skipped (and
     reported via ``skipped`` when given) rather than crashing the
     gate: a truncated benchmark run should produce a readable verdict,
     not a traceback."""
+    slow, fast = impls
     ms = {}
     for idx, rec in enumerate(records):
         impl = rec.get("impl")
-        if impl not in ("interp", "fused"):
+        if impl not in (slow, fast):
             continue
         value = rec.get("ms")
         if not _numeric(value) or value <= 0:
@@ -74,10 +95,21 @@ def speedup_table(records, skipped=None):
         key = (rec.get("kernel"), rec.get("workload"))
         ms.setdefault(key, {})[impl] = value
     table = {}
-    for key, impls in ms.items():
-        if "interp" in impls and "fused" in impls:
-            table[key] = impls["interp"] / impls["fused"]
+    for key, found in ms.items():
+        if slow in found and fast in found:
+            table[key] = found[slow] / found[fast]
     return table
+
+
+def p99_ms(records):
+    """The open-loop p99 latency from a bench_service record file, or
+    None when absent."""
+    for rec in records:
+        if rec.get("kernel") == "service" and rec.get("impl") == "p99":
+            value = rec.get("ms")
+            if _numeric(value) and value > 0:
+                return value
+    return None
 
 
 def phase_table(records):
@@ -93,7 +125,7 @@ def phase_table(records):
     return table
 
 
-def print_phase_breakdown(fresh_records, keys):
+def print_phase_breakdown(fresh_records, keys, impls=("interp", "fused")):
     """Per-phase timing summary next to the ratio table: where each
     configuration's time goes (one instrumented run, not the timed
     average), so a ratio delta points at a phase instead of a rerun."""
@@ -112,7 +144,7 @@ def print_phase_breakdown(fresh_records, keys):
     print(header)
     print("-" * len(header))
     for kernel, workload in keys:
-        for impl in ("interp", "fused"):
+        for impl in impls:
             p = phases.get((kernel, workload, impl))
             if p is None:
                 continue
@@ -127,22 +159,37 @@ def main():
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     repo_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
     parser.add_argument(
+        "--service",
+        action="store_true",
+        help="gate bench_service records instead: cold-over-warm "
+        "plan-cache hit speedup per kernel, plus the open-loop p99 "
+        "latency as a wide-band absolute guard",
+    )
+    parser.add_argument(
         "--fresh",
-        default="BENCH_microkernels.json",
-        help="freshly generated record file (default: ./BENCH_microkernels.json)",
+        default=None,
+        help="freshly generated record file (default: "
+        "./BENCH_microkernels.json, or ./BENCH_service.json with --service)",
     )
     parser.add_argument(
         "--baseline",
-        default=os.path.join(repo_root, "bench", "baselines",
-                             "microkernels.json"),
-        help="checked-in baseline record file "
-        "(default: bench/baselines/microkernels.json)",
+        default=None,
+        help="checked-in baseline record file (default: "
+        "bench/baselines/microkernels.json, or service.json with --service)",
     )
     parser.add_argument(
         "--tolerance",
         type=float,
-        default=DEFAULT_TOLERANCE,
-        help=f"relative speedup-ratio drop allowed (default {DEFAULT_TOLERANCE})",
+        default=None,
+        help=f"relative speedup-ratio drop allowed (default "
+        f"{DEFAULT_TOLERANCE}, or {SERVICE_TOLERANCE} with --service)",
+    )
+    parser.add_argument(
+        "--p99-tolerance",
+        type=float,
+        default=SERVICE_P99_TOLERANCE,
+        help="--service only: relative p99 growth allowed "
+        f"(default {SERVICE_P99_TOLERANCE})",
     )
     parser.add_argument(
         "--strict",
@@ -153,15 +200,26 @@ def main():
     )
     args = parser.parse_args()
 
+    default_name = "service" if args.service else "microkernels"
+    if args.fresh is None:
+        args.fresh = f"BENCH_{default_name}.json"
+    if args.baseline is None:
+        args.baseline = os.path.join(repo_root, "bench", "baselines",
+                                     f"{default_name}.json")
+    if args.tolerance is None:
+        args.tolerance = SERVICE_TOLERANCE if args.service else DEFAULT_TOLERANCE
+    impls = ("cold", "warm") if args.service else ("interp", "fused")
+
     skipped = []
     try:
         fresh_records = load_records(args.fresh)
-        fresh = speedup_table(fresh_records, skipped)
-        base = speedup_table(load_records(args.baseline), skipped)
+        base_records = load_records(args.baseline)
+        fresh = speedup_table(fresh_records, skipped, impls)
+        base = speedup_table(base_records, skipped, impls)
     except OSError as err:
         print(
             f"bench_check: cannot read record file: {err}\n"
-            "  (run bench_microkernels first, or pass --fresh/--baseline "
+            f"  (run bench_{default_name} first, or pass --fresh/--baseline "
             "explicitly)",
             file=sys.stderr,
         )
@@ -171,7 +229,8 @@ def main():
         return 2
 
     if not fresh:
-        print(f"bench_check: no interp/fused pairs in {args.fresh}", file=sys.stderr)
+        print(f"bench_check: no {impls[0]}/{impls[1]} pairs in {args.fresh}",
+              file=sys.stderr)
         for note in skipped:
             print(f"  {note}", file=sys.stderr)
         return 2
@@ -192,8 +251,10 @@ def main():
         status = "ok" if ok else "REGRESSED"
         print(f"{kernel:<10} {workload:<18} {b:>8.2f}x {f:>8.2f}x {delta:>+7.1%}  {status}")
         if not ok:
+            what = ("cold-vs-warm cache-hit" if args.service
+                    else "fused-vs-interpreted")
             regressions.append(
-                f"{kernel}/{workload}: fused-vs-interpreted speedup {f:.2f}x "
+                f"{kernel}/{workload}: {what} speedup {f:.2f}x "
                 f"< baseline {b:.2f}x - {args.tolerance:.0%}"
             )
     for key in sorted(set(fresh) - set(base)):
@@ -205,6 +266,26 @@ def main():
                 "baseline (--strict: add it to bench/baselines)"
             )
 
+    if args.service:
+        fresh_p99 = p99_ms(fresh_records)
+        base_p99 = p99_ms(base_records)
+        if fresh_p99 is None:
+            regressions.append(
+                "service/openloop: no p99 record in the fresh run")
+        elif base_p99 is not None:
+            limit = base_p99 * (1.0 + args.p99_tolerance)
+            ok = fresh_p99 <= limit
+            print(
+                f"\nopen-loop p99: baseline {base_p99:.3f}ms  "
+                f"fresh {fresh_p99:.3f}ms  limit {limit:.3f}ms  "
+                f"{'ok' if ok else 'REGRESSED'}"
+            )
+            if not ok:
+                regressions.append(
+                    f"service/openloop: p99 {fresh_p99:.3f}ms > baseline "
+                    f"{base_p99:.3f}ms + {args.p99_tolerance:.0%}"
+                )
+
     if skipped:
         print("\nbench_check: skipped records:", file=sys.stderr)
         for note in skipped:
@@ -212,14 +293,17 @@ def main():
         if args.strict:
             regressions.extend(skipped)
 
-    print_phase_breakdown(fresh_records, sorted(set(base) | set(fresh)))
+    print_phase_breakdown(fresh_records, sorted(set(base) | set(fresh)),
+                          impls)
 
     if regressions:
         print("\nbench_check: FAIL", file=sys.stderr)
         for r in regressions:
             print(f"  {r}", file=sys.stderr)
         return 1
-    print("\nbench_check: OK (all fused-vs-interpreted ratios within tolerance)")
+    what = ("cache-hit ratios and p99" if args.service
+            else "fused-vs-interpreted ratios")
+    print(f"\nbench_check: OK (all {what} within tolerance)")
     return 0
 
 
