@@ -87,6 +87,23 @@ std::vector<Variant> variants() {
     V.Exec.EnableBlocking = false;
     Out.push_back(V);
   }
+  {
+    // The typed engine-preference surface (ExecOptions::Engines): the
+    // JIT-compiled whole-body engine first, standard fallback chain
+    // behind it. Degrades to fused automatically when no host compiler
+    // is available, so the variant always runs.
+    Variant V{"engine_native", {}, {}};
+    V.Exec.Engines = {Engine::Native, Engine::Fused, Engine::Interp};
+    Out.push_back(V);
+  }
+  {
+    // Pure interpreter spelled through the same typed surface (the
+    // per-loop engines ablated away wholesale rather than via the
+    // deprecated booleans).
+    Variant V{"engine_interp", {}, {}};
+    V.Exec.Engines = {Engine::Interp};
+    Out.push_back(V);
+  }
   return Out;
 }
 

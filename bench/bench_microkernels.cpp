@@ -19,6 +19,7 @@
 #include "BenchUtil.h"
 
 #include "core/Compiler.h"
+#include "jit/NativeKernelCache.h"
 #include "kernels/Kernels.h"
 #include "observability/Trace.h"
 
@@ -116,10 +117,13 @@ std::vector<MicroCase> makeCases(Rng &R) {
 
 /// The single source of truth for each impl row's execution options:
 /// used to build the Executor *and* to attribute its BENCH_* record.
-ExecOptions implOptions(bool Fused) {
+ExecOptions implOptions(const std::string &Impl) {
   ExecOptions O;
   O.Threads = 1;
-  O.EnableMicroKernels = Fused;
+  if (Impl == "native")
+    O.Engines = {Engine::Native, Engine::Fused, Engine::Interp};
+  else
+    O.EnableMicroKernels = Impl == "fused";
   return O;
 }
 
@@ -131,13 +135,30 @@ int main(int argc, char **argv) {
   std::vector<MicroCase> Cases = makeCases(R);
   std::vector<std::unique_ptr<Holder>> Holders;
 
+  // The native (JIT) column rides along whenever a host compiler is
+  // available; otherwise the bench degrades to the two classic columns
+  // with a visible note rather than failing.
+  std::vector<std::string> Impls{"interp", "fused"};
+  {
+    std::string Reason;
+    if (jit::NativeKernelCache::compilerAvailable(&Reason))
+      Impls.push_back("native");
+    else
+      std::printf("native column skipped: %s\n", Reason.c_str());
+  }
+  // Per case, the impls whose executors actually registered (the native
+  // impl drops out when the build falls back, so a fused run is never
+  // mislabeled as native).
+  std::vector<std::vector<std::string>> CaseImpls;
+
   for (MicroCase &C : Cases) {
     CompileResult Compiled = compileEinsum(C.E);
     auto H = std::make_unique<Holder>();
     H->Tensors.emplace("out", Tensor::dense(C.OutDims));
     Tensor *Out = &H->tensor("out");
-    for (const char *Impl : {"interp", "fused"}) {
-      ExecOptions O = implOptions(Impl == std::string("fused"));
+    CaseImpls.emplace_back();
+    for (const std::string &Impl : Impls) {
+      ExecOptions O = implOptions(Impl);
       H->Executors.push_back(
           std::make_unique<Executor>(Compiled.Optimized, O));
       Executor &E = *H->Executors.back();
@@ -145,6 +166,13 @@ int main(int argc, char **argv) {
         E.bind(Name, &T);
       E.bind(C.OutName, Out);
       E.prepare();
+      if (Impl == "native" && !E.usesNativeEngine()) {
+        std::printf("%-8s native build fell back (%s)\n", C.Name.c_str(),
+                    E.nativeStatus().str().c_str());
+        H->Executors.pop_back();
+        continue;
+      }
+      CaseImpls.back().push_back(Impl);
       registerRun("microkernels/" + C.Name + "/" + Impl,
                   [Out] { Out->setAllValues(0.0); },
                   [&E] { E.runBody(); });
@@ -171,26 +199,35 @@ int main(int argc, char **argv) {
   CaptureReporter Rep;
   benchmark::RunSpecifiedBenchmarks(&Rep);
 
-  std::printf("\n=== Micro-kernel speedup (interpreted plan vs fused, "
-              "Threads=1) ===\n");
-  std::printf("%-10s %12s %12s %10s %10s\n", "kernel", "interp(ms)",
-              "fused(ms)", "speedup", "target");
+  std::printf("\n=== Micro-kernel speedup (interpreted plan vs fused vs "
+              "native, Threads=1) ===\n");
+  std::printf("%-10s %12s %12s %12s %10s %10s %10s\n", "kernel",
+              "interp(ms)", "fused(ms)", "native(ms)", "speedup",
+              "nat/fused", "target");
   std::vector<BenchRecord> Records;
   for (size_t CI = 0; CI < Cases.size(); ++CI) {
     const MicroCase &C = Cases[CI];
     double TI = Rep.millis("microkernels/" + C.Name + "/interp");
     double TF = Rep.millis("microkernels/" + C.Name + "/fused");
+    double TN = Rep.millis("microkernels/" + C.Name + "/native");
     const bool HasTarget = C.Name == "ssymv" || C.Name == "ssyrk";
-    if (TI > 0 && TF > 0)
-      std::printf("%-10s %12.3f %12.3f %9.2fx %10s\n", C.Name.c_str(),
-                  TI, TF, TI / TF, HasTarget ? ">=2.00x" : "-");
-    for (unsigned Idx = 0; Idx < 2; ++Idx) {
-      const char *Impl = Idx ? "fused" : "interp";
+    if (TI > 0 && TF > 0) {
+      char NativeMs[32] = "-", NativeRatio[32] = "-";
+      if (TN > 0) {
+        std::snprintf(NativeMs, sizeof(NativeMs), "%.3f", TN);
+        std::snprintf(NativeRatio, sizeof(NativeRatio), "%.2fx", TF / TN);
+      }
+      std::printf("%-10s %12.3f %12.3f %12s %9.2fx %10s %10s\n",
+                  C.Name.c_str(), TI, TF, NativeMs, TI / TF, NativeRatio,
+                  HasTarget ? ">=2.00x" : "-");
+    }
+    for (size_t Idx = 0; Idx < CaseImpls[CI].size(); ++Idx) {
+      const std::string &Impl = CaseImpls[CI][Idx];
       double Ms = Rep.millis("microkernels/" + C.Name + "/" + Impl);
       if (Ms <= 0)
         continue;
       BenchRecord Rec{C.Name, C.Workload, Impl, 1, "none", Ms, 0,
-                      execOptionsSummary(implOptions(Idx == 1)),
+                      execOptionsSummary(implOptions(Impl)),
                       "", ""};
       Tensor *Out = &Holders[CI]->tensor("out");
       annotateRecord(Rec, *Holders[CI]->Executors[Idx],
@@ -211,7 +248,7 @@ int main(int argc, char **argv) {
       CompileResult Compiled = compileEinsum(C.E);
       Tensor *Out = &Holders[CI]->tensor("out");
       for (unsigned Idx = 0; Idx < 2; ++Idx) {
-        ExecOptions O = implOptions(Idx == 1);
+        ExecOptions O = implOptions(Idx ? "fused" : "interp");
         O.Threads = 2;
         O.Schedule = SchedulePolicy::Dynamic;
         O.Tracing = true;

@@ -1,0 +1,85 @@
+//===- jit/NativeAbi.h - C ABI between runtime and JIT'd code -*- C++ -*-===//
+///
+/// \file
+/// The C ABI contract between the runtime and a JIT-compiled kernel
+/// .so. The emitted translation unit (core/Codegen.h: emitNativeTU) is
+/// self-contained — it defines byte-identical copies of these structs
+/// rather than including this header, so a cached .so never depends on
+/// the library's include tree or version. The duplication is the
+/// contract: any layout change here must bump the struct definitions in
+/// the emitter too, which changes the emitted source and therefore the
+/// content hash — stale cached objects simply miss.
+///
+/// Layout notes: plain C layout, fixed-width fields, levels top-first
+/// (level L of an order-n tensor holds access mode n-1-L, matching
+/// tensor/Tensor.h). Pointers borrow the bound tensors' arrays for the
+/// duration of one call; the kernel never allocates or frees.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SYSTEC_JIT_NATIVEABI_H
+#define SYSTEC_JIT_NATIVEABI_H
+
+#include <cstdint>
+
+namespace systec {
+namespace jit {
+
+/// Mirror of tensor/Tensor.h LevelKind, pinned to stable values for the
+/// ABI (the emitted code bakes level kinds statically and never reads
+/// Kind at runtime; it is carried for debuggability and future probes).
+enum NativeLevelKind : int32_t {
+  NativeDense = 0,
+  NativeSparse = 1,
+  NativeRunLength = 2,
+  NativeBanded = 3,
+};
+
+/// One storage level of one operand (mirrors `systec_nlevel` in the
+/// emitted TU). Unused arrays for a kind are null.
+struct NativeLevel {
+  int32_t Kind = NativeDense;
+  int64_t Dim = 0;
+  const int64_t *Ptr = nullptr;
+  const int64_t *Crd = nullptr;
+  const int64_t *RunEnd = nullptr;
+  const int64_t *Lo = nullptr;
+  const int64_t *Hi = nullptr;
+  const int64_t *Off = nullptr;
+};
+
+/// One operand tensor (mirrors `systec_ntensor`).
+struct NativeTensor {
+  int64_t Order = 0;
+  const NativeLevel *Levels = nullptr; ///< top-first, Order entries
+  const double *Vals = nullptr;
+  double Fill = 0.0;
+};
+
+/// Counter deltas of one call (mirrors `systec_ncounters`): the four
+/// execution counters the native body contributes, matching the
+/// interpreter's accounting exactly (support/Counters.h). The caller
+/// folds them into its ExecCtx delta block when counters are enabled.
+struct NativeCounters {
+  int64_t SparseReads = 0;
+  int64_t Reductions = 0;
+  int64_t ScalarOps = 0;
+  int64_t OutputWrites = 0;
+};
+
+/// The entry point every emitted TU exports as
+/// `extern "C" systec_native_run`. \p Tensors holds one NativeTensor
+/// per kernel argument in the emitter's discovery order; \p Outs is the
+/// executor's OutPtr table (output id -> value array); \p Counters
+/// receives the call's deltas. Returns 0 on success (nonzero reserved).
+using NativeKernelFn = int64_t (*)(const NativeTensor *Tensors,
+                                   double *const *Outs,
+                                   NativeCounters *Counters);
+
+/// The exported symbol name.
+inline const char *nativeEntrySymbol() { return "systec_native_run"; }
+
+} // namespace jit
+} // namespace systec
+
+#endif // SYSTEC_JIT_NATIVEABI_H

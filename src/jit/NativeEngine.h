@@ -1,0 +1,63 @@
+//===- jit/NativeEngine.h - JIT'd whole-body plan node --------*- C++ -*-===//
+///
+/// \file
+/// PlanNative: the plan node that dispatches an entire compiled body to
+/// a JIT-compiled .so (jit/NativeKernelCache.h) through the C ABI
+/// (jit/NativeAbi.h). It honors the same contracts as the interpreted
+/// plan tree it replaces:
+///
+///  - Determinism: the emitted body replicates the interpreter's
+///    sequential fold order, so outputs are bit-identical to a
+///    Threads=1 interpreted run (the native engine does not replicate
+///    the parallel task decomposition; under Threads>1 options it still
+///    produces the sequential — not the task-merged — fold order).
+///  - Counters: the kernel returns its SparseReads / Reductions /
+///    ScalarOps / OutputWrites deltas, accounted at the interpreter's
+///    exact charge points; they fold into ExecCtx::Local under the
+///    standard once-per-run flush discipline.
+///  - Rebind: operand pointers are re-read from the bound tensors on
+///    every call and the argument table repatches through the standard
+///    RebindCtx map, so plan-cache hits work unchanged.
+///  - Cancellation: polled at body entry only — a native body is one
+///    cancellation region (documented in docs/CODEGEN.md); runs that
+///    need per-iteration responsiveness use the interpreted engines.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SYSTEC_JIT_NATIVEENGINE_H
+#define SYSTEC_JIT_NATIVEENGINE_H
+
+#include "jit/NativeAbi.h"
+#include "runtime/Plan.h"
+
+#include <memory>
+#include <vector>
+
+namespace systec {
+namespace jit {
+
+class PlanNative final : public detail::PlanNode {
+public:
+  /// Entry point resolved from the cached .so; Handle keeps the
+  /// mapping alive for the life of this node.
+  NativeKernelFn Fn = nullptr;
+  std::shared_ptr<void> Handle;
+  /// Operand tensors in the emitter's discovery order (one
+  /// systec_ntensor each, marshalled per call from the tensors'
+  /// current level arrays — which is what makes rebind work).
+  std::vector<Tensor *> Args;
+
+  void exec(detail::ExecCtx &C) override;
+  void rebind(const detail::RebindCtx &R) override;
+
+private:
+  /// Marshalling scratch, sized on first exec and reused (orders and
+  /// level counts are fixed for a compiled plan).
+  std::vector<NativeLevel> Levels;
+  std::vector<NativeTensor> Tensors;
+};
+
+} // namespace jit
+} // namespace systec
+
+#endif // SYSTEC_JIT_NATIVEENGINE_H

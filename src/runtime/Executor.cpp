@@ -2,6 +2,9 @@
 
 #include "runtime/Executor.h"
 
+#include "core/Codegen.h"
+#include "jit/NativeEngine.h"
+#include "jit/NativeKernelCache.h"
 #include "observability/Trace.h"
 #include "parallel/ParallelAnalysis.h"
 #include "parallel/ThreadPool.h"
@@ -703,6 +706,14 @@ std::string execOptionsSummary(const ExecOptions &O) {
   // keyed on them) are unchanged.
   if (!O.GlobalCounterFlush)
     Out += " globalflush=off";
+  // The resolved engine preference list. Resolution (not the raw
+  // request) is rendered so equivalent requests — e.g. the legacy
+  // boolean shims and their explicit Engines spelling — summarize (and
+  // therefore plan-cache-key) identically.
+  Out += " engines=" +
+         enginesSummary(resolveEngines(O.Engines, O.EnableMicroKernels,
+                                       O.EnableBlocking)
+                            .Order);
   return Out;
 }
 
@@ -756,6 +767,20 @@ Status Executor::sanitizeOptions() {
                      " -> 8 (engine maximum)");
     Options.BlockWidth = 8;
   }
+  // Engine resolution: the one place requests (typed list or deprecated
+  // booleans) become the normalized preference order everything else
+  // reads. The resolved list is written back into Options.Engines and
+  // the booleans are re-derived from membership, so deprecated-shim
+  // callers and typed callers are indistinguishable downstream.
+  EngineResolution R = resolveEngines(Options.Engines,
+                                      Options.EnableMicroKernels,
+                                      Options.EnableBlocking);
+  for (const std::string &Note : R.Notes)
+    Clamps.push_back(Note);
+  Engines = R.Order;
+  Options.Engines = R.Order;
+  Options.EnableMicroKernels = R.UseFused;
+  Options.EnableBlocking = R.UseBlocked;
   return Status::success();
 }
 
@@ -943,6 +968,38 @@ Status Executor::tryPrepare() {
     obs::emitSpan("materialize", "phase", M0, MaterializeNs);
     obs::emitSpan("plan-compile", "phase", M1, PlanCompileNs);
   }
+  // Native engine: emit the compiled body as a C-ABI TU, build it
+  // through the on-disk .so cache, and stage the resulting plan node in
+  // front of the interpreted tree. Every failure (no host compiler,
+  // unsupported plan shape, compile/dlopen error) lands in NativeStatus
+  // and falls back to the engines behind it — prepare still succeeds.
+  NativePlan.reset();
+  NativeStatus = Status::success();
+  NativeCompileNs = 0;
+  if (!Engines.empty() && Engines.front() == Engine::Native) {
+    auto Emitted = emitNativeTU(*BodyPlan, *Ctx, K.Name);
+    if (!Emitted) {
+      NativeStatus = Emitted.takeStatus().withContext("kernel '" + K.Name +
+                                                      "' native engine");
+    } else {
+      NativeSource = Emitted->Source;
+      auto L = jit::NativeKernelCache::instance().load(
+          Emitted->Source, Options.NativeCacheDir);
+      if (!L) {
+        NativeStatus = L.takeStatus().withContext("kernel '" + K.Name +
+                                                  "' native engine");
+      } else {
+        auto NP = std::make_unique<jit::PlanNative>();
+        NP->Fn = L->Fn;
+        NP->Handle = L->Handle;
+        NP->Args = std::move(Emitted->Args);
+        NativePlan = std::move(NP);
+        NativeCompileNs = L->CompileNs;
+        if (obs::tracingEnabled() && NativeCompileNs)
+          obs::emitSpan("native-compile", "phase", M2, NativeCompileNs);
+      }
+    }
+  }
   Report.Options = execOptionsSummary(Options);
   Prepared = true;
   return Status::success();
@@ -1007,6 +1064,22 @@ Status Executor::rebind(const std::map<std::string, Tensor *> &NewBindings,
                          "deadline must be non-negative, got " +
                              std::to_string(RunOptions.DeadlineMs))
         .withContext("kernel '" + K.Name + "'");
+  // Engine agreement: the run's resolved preference order must match
+  // what this executor was prepared with — the compiled plans (and the
+  // staged native body) embody that choice. A plan-cache keyed on the
+  // resolved list guarantees this; direct callers get a typed error
+  // rather than a silently different engine.
+  {
+    EngineResolution RunR = resolveEngines(RunOptions.Engines,
+                                           RunOptions.EnableMicroKernels,
+                                           RunOptions.EnableBlocking);
+    if (RunR.Order != Engines)
+      return Status::error(ErrCode::InvalidArgument,
+                           "rebind engine mismatch: prepared with " +
+                               enginesSummary(Engines) + ", run requests " +
+                               enginesSummary(RunR.Order))
+          .withContext("kernel '" + K.Name + "'");
+  }
   // Structural identity: every originally-bound name needs a
   // replacement whose format, dims, and fill match the tensor the plan
   // was compiled against (the compiled walkers, strides, and fused
@@ -1101,14 +1174,19 @@ Status Executor::rebind(const std::map<std::string, Tensor *> &NewBindings,
   BodyPlan->rebind(RC);
   if (EpiloguePlan)
     EpiloguePlan->rebind(RC);
+  if (NativePlan)
+    NativePlan->rebind(RC);
   Owned = std::move(NewOwned);
   // The repatch is this "run"'s materialization work; plan compilation
   // and specialization were skipped outright — which is the whole
   // point, and what the phase timers pin in reports of rebound runs.
+  // The staged native body is reused as-is (it marshals operand
+  // pointers per call), so a rebound run compiled nothing either.
   ValidateNs = NewValidateNs;
   MaterializeNs = obs::nowNs() - R0;
   PlanCompileNs = 0;
   SpecializeNs = 0;
+  NativeCompileNs = 0;
   Report.Options = execOptionsSummary(Options);
   return Status::success();
 }
@@ -1218,7 +1296,10 @@ Status Executor::tryRunBody(obs::ExecReport *Out) {
   }
 
   const uint64_t T0 = obs::nowNs();
-  BodyPlan->exec(*Ctx);
+  // Engine dispatch: a staged native plan supersedes the interpreted
+  // tree (it was compiled from it and honors the same contracts); when
+  // the native build fell back, the interpreted tree runs as always.
+  (NativePlan ? NativePlan.get() : BodyPlan.get())->exec(*Ctx);
   const uint64_t T1 = obs::nowNs();
   if (Ctx->TraceOn)
     obs::emitSpan("execute", "phase", T0, T1 - T0);
@@ -1230,6 +1311,11 @@ Status Executor::tryRunBody(obs::ExecReport *Out) {
   Report.Phases.push_back({"materialize", MaterializeNs});
   Report.Phases.push_back({"plan-compile", PlanCompileNs});
   Report.Phases.push_back({"specialize", SpecializeNs});
+  // Reported whenever the native engine was requested: the compiler
+  // wall time of this prepare, pinned at 0 on a warm .so-cache start
+  // and on every rebound run (the warm-start acceptance signal).
+  if (!Engines.empty() && Engines.front() == Engine::Native)
+    Report.Phases.push_back({"native-compile", NativeCompileNs});
   if (Options.ValidateInputs != ValidationLevel::None)
     Report.Phases.push_back({"validate", ValidateNs});
   Report.Phases.push_back({"execute", T1 - T0});

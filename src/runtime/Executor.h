@@ -23,6 +23,7 @@
 #include "ir/Kernel.h"
 #include "observability/Report.h"
 #include "parallel/Schedule.h"
+#include "runtime/EngineRegistry.h"
 #include "support/Status.h"
 #include "tensor/Tensor.h"
 
@@ -43,6 +44,24 @@ struct RunControl;
 
 /// Execution options (ablation switches).
 struct ExecOptions {
+  /// Ordered engine-preference list (runtime/EngineRegistry.h) — the
+  /// typed replacement for the per-engine booleans below. Empty (the
+  /// default) derives the list from the deprecated EnableMicroKernels /
+  /// EnableBlocking shims, preserving their historical behavior and
+  /// plan-cache keys exactly; a non-empty list wins over the booleans.
+  /// tryPrepare() normalizes the list (EngineResolution) and writes the
+  /// derived membership back into the booleans so downstream consumers
+  /// see one consistent surface either way. {Engine::Native, ...} asks
+  /// for the JIT-compiled whole-body engine with graceful typed
+  /// fallback to the rest of the list (nativeStatus() records why).
+  std::vector<Engine> Engines;
+  /// On-disk directory for the native engine's compiled-.so cache
+  /// (src/jit/NativeKernelCache.h). Empty resolves to the
+  /// SYSTEC_JIT_CACHE_DIR environment variable, then a per-user temp
+  /// default. Per-request (NOT part of the PlanCache structural key):
+  /// the cache is content-hash keyed, so any directory yields identical
+  /// plans — only cold-compile time differs.
+  std::string NativeCacheDir;
   /// Drive loops from sparse accesses; disabling iterates dense extents
   /// (oracle mode).
   bool EnableSparseWalk = true;
@@ -65,12 +84,16 @@ struct ExecOptions {
   /// exceed this is left sequential at that level; an inner annotated
   /// loop (typically with disjoint writes) runs parallel instead.
   size_t PrivatizationBudget = size_t(1) << 24;
-  /// Run the plan-specialization pass (runtime/MicroKernels.h): loop
-  /// subtrees matching a known shape execute as fused loops over raw
-  /// level arrays instead of the interpreted plan. Disabling is the
-  /// ablation switch; outputs and counters are identical either way.
+  /// DEPRECATED shim for Engines (one release): equivalent to listing
+  /// Engine::Fused. Run the plan-specialization pass
+  /// (runtime/MicroKernels.h): loop subtrees matching a known shape
+  /// execute as fused loops over raw level arrays instead of the
+  /// interpreted plan. Disabling is the ablation switch; outputs and
+  /// counters are identical either way. Ignored when Engines is
+  /// non-empty (and overwritten with the resolved membership).
   bool EnableMicroKernels = true;
-  /// Panel-block the dense output mode of fused nests (the
+  /// DEPRECATED shim for Engines (one release): equivalent to listing
+  /// Engine::Blocked. Panel-block the dense output mode of fused nests (the
   /// ssyrk/syprd/ttm shape: an outer loop whose variable strides a
   /// dense output dimension while the inner sparse walk it re-runs is
   /// invariant in it). The blocked engine walks the fiber once per
@@ -302,6 +325,28 @@ public:
   /// fused micro-kernels vs. the generic interpreter.
   const MicroKernelStats &microKernelStats() const { return MKStats; }
 
+  /// The normalized engine preference order tryPrepare() resolved from
+  /// Options.Engines / the deprecated booleans (empty before prepare).
+  const std::vector<Engine> &engines() const { return Engines; }
+
+  /// Outcome of the native (JIT) engine build when Engine::Native led
+  /// the preference list: ok() when the body runs natively; otherwise a
+  /// typed Status saying why the executor fell back to the rest of the
+  /// list (ErrCode::ResourceExhausted when no host compiler is
+  /// available, Internal for a compile/emission failure — the run
+  /// itself still succeeds either way). Ok-and-meaningless when Native
+  /// was never requested.
+  const Status &nativeStatus() const { return NativeStatus; }
+
+  /// True when runBody() dispatches to the JIT-compiled native body.
+  bool usesNativeEngine() const { return NativePlan != nullptr; }
+
+  /// The C-ABI translation unit emitted for the native engine (empty
+  /// unless Native led the preference list and emission succeeded —
+  /// populated even if the subsequent compile/dlopen failed, for
+  /// diagnostics and compile-check tests).
+  const std::string &nativeSource() const { return NativeSource; }
+
   /// The structured report of the most recent runBody() (extended by a
   /// following runEpilogue()): phase timings, per-loop engine/driver
   /// aggregates, per-worker wait/execute activity, and the run's exact
@@ -339,6 +384,23 @@ private:
   std::unique_ptr<detail::ExecCtx> Ctx;
   MicroKernelStats MKStats;
   bool Prepared = false;
+
+  /// Engine preference order resolved by sanitizeOptions().
+  std::vector<Engine> Engines;
+  /// JIT-compiled whole-body plan (null unless Native resolved first
+  /// AND the build succeeded); runBody() dispatches to it over
+  /// BodyPlan. Holds the dlopened .so alive via a shared handle.
+  std::unique_ptr<detail::PlanNode> NativePlan;
+  /// Why NativePlan is null although Native was requested (see
+  /// nativeStatus()).
+  Status NativeStatus;
+  /// Emitted native TU (see nativeSource()).
+  std::string NativeSource;
+  /// Wall time of the native source emission + compiler invocation at
+  /// prepare; 0 on a warm .so-cache hit (the acceptance signal for
+  /// cross-process cache reuse) and on rebind. Reported as the
+  /// "native-compile" phase whenever Native was requested.
+  uint64_t NativeCompileNs = 0;
 
   /// Option values tryPrepare() clamped (see optionClamps()).
   std::vector<std::string> Clamps;

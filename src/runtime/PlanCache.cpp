@@ -38,6 +38,16 @@ std::string PlanCache::makeKey(const Einsum &E,
   Key += std::string(" algebra=") + (O.AnnihilationAlgebra ? "on" : "off");
   Key += " privbudget=" + std::to_string(O.PrivatizationBudget);
   Key += " membudget=" + std::to_string(O.MemoryBudgetBytes);
+  // The RESOLVED engine preference list, so the typed Engines request
+  // and its legacy-boolean equivalent share one entry, and distinct
+  // orders (native-first vs not) never collide. The booleans above stay
+  // in the key for back-compat; NativeCacheDir is deliberately absent —
+  // the .so cache is content-hash keyed, so the directory choice never
+  // changes the compiled plan.
+  Key += " engines=" +
+         enginesSummary(resolveEngines(O.Engines, O.EnableMicroKernels,
+                                       O.EnableBlocking)
+                            .Order);
   return Key;
 }
 

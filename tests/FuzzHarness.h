@@ -32,6 +32,7 @@
 #include "data/Generators.h"
 #include "ir/Expr.h"
 #include "ir/Stmt.h"
+#include "jit/NativeKernelCache.h"
 #include "kernels/Oracle.h"
 #include "runtime/Executor.h"
 #include "support/Counters.h"
@@ -399,6 +400,23 @@ inline void expectCountersEqual(const CounterSnapshot &A,
   EXPECT_EQ(A.OutputWrites, B.OutputWrites);
 }
 
+/// Whether the JIT cell of the matrix can run at all; logs the reason
+/// once when it cannot (no host compiler / SYSTEC_JIT_DISABLE), so a
+/// degraded environment skips the cell visibly instead of silently.
+inline bool nativeCellEnabled() {
+  static const bool Enabled = [] {
+    std::string Reason;
+    if (jit::NativeKernelCache::compilerAvailable(&Reason))
+      return true;
+    std::fprintf(stderr,
+                 "[fuzz] native cells disabled (%s); the JIT cell of "
+                 "the matrix is skipped\n",
+                 Reason.c_str());
+    return false;
+  }();
+  return Enabled;
+}
+
 /// Runs \p K across the {interpreter, micro-kernels} x {Threads 1, 4}
 /// cell matrix: every cell must match \p Ref element for element
 /// (which also makes the cells bit-identical to each other) and the
@@ -407,8 +425,15 @@ inline void expectCountersEqual(const CounterSnapshot &A,
 /// panel width, plus one extra Threads=1 cell with the toggle flipped —
 /// so every case differentially pins that blocking changes neither a
 /// value bit nor a runtime counter.
+///
+/// \p NativeCell additionally runs native-1 and native-4 cells through
+/// the JIT engine (Engine::Native first; a failed emission or build
+/// falls back to fused per the engine contract, which must still match
+/// the oracle). Callers subsample this cell — every fresh case is a
+/// distinct TU, so each native cell costs one host-compiler invocation.
 inline void checkCellMatrix(const Kernel &K, FuzzCase &F,
-                            const Tensor &Ref, uint64_t BlockSeed = 0) {
+                            const Tensor &Ref, uint64_t BlockSeed = 0,
+                            bool NativeCell = false) {
   Rng BR(BlockSeed ^ 0xB10C6ED5EEDull);
   const bool Blk = BR.nextBool(0.5);
   const unsigned Wd = BlockWidthSamples[BR.nextIndex(NumBlockWidthSamples)];
@@ -448,6 +473,24 @@ inline void checkCellMatrix(const Kernel &K, FuzzCase &F,
       continue;
     }
     expectCountersEqual(Snap, FirstSnap);
+  }
+  // The JIT cells: the native engine is sequential by contract (it
+  // reproduces the Threads=1 fold order at any thread count), so both
+  // cells must be bit-identical to the oracle and counter-identical to
+  // interp-1.
+  if (NativeCell && nativeCellEnabled()) {
+    for (unsigned Threads : {1u, 4u}) {
+      SCOPED_TRACE("native-" + std::to_string(Threads));
+      ExecOptions O;
+      O.Engines = {Engine::Native, Engine::Fused, Engine::Interp};
+      O.Threads = Threads;
+      CounterSnapshot Snap;
+      Tensor Out = runCounted(K, F, O, Snap);
+      ASSERT_EQ(Out.vals().size(), Ref.vals().size());
+      for (size_t I = 0; I < Out.vals().size(); ++I)
+        EXPECT_EQ(Out.vals()[I], Ref.vals()[I]) << "element " << I;
+      expectCountersEqual(Snap, FirstSnap);
+    }
   }
 }
 
@@ -492,9 +535,14 @@ inline void checkDifferentialMatrix(uint64_t Seed) {
   for (auto &[Name, T] : F.Inputs)
     In[Name] = &T;
   Tensor Ref = oracleEval(F.E, In);
+  // The JIT cells are subsampled (one seed in eight): every fresh case
+  // is a new TU, so each costs a host-compiler invocation; the sample
+  // still sweeps the full semiring x format space over a long run, and
+  // any failing seed replays with its native cells intact.
+  const bool NativeCell = (Seed % 8) == 0;
   for (const Kernel *K : {&R.Naive, &R.Optimized}) {
     SCOPED_TRACE(K == &R.Naive ? "naive" : "optimized");
-    checkCellMatrix(*K, F, Ref, Seed);
+    checkCellMatrix(*K, F, Ref, Seed, NativeCell);
   }
 }
 
@@ -594,7 +642,7 @@ inline void checkLutDifferential(uint64_t Seed) {
   OracleOpts.EnableSparseWalk = false;
   OracleOpts.EnableMicroKernels = false;
   Tensor Ref = run(K, F, OracleOpts);
-  checkCellMatrix(K, F, Ref, Seed);
+  checkCellMatrix(K, F, Ref, Seed, (Seed % 8) == 0);
 }
 
 //===----------------------------------------------------------------------===//

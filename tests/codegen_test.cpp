@@ -8,7 +8,9 @@
 
 #include "core/Codegen.h"
 #include "core/Compiler.h"
+#include "data/Generators.h"
 #include "kernels/Kernels.h"
+#include "runtime/Executor.h"
 
 #include <gtest/gtest.h>
 
@@ -85,11 +87,13 @@ TEST(Codegen, GuardedTemporariesArePredeclared) {
   EXPECT_NE(Use, std::string::npos);
 }
 
-/// Emits every paper kernel and syntax-checks it with the compiler that
-/// built this test.
+/// Emits every paper kernel and fully compiles it (to an object file,
+/// not just a parse) with the compiler that built this test — template
+/// instantiation and overload resolution catch bitrot that
+/// -fsyntax-only lets through.
 class CodegenCompiles : public ::testing::TestWithParam<unsigned> {};
 
-TEST_P(CodegenCompiles, SyntaxChecks) {
+TEST_P(CodegenCompiles, CompilesToObject) {
 #if !defined(SYSTEC_SOURCE_DIR) || !defined(SYSTEC_CXX)
   GTEST_SKIP() << "compiler paths not configured";
 #else
@@ -100,17 +104,102 @@ TEST_P(CodegenCompiles, SyntaxChecks) {
   std::string Src = emitFor(E);
   std::string Path = ::testing::TempDir() + "/systec_gen_" + E.Name +
                      ".cpp";
+  std::string Obj = ::testing::TempDir() + "/systec_gen_" + E.Name + ".o";
   {
     std::ofstream Out(Path);
     Out << Src;
   }
-  std::string Cmd = std::string(SYSTEC_CXX) +
-                    " -std=c++20 -fsyntax-only -I" + SYSTEC_SOURCE_DIR +
-                    "/src " + Path;
+  std::string Cmd = std::string(SYSTEC_CXX) + " -std=c++20 -c -o " + Obj +
+                    " -I" + SYSTEC_SOURCE_DIR + "/src " + Path;
   int Rc = std::system(Cmd.c_str());
-  EXPECT_EQ(Rc, 0) << "generated code failed to parse:\n" << Src;
+  EXPECT_EQ(Rc, 0) << "generated code failed to compile:\n" << Src;
+  std::remove(Obj.c_str());
 #endif
 }
 
 INSTANTIATE_TEST_SUITE_P(AllKernels, CodegenCompiles,
                          ::testing::Range(0u, 8u));
+
+//===----------------------------------------------------------------------===//
+// Native (JIT) TU emission
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Binds a paper-kernel workload and prepares with the native engine
+/// leading, returning the emitted C-ABI TU (populated by tryPrepare
+/// even when the subsequent JIT build cannot run).
+std::string emitNativeFor(const std::string &Name) {
+  Rng R(101);
+  Einsum E;
+  std::map<std::string, Tensor> Inputs;
+  std::vector<int64_t> OutDims;
+  if (Name == "ssymv") {
+    E = makeSsymv();
+    Inputs.emplace("A", generateSymmetricTensor(2, 20, 80, R,
+                                                TensorFormat::csf(2)));
+    Inputs.emplace("x", generateDenseVector(20, R));
+    OutDims = {20};
+  } else if (Name == "syprd") {
+    E = makeSyprd();
+    Inputs.emplace("A", generateSymmetricTensor(2, 20, 80, R,
+                                                TensorFormat::csf(2)));
+    Inputs.emplace("x", generateDenseVector(20, R));
+    OutDims = {1};
+  } else {
+    E = makeMttkrp(3);
+    Inputs.emplace("A", generateSymmetricTensor(3, 9, 72, R,
+                                                TensorFormat::csf(3)));
+    Inputs.emplace("B", generateDenseMatrix(9, 4, R));
+    OutDims = {9, 4};
+  }
+  Tensor Out = Tensor::dense(OutDims, 0.0);
+  ExecOptions Opt;
+  Opt.Engines = {Engine::Native, Engine::Fused, Engine::Interp};
+  Executor Ex(compileEinsum(E).Optimized, Opt);
+  for (auto &[N, T] : Inputs)
+    Ex.bind(N, &T);
+  Ex.bind(E.Output->tensorName(), &Out);
+  Status S = Ex.tryPrepare();
+  EXPECT_TRUE(S.ok()) << S.str();
+  return Ex.nativeSource();
+}
+
+} // namespace
+
+/// The emitted native TU must be self-contained: it compiles as a
+/// standalone translation unit with no include path at all (the C ABI
+/// structs are embedded in the source — that embedding IS the cache's
+/// compatibility contract).
+class NativeTUCompiles : public ::testing::TestWithParam<const char *> {};
+
+TEST_P(NativeTUCompiles, SelfContained) {
+#ifndef SYSTEC_CXX
+  GTEST_SKIP() << "compiler paths not configured";
+#else
+  std::string Src = emitNativeFor(GetParam());
+  ASSERT_FALSE(Src.empty());
+  EXPECT_NE(Src.find("extern \"C\""), std::string::npos);
+  EXPECT_NE(Src.find("systec_native_run"), std::string::npos);
+  std::string Path = ::testing::TempDir() + "/systec_native_" +
+                     GetParam() + ".cpp";
+  std::string Obj = ::testing::TempDir() + "/systec_native_" + GetParam() +
+                    ".o";
+  {
+    std::ofstream OutF(Path);
+    OutF << Src;
+  }
+  // Deliberately no -I: a TU that needs one is a broken contract.
+  std::string Cmd = std::string(SYSTEC_CXX) + " -std=c++17 -c -o " + Obj +
+                    " -w " + Path;
+  int Rc = std::system(Cmd.c_str());
+  EXPECT_EQ(Rc, 0) << "native TU failed to compile:\n" << Src;
+  std::remove(Obj.c_str());
+#endif
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperKernels, NativeTUCompiles,
+                         ::testing::Values("ssymv", "syprd", "mttkrp3"),
+                         [](const ::testing::TestParamInfo<const char *> &I) {
+                           return std::string(I.param);
+                         });

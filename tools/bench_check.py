@@ -10,6 +10,15 @@ wall-clock milliseconds — with a relative tolerance band for machine
 noise. Exits nonzero when any kernel's fresh ratio falls below
 baseline * (1 - tolerance).
 
+When the record files carry a "native" column (bench_microkernels adds
+one whenever a host compiler is available for the JIT engine), the
+*native-over-fused ratio* is gated the same way with its own wider
+band: native bodies finish in tens of microseconds on the small
+kernels, so timer noise is a larger relative fraction. A fresh run
+with no native records (compiler-less machine) skips that gate with a
+note rather than failing — the JIT column is capability-dependent by
+design.
+
 With --service the gated records come from bench_service instead: the
 ratio is the *cold-over-warm latency ratio* per kernel (the plan-cache
 hit speedup — first request pays the full front end, warm requests only
@@ -41,6 +50,10 @@ import os
 import sys
 
 DEFAULT_TOLERANCE = 0.30  # allow a 30% relative drop before failing
+# Native-over-fused bounces more than fused-over-interp: the native
+# bodies run in tens of microseconds on the small kernels, so a fixed
+# timer-noise floor is a bigger relative slice of the measurement.
+NATIVE_TOLERANCE = 0.45
 # The service mode's defaults: the hit-speedup ratio bounces more than
 # the fused-vs-interp ratio (the warm path is sub-millisecond, so timer
 # and scheduler noise is a larger fraction), and p99 is wall-clock on a
@@ -185,6 +198,13 @@ def main():
         f"{DEFAULT_TOLERANCE}, or {SERVICE_TOLERANCE} with --service)",
     )
     parser.add_argument(
+        "--native-tolerance",
+        type=float,
+        default=NATIVE_TOLERANCE,
+        help="relative native-over-fused ratio drop allowed when both "
+        f"files carry native records (default {NATIVE_TOLERANCE})",
+    )
+    parser.add_argument(
         "--p99-tolerance",
         type=float,
         default=SERVICE_P99_TOLERANCE,
@@ -266,6 +286,59 @@ def main():
                 "baseline (--strict: add it to bench/baselines)"
             )
 
+    if not args.service:
+        # Native (JIT) gate: fused-over-native ratio, present only when
+        # the producing machine had a host compiler. A fresh run without
+        # native records skips the gate (capability, not regression); a
+        # kernel missing from an otherwise-native fresh run means the
+        # engine silently fell back, which IS gated.
+        nat_fresh = speedup_table(fresh_records, None, ("fused", "native"))
+        nat_base = speedup_table(base_records, None, ("fused", "native"))
+        if not nat_base:
+            print("\nnative-vs-fused: no native records in baseline; "
+                  "gate skipped")
+        elif not nat_fresh:
+            print("\nnative-vs-fused: no native records in fresh run "
+                  "(no host compiler for the JIT engine); gate skipped")
+        else:
+            print(f"\nnative-vs-fused ratios "
+                  f"(tolerance {args.native_tolerance:.0%}):")
+            print(header)
+            print("-" * len(header))
+            for key in sorted(nat_base):
+                kernel, workload = key
+                if key not in nat_fresh:
+                    print(f"{kernel:<10} {workload:<18} "
+                          f"{nat_base[key]:>8.2f}x {'---':>9} {'---':>8}  "
+                          "MISSING")
+                    regressions.append(
+                        f"{kernel}/{workload}: native column present in "
+                        "the fresh run but this kernel fell back"
+                    )
+                    continue
+                b, f = nat_base[key], nat_fresh[key]
+                delta = (f - b) / b
+                ok = f >= b * (1.0 - args.native_tolerance)
+                status = "ok" if ok else "REGRESSED"
+                print(f"{kernel:<10} {workload:<18} {b:>8.2f}x "
+                      f"{f:>8.2f}x {delta:>+7.1%}  {status}")
+                if not ok:
+                    regressions.append(
+                        f"{kernel}/{workload}: native-vs-fused speedup "
+                        f"{f:.2f}x < baseline {b:.2f}x "
+                        f"- {args.native_tolerance:.0%}"
+                    )
+            for key in sorted(set(nat_fresh) - set(nat_base)):
+                kernel, workload = key
+                print(f"{kernel:<10} {workload:<18} {'---':>9} "
+                      f"{nat_fresh[key]:>8.2f}x {'---':>8}  new")
+                if args.strict:
+                    regressions.append(
+                        f"{kernel}/{workload}: native pair present in "
+                        "fresh run but not in the baseline (--strict: "
+                        "add it to bench/baselines)"
+                    )
+
     if args.service:
         fresh_p99 = p99_ms(fresh_records)
         base_p99 = p99_ms(base_records)
@@ -293,8 +366,9 @@ def main():
         if args.strict:
             regressions.extend(skipped)
 
-    print_phase_breakdown(fresh_records, sorted(set(base) | set(fresh)),
-                          impls)
+    print_phase_breakdown(
+        fresh_records, sorted(set(base) | set(fresh)),
+        impls if args.service else ("interp", "fused", "native"))
 
     if regressions:
         print("\nbench_check: FAIL", file=sys.stderr)
@@ -302,7 +376,7 @@ def main():
             print(f"  {r}", file=sys.stderr)
         return 1
     what = ("cache-hit ratios and p99" if args.service
-            else "fused-vs-interpreted ratios")
+            else "fused-vs-interpreted and native-vs-fused ratios")
     print(f"\nbench_check: OK (all {what} within tolerance)")
     return 0
 
